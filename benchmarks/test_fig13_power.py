@@ -1,0 +1,86 @@
+"""Fig. 13 — power decomposition and variation sensitivity (E-F13a, E-F13b).
+
+* Fig. 13a: total power of the proposed design versus the DWN switching
+  threshold, split into its static and dynamic components.  The static
+  part (RCM evaluation current across ΔV plus the SAR-DAC path) scales
+  with the threshold; the dynamic part (latch/register/tracking switching)
+  is threshold-independent and dominates once the threshold is scaled
+  down.
+* Fig. 13b: ratio of the power-delay product of the MS-CMOS WTA designs to
+  that of the proposed design as the transistor threshold mismatch σVT
+  grows, at a fixed 4 % (5-bit) detection resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.power import threshold_power_sweep
+from repro.analysis.report import format_si, format_table
+from repro.analysis.variations import pd_ratio_sweep
+
+#: Fig. 13a sweep: DWN switching threshold (A).
+FIG13A_THRESHOLDS = (2.0e-6, 1.5e-6, 1.0e-6, 0.75e-6, 0.5e-6, 0.25e-6)
+#: Fig. 13b sweep: σVT of minimum-sized transistors (V).
+FIG13B_SIGMA_VT = (5e-3, 10e-3, 15e-3, 20e-3, 25e-3)
+
+
+def test_fig13a_power_vs_threshold(benchmark, reference_parameters, write_result):
+    breakdowns = benchmark(
+        lambda: threshold_power_sweep(FIG13A_THRESHOLDS, parameters=reference_parameters)
+    )
+
+    table = format_table(
+        ["DWN threshold", "Static (RCM)", "Static (SAR DAC)", "Dynamic", "Total"],
+        [
+            [
+                format_si(threshold, "A"),
+                format_si(b.static_rcm, "W"),
+                format_si(b.static_sar_dac, "W"),
+                format_si(b.dynamic, "W"),
+                format_si(b.total, "W"),
+            ]
+            for threshold, b in zip(FIG13A_THRESHOLDS, breakdowns)
+        ],
+    )
+    write_result("fig13a_power_vs_dwn_threshold", table)
+
+    statics = np.array([b.static_total for b in breakdowns])
+    dynamics = np.array([b.dynamic for b in breakdowns])
+    totals = np.array([b.total for b in breakdowns])
+    # Static power falls proportionally with the threshold; dynamic stays flat.
+    assert np.all(np.diff(statics) < 0)
+    assert np.allclose(dynamics, dynamics[0])
+    # Dynamic dominates at the smallest thresholds (the flattening of Fig. 13a).
+    assert dynamics[-1] > statics[-1]
+    # Total power at the nominal 1 uA threshold is in the ~65 uW range of Table 1.
+    nominal = totals[FIG13A_THRESHOLDS.index(1.0e-6)]
+    assert 40e-6 < nominal < 90e-6
+
+
+def test_fig13b_pd_ratio_vs_variation(benchmark, reference_parameters, write_result):
+    points = benchmark(
+        lambda: pd_ratio_sweep(
+            FIG13B_SIGMA_VT, parameters=reference_parameters, resolution_bits=5
+        )
+    )
+
+    table = format_table(
+        ["sigma_VT", "PD ratio [17]/proposed", "PD ratio [18]/proposed"],
+        [
+            [format_si(point.sigma_vt, "V"), f"{point.ratio_bt:.0f}x", f"{point.ratio_async:.0f}x"]
+            for point in points
+        ],
+    )
+    write_result("fig13b_pd_ratio_vs_sigma_vt", table)
+
+    ratios_bt = [point.ratio_bt for point in points]
+    ratios_async = [point.ratio_async for point in points]
+    # Fig. 13b: the penalty of the MS-CMOS designs grows steeply with
+    # increasing transistor variation while the proposed design is immune.
+    assert all(b > a for a, b in zip(ratios_bt, ratios_bt[1:]))
+    assert all(b > a for a, b in zip(ratios_async, ratios_async[1:]))
+    # Already two orders of magnitude at the near-ideal 5 mV corner.
+    assert ratios_bt[0] > 50
+    # And it worsens by a large factor across the sweep.
+    assert ratios_bt[-1] > 5 * ratios_bt[0]

@@ -1,0 +1,55 @@
+"""Fig. 3 — matching accuracy vs image down-sizing and detection resolution.
+
+* Fig. 3a (E-F3a): accuracy over the 400 test images as the stored image is
+  down-sized; it stays near the full-size value down to 16x8 and drops for
+  more aggressive reduction.
+* Fig. 3b (E-F3b): accuracy versus the detection-unit (WTA) resolution at
+  the 16x8, 5-bit operating point; 5 bits (≈4 %) keeps the accuracy close
+  to the ideal-comparison value, coarser detection degrades it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.accuracy import downsizing_sweep, resolution_sweep
+from repro.analysis.report import format_accuracy_points
+
+#: Down-sizing sweep of Fig. 3a: from 64x48 down to 8x4 pixels.
+FIG3A_SHAPES = ((64, 48), (32, 24), (16, 12), (16, 8), (8, 4), (4, 2))
+#: Detection-resolution sweep of Fig. 3b.
+FIG3B_RESOLUTIONS = (8, 7, 6, 5, 4, 3, 2)
+
+
+def test_fig3a_downsizing(benchmark, full_dataset, write_result):
+    points = benchmark.pedantic(
+        lambda: downsizing_sweep(full_dataset, feature_shapes=FIG3A_SHAPES, bits=5),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig3a_accuracy_vs_downsizing", format_accuracy_points(points))
+
+    accuracies = {point.label.split(",")[0]: point.accuracy for point in points}
+    # The paper's operating point (16x8) stays close to the large-image
+    # accuracy, while the most aggressive reduction loses accuracy.
+    assert accuracies["16x8"] >= accuracies["64x48"] - 0.05
+    assert accuracies["4x2"] < accuracies["16x8"] - 0.05
+    assert accuracies["64x48"] > 0.9
+
+
+def test_fig3b_wta_resolution(benchmark, full_dataset, write_result):
+    points = benchmark.pedantic(
+        lambda: resolution_sweep(
+            full_dataset, resolutions=FIG3B_RESOLUTIONS, feature_shape=(16, 8), bits=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig3b_accuracy_vs_wta_resolution", format_accuracy_points(points))
+
+    by_bits = {int(point.parameter): point.accuracy for point in points}
+    # 5-bit detection (the paper's choice, ~4 %) stays close to the ideal
+    # 8-bit value; 3-bit and below fall off markedly.
+    assert by_bits[5] >= by_bits[8] - 0.05
+    assert by_bits[3] < by_bits[5] - 0.05
+    assert by_bits[2] < by_bits[3]

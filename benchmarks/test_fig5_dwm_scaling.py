@@ -1,0 +1,77 @@
+"""Fig. 5 — domain-wall magnet scaling (E-F5b, E-F5c).
+
+* Fig. 5b: the critical (threshold) switching current falls as the device
+  cross-section is scaled down.
+* Fig. 5c: for a fixed write current, smaller devices switch faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_si, format_table
+from repro.devices.dwm import DomainWallMagnet
+
+SCALES = (1.4, 1.2, 1.0, 0.8, 0.6, 0.4)
+
+
+def _scaling_data():
+    magnet = DomainWallMagnet()
+    write_current = 2.0 * magnet.critical_current
+    rows = []
+    for scale in SCALES:
+        scaled = magnet.scaled(scale)
+        rows.append(
+            (
+                scale,
+                scaled.critical_current,
+                scaled.switching_time(write_current),
+                scaled.thermal_stability_factor,
+            )
+        )
+    return rows
+
+
+def test_fig5b_critical_current(benchmark, write_result):
+    rows = benchmark(_scaling_data)
+    table = format_table(
+        ["Scale", "Critical current", "Switching time @ 2x nominal Ic", "Barrier (kT)"],
+        [
+            [f"{s:.1f}x", format_si(ic, "A"), format_si(t, "s"), f"{kt:.1f}"]
+            for s, ic, t, kt in rows
+        ],
+    )
+    write_result("fig5b_dwm_critical_current", table)
+
+    currents = [ic for _, ic, _, _ in rows]
+    # Fig. 5b: monotonically decreasing critical current with scaling.
+    assert all(a > b for a, b in zip(currents, currents[1:]))
+    # The nominal device threshold sits at the ~1 uA scale of Table 2.
+    nominal = dict((s, ic) for s, ic, _, _ in rows)[1.0]
+    assert 0.3e-6 < nominal < 1.5e-6
+
+
+def test_fig5c_switching_time(benchmark, write_result):
+    magnet = DomainWallMagnet()
+    fixed_current = 2.0 * magnet.critical_current
+
+    def sweep():
+        return [
+            (scale, magnet.scaled(scale).switching_time(fixed_current))
+            for scale in SCALES
+            if magnet.scaled(scale).critical_current < fixed_current
+        ]
+
+    rows = benchmark(sweep)
+    table = format_table(
+        ["Scale", "Switching time @ fixed current"],
+        [[f"{s:.1f}x", format_si(t, "s")] for s, t in rows],
+    )
+    write_result("fig5c_dwm_switching_time", table)
+
+    times = [t for _, t in rows]
+    # Fig. 5c: smaller devices switch faster for the same write current.
+    assert all(a > b for a, b in zip(times, times[1:]))
+    # The nominal device meets the 1.5 ns switching time of Table 2.
+    nominal_time = dict(rows)[1.0]
+    assert nominal_time == np.float64(1.5e-9) or abs(nominal_time - 1.5e-9) < 0.2e-9

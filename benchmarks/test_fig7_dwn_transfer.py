@@ -1,0 +1,70 @@
+"""Fig. 7a — domain-wall neuron transfer characteristic (E-F7a).
+
+The DWN acts as a current comparator with a hysteresis window set by its
+switching threshold (2 x 1 µA for the Table-2 device).  The benchmark
+sweeps the input current up and down, records the state trajectory and
+verifies the hysteresis width; it also characterises the stochastic
+(thermally-assisted) softening of the transition for the Eb = 20 kT
+barrier quoted in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_si, format_table
+from repro.devices.dwn import DomainWallNeuron, DwnConfig
+
+
+def _transfer_sweep():
+    neuron = DomainWallNeuron(config=DwnConfig(threshold_current=1e-6), seed=0)
+    currents = np.linspace(-2.5e-6, 2.5e-6, 41)
+    up = neuron.transfer_characteristic(currents)
+    down = neuron.transfer_characteristic(currents[::-1])[::-1]
+    return currents, up, down
+
+
+def test_fig7a_transfer_characteristic(benchmark, write_result):
+    currents, up, down = benchmark(_transfer_sweep)
+
+    rows = [
+        [format_si(current, "A"), f"{state_up:+d}", f"{state_down:+d}"]
+        for current, state_up, state_down in zip(currents, up, down)
+    ]
+    write_result(
+        "fig7a_dwn_transfer_characteristic",
+        format_table(["Input current", "Up sweep state", "Down sweep state"], rows),
+    )
+
+    # Hysteresis: the up and down sweeps disagree only inside the +/-1 uA
+    # threshold window.
+    disagreement = currents[np.asarray(up) != np.asarray(down)]
+    assert disagreement.size > 0
+    assert disagreement.min() >= -1.0e-6 - 1e-12
+    assert disagreement.max() <= 1.0e-6 + 1e-12
+    # Far outside the window the comparator is ideal.
+    assert all(np.asarray(up)[currents > 1.1e-6] == 1)
+    assert all(np.asarray(up)[currents < -1.1e-6] == -1)
+
+
+def test_fig7a_stochastic_softening(benchmark, write_result):
+    config = DwnConfig(threshold_current=1e-6, stochastic=True, barrier_kt=20.0)
+    neuron = DomainWallNeuron(config=config, seed=1)
+
+    def probabilities():
+        points = np.linspace(0.2e-6, 1.2e-6, 11)
+        return points, np.array([neuron.switching_probability(p) for p in points])
+
+    points, probability = benchmark(probabilities)
+    rows = [
+        [format_si(current, "A"), f"{p:.3g}"] for current, p in zip(points, probability)
+    ]
+    write_result(
+        "fig7a_dwn_switching_probability",
+        format_table(["Input current", "Switching probability (10 ns window)"], rows),
+    )
+
+    # Monotonic softened transition that saturates at 1 above threshold.
+    assert np.all(np.diff(probability) >= -1e-12)
+    assert probability[-1] == 1.0
+    assert probability[0] < 0.05

@@ -1,0 +1,58 @@
+"""Fig. 8b — DTCS-DAC non-linearity vs crossbar load conductance (E-F8b).
+
+The input DAC delivers its current through the series combination of its
+own conductance G_T and the total row conductance G_TS.  When the
+memristors are programmed to high resistances (small G_TS) the transfer
+characteristic bends away from the ideal straight line, which is what
+ultimately erodes the detection margin on the low-G_TS side of Fig. 9a.
+"""
+
+from __future__ import annotations
+
+
+from repro.analysis.report import format_si, format_table
+from repro.devices.dac import DtcsDac
+
+#: Row-load conductances swept (S): from low-resistance memristor rows to
+#: high-resistance rows.
+LOAD_SWEEP = (40e-3, 20e-3, 10e-3, 5e-3, 2e-3, 1e-3, 0.5e-3)
+
+
+def _nonlinearity_sweep():
+    dac = DtcsDac(bits=5, unit_conductance=12.5e-6, delta_v=30e-3)
+    results = []
+    for load in LOAD_SWEEP:
+        characteristics = dac.characteristics(load)
+        results.append(
+            (
+                load,
+                characteristics.full_scale_current,
+                characteristics.max_integral_nonlinearity(),
+                characteristics.relative_nonlinearity(),
+            )
+        )
+    return results
+
+
+def test_fig8b_dac_nonlinearity(benchmark, write_result):
+    results = benchmark(_nonlinearity_sweep)
+
+    table = format_table(
+        ["G_TS", "Full-scale current", "Worst INL (LSB)", "Relative non-linearity"],
+        [
+            [format_si(load, "S"), format_si(fs, "A"), f"{inl:.2f}", f"{rel * 100:.1f}%"]
+            for load, fs, inl, rel in results
+        ],
+    )
+    write_result("fig8b_dac_nonlinearity_vs_load", table)
+
+    inl_values = [inl for _, _, inl, _ in results]
+    # Fig. 8b: the non-linearity grows monotonically as G_TS shrinks.
+    assert all(b >= a - 1e-9 for a, b in zip(inl_values, inl_values[1:]))
+    # With a stiff load the DAC is essentially linear (< 0.2 LSB); with the
+    # weakest load the error exceeds one LSB (visible bending in Fig. 8b).
+    assert inl_values[0] < 0.2
+    assert inl_values[-1] > 1.0
+    # The full-scale current also compresses as the load weakens.
+    full_scales = [fs for _, fs, _, _ in results]
+    assert all(b <= a + 1e-15 for a, b in zip(full_scales, full_scales[1:]))

@@ -1,0 +1,59 @@
+"""Table 2 — design parameters (E-T2).
+
+Table 2 of the paper is the design-parameter listing; the reproduction's
+single source of truth for those values is
+:class:`repro.core.config.DesignParameters`.  This benchmark renders the
+table and checks every entry against the published values, and verifies
+that the derived device models are mutually consistent (e.g. the DWM
+switching time at the threshold current fits inside the 100 MHz cycle).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table2
+from repro.core.config import default_parameters
+
+
+def test_table2_parameters(benchmark, write_result):
+    parameters = default_parameters()
+    table = benchmark(parameters.table2)
+    write_result("table2_design_parameters", format_table2(table))
+
+    assert table["Template size"] == "16x8, 5-bit"
+    assert table["# template"] == "40"
+    assert table["Comparator resolution"] == "5-bit"
+    assert table["Input data rate"] == "100MHz"
+    assert table["Crossbar parasitics"].startswith("1Ohm/um")
+    assert table["Memristor material"] == "Ag-aSi"
+    assert table["Magnet material"] == "NiFe"
+    assert table["Free-layer size"] == "3x22x60nm3"
+    assert table["Ms"] == "800 emu/cm3"
+    assert table["Ku2V"] == "20KT"
+    assert table["Ic"] == "1uA"
+    assert table["Tswitch"] == "1.5ns"
+    assert table["Resistance range"] == "1kOhm to 32kOhm"
+
+
+def test_table2_derived_consistency(benchmark):
+    parameters = default_parameters()
+
+    def checks():
+        magnet = parameters.domain_wall_magnet()
+        dwn = parameters.dwn_config()
+        memristor = parameters.memristor_model()
+        return magnet, dwn, memristor
+
+    magnet, dwn, memristor = benchmark(checks)
+
+    # The DWN threshold exceeds the magnet's intrinsic critical current
+    # (design margin) and switching at that drive completes within the
+    # evaluation half-period of the 100 MHz clock.
+    assert dwn.threshold_current >= magnet.critical_current
+    assert magnet.switching_time(2.0 * magnet.critical_current) < dwn.evaluation_time
+    # The memristor range spans the advertised 32:1 ratio with 5-bit levels.
+    assert memristor.conductance_ratio == pytest.approx(32.0)
+    assert memristor.levels == 32
+    # The WTA full scale implied by the threshold matches Section 4-A's 32 uA.
+    assert parameters.wta_full_scale_current == pytest.approx(32e-6)

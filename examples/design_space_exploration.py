@@ -1,0 +1,103 @@
+"""Design-space exploration of the spin-CMOS associative memory.
+
+Explores the three design knobs the paper discusses and prints the
+resulting trade-offs:
+
+* WTA resolution (3/4/5 bits) — power and energy versus matching accuracy;
+* DWN switching threshold — static/dynamic power split (the Fig. 13a
+  trade-off);
+* memristor conductance range — detection margin with and without wire
+  parasitics (the Fig. 9a trade-off).
+
+Uses a reduced 64x10 module so every point solves in well under a second.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import load_default_dataset
+from repro.analysis.margins import conductance_range_sweep
+from repro.analysis.power import threshold_power_sweep
+from repro.analysis.report import format_margin_points, format_si, format_table
+from repro.core.config import DesignParameters
+from repro.core.pipeline import build_pipeline
+from repro.core.power import SpinAmmPowerModel
+from repro.datasets.features import build_templates, templates_to_matrix
+
+
+def resolution_tradeoff(dataset) -> None:
+    print("WTA resolution trade-off (accuracy vs power/energy)")
+    rows = []
+    for bits in (5, 4, 3):
+        parameters = DesignParameters(
+            template_shape=(8, 8), num_templates=10, wta_resolution_bits=bits
+        )
+        pipeline = build_pipeline(dataset, parameters=parameters, seed=3)
+        evaluation = pipeline.evaluate(dataset, limit=30)
+        model = SpinAmmPowerModel(parameters)
+        rows.append(
+            [
+                f"{bits}-bit",
+                f"{evaluation.accuracy * 100:.1f}%",
+                format_si(model.total_power(resolution_bits=bits), "W"),
+                format_si(model.energy_per_recognition(resolution_bits=bits), "J"),
+            ]
+        )
+    print(format_table(["WTA resolution", "Accuracy", "Power", "Energy/recognition"], rows))
+    print()
+
+
+def threshold_tradeoff() -> None:
+    print("DWN threshold trade-off (Fig. 13a mechanism)")
+    thresholds = (2e-6, 1e-6, 0.5e-6, 0.25e-6)
+    rows = []
+    for threshold, breakdown in zip(thresholds, threshold_power_sweep(thresholds)):
+        rows.append(
+            [
+                format_si(threshold, "A"),
+                format_si(breakdown.static_total, "W"),
+                format_si(breakdown.dynamic, "W"),
+                format_si(breakdown.total, "W"),
+            ]
+        )
+    print(format_table(["DWN threshold", "Static", "Dynamic", "Total"], rows))
+    print()
+
+
+def conductance_range_tradeoff(dataset) -> None:
+    print("Memristor conductance-range trade-off (Fig. 9a mechanism)")
+    parameters = DesignParameters(template_shape=(8, 8), num_templates=10)
+    extractor_shape = parameters.template_shape
+    from repro.datasets.features import FeatureExtractor
+
+    extractor = FeatureExtractor(feature_shape=extractor_shape, bits=parameters.template_bits)
+    templates = build_templates(dataset.images, dataset.labels, extractor)
+    matrix, _ = templates_to_matrix(templates)
+    points = conductance_range_sweep(
+        matrix,
+        r_min_values=(200.0, 500.0, 1000.0, 2000.0, 4000.0),
+        parameters=parameters,
+        num_inputs=3,
+        seed=11,
+    )
+    print(format_margin_points(points, "Ohm (R_min, range ratio 32)"))
+    best = max(points, key=lambda point: point.mean_margin)
+    print(f"Best mean margin at R_min = {format_si(best.parameter, 'Ohm')}\n")
+
+
+def main() -> None:
+    dataset = load_default_dataset(
+        subjects=10, images_per_subject=6, image_shape=(64, 64), seed=21
+    )
+    resolution_tradeoff(dataset)
+    threshold_tradeoff()
+    conductance_range_tradeoff(dataset)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Device-level characterisation of the spin neuron and its periphery.
+
+Regenerates, as printed tables, the device-level figures of the paper:
+
+* Fig. 5b — critical switching current of the domain-wall magnet versus
+  device scaling;
+* Fig. 5c — switching time versus device dimensions at a fixed write
+  current;
+* Fig. 7a — the domain-wall neuron's hysteretic transfer characteristic;
+* Fig. 8b — the DTCS-DAC characteristic for several crossbar load
+  conductances (the non-linearity that erodes the detection margin).
+
+Run with::
+
+    python examples/device_characterization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_si, format_table
+from repro.devices.dac import DtcsDac
+from repro.devices.dwm import DomainWallMagnet
+from repro.devices.dwn import DomainWallNeuron, DwnConfig
+
+
+def dwm_scaling_table() -> None:
+    print("Fig. 5b / 5c  -  domain-wall magnet scaling")
+    magnet = DomainWallMagnet()
+    write_current = 2.0 * magnet.critical_current
+    rows = []
+    for scale in (1.4, 1.2, 1.0, 0.8, 0.6, 0.4):
+        scaled = magnet.scaled(scale)
+        rows.append(
+            [
+                f"{scale:.1f}x",
+                f"{scaled.thickness_nm:.1f}x{scaled.width_nm:.0f}x{scaled.length_nm:.0f} nm",
+                format_si(scaled.critical_current, "A"),
+                format_si(scaled.switching_time(write_current), "s"),
+                f"{scaled.thermal_stability_factor:.1f} kT",
+            ]
+        )
+    print(
+        format_table(
+            ["Scale", "Dimensions", "Critical current", "Switching time @ fixed I", "Barrier"],
+            rows,
+        )
+    )
+    print()
+
+
+def dwn_transfer_table() -> None:
+    print("Fig. 7a  -  domain-wall neuron transfer characteristic (hysteresis)")
+    neuron = DomainWallNeuron(config=DwnConfig(threshold_current=1e-6), seed=0)
+    sweep = np.linspace(-2e-6, 2e-6, 17)
+    up = neuron.transfer_characteristic(sweep)
+    neuron.reset(1)
+    down = neuron.transfer_characteristic(sweep[::-1])[::-1]
+    rows = [
+        [format_si(current, "A"), f"{state_up:+d}", f"{state_down:+d}"]
+        for current, state_up, state_down in zip(sweep, up, down)
+    ]
+    print(format_table(["Input current", "State (up sweep)", "State (down sweep)"], rows))
+    print(f"Hysteresis window: {format_si(neuron.hysteresis_width(), 'A')}\n")
+
+
+def dac_nonlinearity_table() -> None:
+    print("Fig. 8b  -  DTCS-DAC characteristic vs crossbar load conductance")
+    dac = DtcsDac(bits=5, unit_conductance=12.5e-6, delta_v=30e-3)
+    loads = {
+        "G_TS = 20 mS (low-R memristors)": 20e-3,
+        "G_TS = 2 mS": 2e-3,
+        "G_TS = 0.5 mS (high-R memristors)": 0.5e-3,
+    }
+    rows = []
+    for label, load in loads.items():
+        characteristics = dac.characteristics(load)
+        rows.append(
+            [
+                label,
+                format_si(characteristics.full_scale_current, "A"),
+                f"{characteristics.max_integral_nonlinearity():.2f} LSB",
+                f"{characteristics.relative_nonlinearity() * 100:.1f} %",
+            ]
+        )
+    print(format_table(["Load", "Full-scale current", "Worst INL", "Relative non-linearity"], rows))
+    print()
+
+
+def main() -> None:
+    dwm_scaling_table()
+    dwn_transfer_table()
+    dac_nonlinearity_table()
+
+
+if __name__ == "__main__":
+    main()

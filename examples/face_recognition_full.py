@@ -1,0 +1,99 @@
+"""The paper's reference system: 128x40 crossbar face recognition.
+
+Reproduces the end-to-end scenario of the paper: 40 individuals x 10
+images (a synthetic stand-in for the AT&T database), 16x8 5-bit templates
+stored along the 40 columns of a 128-row resistive crossbar, evaluated at
+100 MHz by the spin-neuron SAR winner-take-all.
+
+The script reports
+
+* hardware classification accuracy versus the ideal-comparison accuracy,
+* the winner agreement against an exact digital correlator (golden model),
+* the power decomposition of the proposed design (analytic model and the
+  activity measured during the run),
+* the Table-1 style comparison against the MS-CMOS and digital baselines.
+
+Run with::
+
+    python examples/face_recognition_full.py [--images N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import load_default_dataset
+from repro.analysis.accuracy import ideal_matching_accuracy
+from repro.analysis.power import build_table1
+from repro.analysis.report import format_power_breakdown, format_si, format_table1
+from repro.cmos.digital_mac import DigitalCorrelatorAsic
+from repro.core.config import default_parameters
+from repro.core.pipeline import build_pipeline
+from repro.core.power import SpinAmmPowerModel
+from repro.datasets.features import build_templates, templates_to_matrix
+
+
+def main(max_images: int = 100) -> None:
+    parameters = default_parameters()
+    print("Generating the 40-subject synthetic face corpus (AT&T stand-in)...")
+    dataset = load_default_dataset(seed=2013)
+
+    print("Programming templates and calibrating the input DACs...")
+    start = time.time()
+    pipeline = build_pipeline(dataset, parameters=parameters, seed=2013)
+    print(f"  built in {time.time() - start:.1f} s")
+
+    print(f"\nClassifying {max_images} of the {dataset.size} test images "
+          "through the full hardware model (parasitic crossbar solve + DWN WTA)...")
+    start = time.time()
+    evaluation = pipeline.evaluate(dataset, limit=max_images)
+    elapsed = time.time() - start
+    ideal = ideal_matching_accuracy(dataset, parameters.template_shape, parameters.template_bits)
+    print(f"  hardware accuracy : {evaluation.accuracy * 100:.1f}%")
+    print(f"  ideal comparison  : {ideal.accuracy * 100:.1f}%")
+    print(f"  acceptance rate   : {evaluation.acceptance_rate * 100:.1f}%")
+    print(f"  tie rate          : {evaluation.tie_rate * 100:.1f}%")
+    print(f"  simulation speed  : {elapsed / evaluation.count * 1e3:.0f} ms per recognition")
+
+    # Golden-model agreement on a handful of images.
+    templates = build_templates(dataset.images, dataset.labels, pipeline.extractor)
+    matrix, labels = templates_to_matrix(templates)
+    asic = DigitalCorrelatorAsic(
+        feature_length=parameters.feature_length, templates=parameters.num_templates
+    )
+    agreements = 0
+    checks = 20
+    for index in range(0, dataset.size, dataset.size // checks):
+        codes = pipeline.extractor.extract_codes(dataset.images[index])
+        digital_winner, _ = asic.find_winner(matrix, codes)
+        spin = pipeline.classify_codes(codes)
+        agreements += int(labels[digital_winner] == spin.winner)
+    print(f"  winner agreement with exact digital correlator: {agreements}/{checks}")
+
+    # Power decomposition: analytic model and measured activity.
+    model = SpinAmmPowerModel(parameters)
+    sample = pipeline.classify_image(dataset.images[0])
+    breakdowns = {
+        "analytic model (Table-1 basis)": model.breakdown(),
+        "measured activity (this run)": model.power_from_measurement(
+            sample.static_power, sample.events
+        ),
+    }
+    print("\nPower decomposition of the proposed design (100 MHz input rate):")
+    print(format_power_breakdown(breakdowns))
+    print(
+        f"Energy per recognition (analytic): "
+        f"{format_si(model.energy_per_recognition(), 'J')}"
+    )
+
+    print("\nTable-1 style comparison against the CMOS baselines:")
+    print(format_table1(build_table1(parameters)))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--images", type=int, default=100,
+                        help="number of test images to push through the hardware model")
+    arguments = parser.parse_args()
+    main(max_images=arguments.images)

@@ -1,0 +1,94 @@
+"""Scaling the associative memory beyond one crossbar (Section 5 extensions).
+
+Demonstrates the two architectural extensions the paper sketches for larger
+problems, using the synthetic face corpus:
+
+* a **hierarchical** (clustered) memory: a small first-level module stores
+  cluster centroids and routes each query to the one second-level module
+  holding that cluster — fewer active columns and lower energy per
+  recognition at a small accuracy cost;
+* a **partitioned** memory: the feature vector is split across modular
+  crossbar blocks whose partial degree-of-match codes are summed digitally.
+
+Run with::
+
+    python examples/hierarchical_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import load_default_dataset
+from repro.analysis.report import format_si, format_table
+from repro.core.amm import AssociativeMemoryModule
+from repro.core.config import DesignParameters
+from repro.datasets.features import FeatureExtractor, build_templates, templates_to_matrix
+from repro.extensions.hierarchical import HierarchicalAssociativeMemory
+from repro.extensions.partitioned import PartitionedAssociativeMemory
+
+
+def main() -> None:
+    subjects = 20
+    parameters = DesignParameters(template_shape=(8, 8), num_templates=subjects)
+    extractor = FeatureExtractor(feature_shape=(8, 8), bits=5)
+    dataset = load_default_dataset(
+        subjects=subjects, images_per_subject=8, image_shape=(64, 64), seed=17
+    )
+    templates = build_templates(dataset.images, dataset.labels, extractor)
+    matrix, labels = templates_to_matrix(templates)
+    features = extractor.extract_many(dataset.images[::2])
+    true_labels = dataset.labels[::2]
+
+    def accuracy(recogniser) -> float:
+        correct = 0
+        for codes, label in zip(features, true_labels):
+            if recogniser.recognise(codes).winner == int(label):
+                correct += 1
+        return correct / len(true_labels)
+
+    print(f"Corpus: {subjects} subjects, {len(features)} evaluation images, "
+          f"{matrix.shape[0]}-element templates\n")
+
+    flat = AssociativeMemoryModule.from_templates(
+        matrix, parameters=parameters, column_labels=labels, seed=17
+    )
+    hierarchy = HierarchicalAssociativeMemory(
+        matrix, labels=labels, clusters=4, parameters=parameters, seed=17
+    )
+    partitioned = PartitionedAssociativeMemory(
+        matrix, labels=labels, partitions=2, parameters=parameters, seed=17
+    )
+
+    rows = [
+        [
+            "flat 64x20 module",
+            f"{accuracy(flat) * 100:.1f}%",
+            "20",
+            format_si(hierarchy.flat_energy_per_recognition(), "J"),
+        ],
+        [
+            "hierarchical (4 clusters)",
+            f"{accuracy(hierarchy) * 100:.1f}%",
+            f"{hierarchy.active_columns_per_recognition():.1f}",
+            format_si(hierarchy.energy_per_recognition(), "J"),
+        ],
+        [
+            "partitioned (2 blocks)",
+            f"{accuracy(partitioned) * 100:.1f}%",
+            "20 (x2 blocks)",
+            format_si(partitioned.energy_per_recognition(), "J"),
+        ],
+    ]
+    print(
+        format_table(
+            ["Architecture", "Accuracy", "Active columns / recognition", "Energy / recognition"],
+            rows,
+        )
+    )
+    print(
+        "\nCluster occupancy of the hierarchical memory: "
+        + ", ".join(str(size) for size in hierarchy.cluster_sizes())
+    )
+
+
+if __name__ == "__main__":
+    main()

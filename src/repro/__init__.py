@@ -1,0 +1,75 @@
+"""Reproduction of "Ultra Low Power Associative Computing with Spin Neurons and
+Resistive Crossbar Memory" (Sharad, Fan and Roy, DAC 2013).
+
+The package is organised around the systems described in the paper:
+
+``repro.devices``
+    Behavioural device models: Ag-Si multi-level memristors, domain-wall
+    magnets (DWM), domain-wall neurons (DWN, the "spin neuron"), magnetic
+    tunnel junctions, dynamic CMOS sense latches, 45 nm transistors and the
+    binary-weighted deep-triode current-source (DTCS) DAC.
+
+``repro.crossbar``
+    The resistive crossbar memory (RCM) substrate: array programming,
+    ideal and parasitic-aware (modified nodal analysis) current-mode
+    dot-product evaluation.
+
+``repro.core``
+    The paper's primary contribution: the spin-CMOS hybrid associative
+    memory module (AMM) built from the RCM, DTCS DACs and the DWN-based
+    SAR winner-take-all, plus its power model and the end-to-end face
+    recognition pipeline.
+
+``repro.cmos``
+    Mixed-signal CMOS and digital CMOS baselines used in the paper's
+    evaluation (binary-tree WTA, current-conveyor WTA, asynchronous
+    Min/Max WTA, 45 nm digital MAC correlator).
+
+``repro.datasets``
+    A synthetic stand-in for the AT&T face database and the paper's
+    feature-reduction flow (Fig. 2).
+
+``repro.analysis``
+    Accuracy, detection-margin, power/energy and process-variation
+    analyses that regenerate every table and figure of the evaluation.
+
+Quickstart
+----------
+
+>>> from repro import build_default_amm, load_default_dataset
+>>> dataset = load_default_dataset(seed=7)
+>>> amm = build_default_amm(dataset, seed=7)
+>>> result = amm.recognise(dataset.test_images[0])
+>>> result.winner == dataset.test_labels[0]
+True
+"""
+
+from repro.core.amm import AssociativeMemoryModule, RecognitionResult
+from repro.core.config import DesignParameters, default_parameters
+from repro.core.pipeline import (
+    FaceRecognitionPipeline,
+    build_default_amm,
+    build_pipeline,
+)
+from repro.crossbar.array import ResistiveCrossbar
+from repro.datasets.attlike import FaceDataset, load_default_dataset
+from repro.devices.dwn import DomainWallNeuron
+from repro.devices.memristor import MemristorModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssociativeMemoryModule",
+    "RecognitionResult",
+    "DesignParameters",
+    "default_parameters",
+    "FaceRecognitionPipeline",
+    "build_default_amm",
+    "build_pipeline",
+    "ResistiveCrossbar",
+    "FaceDataset",
+    "load_default_dataset",
+    "DomainWallNeuron",
+    "MemristorModel",
+    "__version__",
+]

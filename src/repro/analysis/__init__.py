@@ -1,0 +1,68 @@
+"""Analyses that regenerate the paper's evaluation tables and figures.
+
+* :mod:`repro.analysis.accuracy` — matching-accuracy sweeps over image
+  down-sizing and detection resolution (Fig. 3a/3b) and full-system
+  accuracy.
+* :mod:`repro.analysis.margins` — detection-margin analyses over the
+  memristor conductance range and the terminal voltage ΔV (Fig. 9a/9b).
+* :mod:`repro.analysis.power` — power/energy comparison of the proposed
+  design against the MS-CMOS and digital baselines (Table 1, Fig. 13a).
+* :mod:`repro.analysis.variations` — process-variation studies
+  (Fig. 13b) and Monte-Carlo accuracy under device variation.
+* :mod:`repro.analysis.montecarlo` — generic seeded Monte-Carlo runner.
+* :mod:`repro.analysis.report` — plain-text table formatting used by the
+  benchmarks and examples.
+"""
+
+from repro.analysis.accuracy import (
+    AccuracyPoint,
+    downsizing_sweep,
+    ideal_matching_accuracy,
+    resolution_sweep,
+)
+from repro.analysis.margins import (
+    MarginPoint,
+    conductance_range_sweep,
+    delta_v_sweep,
+    detection_margins,
+)
+from repro.analysis.montecarlo import MonteCarloRunner, MonteCarloSummary
+from repro.analysis.power import (
+    Table1Row,
+    build_table1,
+    threshold_power_sweep,
+)
+from repro.analysis.scaling import (
+    FeatureLengthPoint,
+    TemplateCountPoint,
+    feature_length_sweep,
+    template_count_sweep,
+)
+from repro.analysis.variations import (
+    PdRatioPoint,
+    pd_ratio_sweep,
+    wta_decision_error_rate,
+)
+
+__all__ = [
+    "AccuracyPoint",
+    "downsizing_sweep",
+    "ideal_matching_accuracy",
+    "resolution_sweep",
+    "MarginPoint",
+    "conductance_range_sweep",
+    "delta_v_sweep",
+    "detection_margins",
+    "MonteCarloRunner",
+    "MonteCarloSummary",
+    "Table1Row",
+    "build_table1",
+    "threshold_power_sweep",
+    "FeatureLengthPoint",
+    "TemplateCountPoint",
+    "feature_length_sweep",
+    "template_count_sweep",
+    "PdRatioPoint",
+    "pd_ratio_sweep",
+    "wta_decision_error_rate",
+]

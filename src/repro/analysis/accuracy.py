@@ -1,0 +1,192 @@
+"""Matching-accuracy analyses (Fig. 3 of the paper).
+
+Fig. 3a: matching accuracy of the 400 test images against the 40 stored
+templates as a function of how aggressively the images are down-sized
+before storage; the 16x8 operating point is the smallest size that keeps
+the accuracy close to the full-resolution value.
+
+Fig. 3b: with the 16x8, 5-bit operating point fixed, accuracy as a
+function of the *detection-unit* resolution — how finely the degree-of-
+match currents must be distinguished; 4-5 bits (≈4 %) suffices.
+
+Both analyses use the "ideal comparison" reference of the paper: exact
+dot products between the reduced input and the stored class-average
+templates, with (for Fig. 3b) the dot products quantised to the detection
+resolution before the winner is picked.  The non-ideal, full-hardware
+accuracy is exercised separately by the system benchmark through
+:class:`~repro.core.pipeline.FaceRecognitionPipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.attlike import FaceDataset
+from repro.datasets.features import FeatureExtractor, build_templates, templates_to_matrix
+from repro.utils.validation import check_integer
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """One point of an accuracy sweep.
+
+    Attributes
+    ----------
+    parameter:
+        The swept quantity (feature-vector length for the down-sizing
+        sweep, resolution bits for the resolution sweep).
+    label:
+        Human-readable description of the sweep point.
+    accuracy:
+        Fraction of test images whose best-matching template belongs to the
+        correct class (and is unique at the evaluated resolution).
+    tie_rate:
+        Fraction of images for which the winner was not unique at the
+        evaluated resolution.
+    """
+
+    parameter: float
+    label: str
+    accuracy: float
+    tie_rate: float
+
+
+def _correlations(
+    dataset: FaceDataset, extractor: FeatureExtractor
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dot products of every test image against every class template.
+
+    Returns ``(correlations, template_labels, true_labels)`` where
+    ``correlations`` has shape ``(n_images, n_classes)``.
+    """
+    templates = build_templates(dataset.images, dataset.labels, extractor)
+    matrix, template_labels = templates_to_matrix(templates)
+    features = extractor.extract_many(dataset.test_images)
+    correlations = features.astype(float) @ matrix.astype(float)
+    return correlations, template_labels, dataset.test_labels
+
+
+def _score(
+    correlations: np.ndarray,
+    template_labels: np.ndarray,
+    true_labels: np.ndarray,
+    resolution_bits: Optional[int] = None,
+) -> Tuple[float, float]:
+    """Classification accuracy with an optionally quantised detection unit.
+
+    With ``resolution_bits`` set, every correlation is quantised to that
+    many bits of the batch full-scale value before the winner is picked —
+    modelling a detection unit that can only resolve differences larger
+    than one LSB.  An image counts as correct only when the winning code is
+    unique and belongs to the true class.
+    """
+    if resolution_bits is not None:
+        check_integer("resolution_bits", resolution_bits, minimum=1)
+        full_scale = float(correlations.max())
+        levels = 2**resolution_bits
+        lsb = full_scale / levels if full_scale > 0 else 1.0
+        scores = np.clip(np.floor(correlations / lsb), 0, levels - 1)
+    else:
+        scores = correlations
+    winners = np.argmax(scores, axis=1)
+    best = scores[np.arange(scores.shape[0]), winners]
+    tie_counts = np.sum(scores == best[:, None], axis=1)
+    predicted = template_labels[winners]
+    unique = tie_counts == 1
+    correct = (predicted == true_labels) & unique
+    return float(np.mean(correct)), float(np.mean(tie_counts > 1))
+
+
+def ideal_matching_accuracy(
+    dataset: FaceDataset,
+    feature_shape: Tuple[int, int] = (16, 8),
+    bits: int = 5,
+    resolution_bits: Optional[int] = None,
+) -> AccuracyPoint:
+    """Matching accuracy for one feature geometry / detection resolution."""
+    extractor = FeatureExtractor(feature_shape=feature_shape, bits=bits)
+    correlations, template_labels, true_labels = _correlations(dataset, extractor)
+    accuracy, tie_rate = _score(correlations, template_labels, true_labels, resolution_bits)
+    label = (
+        f"{feature_shape[0]}x{feature_shape[1]}, {bits}-bit"
+        + (f", {resolution_bits}-bit detection" if resolution_bits else ", ideal detection")
+    )
+    return AccuracyPoint(
+        parameter=float(feature_shape[0] * feature_shape[1]),
+        label=label,
+        accuracy=accuracy,
+        tie_rate=tie_rate,
+    )
+
+
+def downsizing_sweep(
+    dataset: FaceDataset,
+    feature_shapes: Sequence[Tuple[int, int]] = ((64, 48), (32, 24), (16, 12), (16, 8), (8, 4)),
+    bits: int = 5,
+) -> List[AccuracyPoint]:
+    """Fig. 3a: accuracy versus image down-sizing at ideal detection.
+
+    Shapes that do not evenly divide the source image are skipped (the
+    block-averaging down-sampler requires integer blocks).
+    """
+    points: List[AccuracyPoint] = []
+    rows, cols = dataset.image_shape
+    for shape in feature_shapes:
+        if rows % shape[0] != 0 or cols % shape[1] != 0:
+            continue
+        points.append(
+            ideal_matching_accuracy(dataset, feature_shape=shape, bits=bits)
+        )
+    return points
+
+
+def resolution_sweep(
+    dataset: FaceDataset,
+    resolutions: Iterable[int] = (8, 7, 6, 5, 4, 3, 2),
+    feature_shape: Tuple[int, int] = (16, 8),
+    bits: int = 5,
+) -> List[AccuracyPoint]:
+    """Fig. 3b: accuracy versus detection-unit (WTA) resolution."""
+    extractor = FeatureExtractor(feature_shape=feature_shape, bits=bits)
+    correlations, template_labels, true_labels = _correlations(dataset, extractor)
+    points: List[AccuracyPoint] = []
+    for resolution in resolutions:
+        accuracy, tie_rate = _score(
+            correlations, template_labels, true_labels, resolution_bits=resolution
+        )
+        points.append(
+            AccuracyPoint(
+                parameter=float(resolution),
+                label=f"{resolution}-bit detection",
+                accuracy=accuracy,
+                tie_rate=tie_rate,
+            )
+        )
+    return points
+
+
+def bit_width_sweep(
+    dataset: FaceDataset,
+    bit_widths: Iterable[int] = (8, 6, 5, 4, 3, 2),
+    feature_shape: Tuple[int, int] = (16, 8),
+) -> List[AccuracyPoint]:
+    """Extended sweep: accuracy versus stored-template bit width.
+
+    The paper fixes 5 bits based on the memristor write accuracy; this
+    sweep exposes how much margin that choice has.
+    """
+    points: List[AccuracyPoint] = []
+    for bits in bit_widths:
+        point = ideal_matching_accuracy(dataset, feature_shape=feature_shape, bits=bits)
+        points.append(
+            AccuracyPoint(
+                parameter=float(bits),
+                label=f"{bits}-bit templates",
+                accuracy=point.accuracy,
+                tie_rate=point.tie_rate,
+            )
+        )
+    return points

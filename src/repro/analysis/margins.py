@@ -1,0 +1,216 @@
+"""Detection-margin analyses (Fig. 9 of the paper).
+
+The *detection margin* is the relative separation between the correct
+(best-matching) column's output current and the strongest competing
+column.  The WTA can only identify the winner reliably when this margin
+exceeds its resolution, so the paper uses the margin to choose:
+
+* the memristor conductance range (Fig. 9a): too-resistive memristors
+  (small ``G_TS``) make the DTCS-DAC characteristic non-linear, squeezing
+  the margin; too-conductive memristors draw large currents whose IR drops
+  across the wire parasitics corrupt the signal — the optimum lies between;
+* the terminal voltage ΔV (Fig. 9b): smaller ΔV saves static power but the
+  (fixed) parasitic drops eat a growing fraction of the signal.
+
+The analyses here rebuild the crossbar for each sweep point (same template
+data, different conductance mapping), drive it with a set of evaluation
+inputs through the calibrated DACs, solve the full parasitic network and
+report margin statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.amm import AssociativeMemoryModule
+from repro.core.config import DesignParameters, default_parameters
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MarginPoint:
+    """One point of a detection-margin sweep.
+
+    Attributes
+    ----------
+    parameter:
+        The swept quantity (minimum memristor resistance in ohms for the
+        range sweep, ΔV in volts for the voltage sweep).
+    mean_margin:
+        Mean relative margin between the true-class column and the best
+        competing column over the evaluation inputs.
+    min_margin:
+        Worst-case margin over the evaluation inputs.
+    mean_margin_ideal:
+        Mean margin of the same inputs with wire parasitics removed
+        (isolates the non-linearity contribution).
+    """
+
+    parameter: float
+    mean_margin: float
+    min_margin: float
+    mean_margin_ideal: float
+
+
+def _true_class_margin(column_currents: np.ndarray, true_column: int) -> float:
+    """Relative margin of the true column over its strongest competitor."""
+    currents = np.asarray(column_currents, dtype=float)
+    true_current = currents[true_column]
+    others = np.delete(currents, true_column)
+    if true_current <= 0:
+        return -1.0
+    return float((true_current - others.max()) / true_current)
+
+
+def detection_margins(
+    amm: AssociativeMemoryModule,
+    input_codes_batch: np.ndarray,
+    true_columns: Sequence[int],
+    include_parasitics: bool = True,
+) -> np.ndarray:
+    """Per-input detection margins for a programmed AMM.
+
+    Parameters
+    ----------
+    amm:
+        The associative memory module to evaluate.
+    input_codes_batch:
+        Integer feature vectors, shape ``(n, features)``.
+    true_columns:
+        Index of the correct column for each input.
+    include_parasitics:
+        Whether to solve the full parasitic network.
+    """
+    input_codes_batch = np.asarray(input_codes_batch)
+    margins = []
+    previous = amm.include_parasitics
+    amm.include_parasitics = include_parasitics
+    try:
+        for codes, true_column in zip(input_codes_batch, true_columns):
+            solution = amm.column_solution(codes)
+            margins.append(_true_class_margin(solution.column_currents, int(true_column)))
+    finally:
+        amm.include_parasitics = previous
+    return np.asarray(margins)
+
+
+def _evaluation_inputs(
+    template_codes: np.ndarray,
+    num_inputs: int,
+    input_bits: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build evaluation inputs as noisy versions of randomly chosen templates.
+
+    Matching the paper's setup (real images correlated against their class
+    templates), each evaluation input is one stored template perturbed by
+    quantisation-scale noise, so its true column is known exactly.
+    """
+    features, columns = template_codes.shape
+    max_code = 2**input_bits - 1
+    chosen = rng.choice(columns, size=num_inputs, replace=num_inputs > columns)
+    inputs = np.empty((num_inputs, features), dtype=np.int64)
+    for index, column in enumerate(chosen):
+        noise = rng.integers(-2, 3, size=features)
+        inputs[index] = np.clip(template_codes[:, column] + noise, 0, max_code)
+    return inputs, chosen.astype(np.int64)
+
+
+def conductance_range_sweep(
+    template_codes: np.ndarray,
+    r_min_values: Sequence[float],
+    resistance_ratio: float = 32.0,
+    parameters: Optional[DesignParameters] = None,
+    num_inputs: int = 4,
+    seed: RandomState = 7,
+) -> List[MarginPoint]:
+    """Fig. 9a: detection margin versus the memristor resistance range.
+
+    For each minimum resistance value the full range spans
+    ``[r_min, r_min * resistance_ratio]``; the crossbar is re-programmed,
+    the input DACs re-calibrated, and the margin evaluated with and
+    without wire parasitics.
+    """
+    check_positive("resistance_ratio", resistance_ratio)
+    parameters = parameters or default_parameters()
+    rng = ensure_rng(seed)
+    template_codes = np.asarray(template_codes)
+    inputs, true_columns = _evaluation_inputs(
+        template_codes, num_inputs, parameters.input_bits, rng
+    )
+    points: List[MarginPoint] = []
+    for r_min in r_min_values:
+        check_positive("r_min", r_min)
+        point_parameters = parameters.with_resistance_range(
+            r_min_ohm=r_min, r_max_ohm=r_min * resistance_ratio
+        )
+        amm = AssociativeMemoryModule.from_templates(
+            template_codes,
+            parameters=point_parameters,
+            include_parasitics=True,
+            seed=rng,
+        )
+        with_parasitics = detection_margins(amm, inputs, true_columns, include_parasitics=True)
+        without_parasitics = detection_margins(amm, inputs, true_columns, include_parasitics=False)
+        points.append(
+            MarginPoint(
+                parameter=float(r_min),
+                mean_margin=float(np.mean(with_parasitics)),
+                min_margin=float(np.min(with_parasitics)),
+                mean_margin_ideal=float(np.mean(without_parasitics)),
+            )
+        )
+    return points
+
+
+def delta_v_sweep(
+    template_codes: np.ndarray,
+    delta_v_values: Sequence[float],
+    parameters: Optional[DesignParameters] = None,
+    num_inputs: int = 4,
+    seed: RandomState = 7,
+) -> List[MarginPoint]:
+    """Fig. 9b: detection margin versus the terminal voltage ΔV.
+
+    The crossbar (and its wire parasitics) stay fixed; only the DTCS
+    supply ΔV changes, so the signal currents shrink relative to the
+    parasitic drops as ΔV is reduced.
+    """
+    parameters = parameters or default_parameters()
+    rng = ensure_rng(seed)
+    template_codes = np.asarray(template_codes)
+    inputs, true_columns = _evaluation_inputs(
+        template_codes, num_inputs, parameters.input_bits, rng
+    )
+    points: List[MarginPoint] = []
+    for delta_v in delta_v_values:
+        check_positive("delta_v", delta_v)
+        point_parameters = parameters.with_delta_v(delta_v)
+        amm = AssociativeMemoryModule.from_templates(
+            template_codes,
+            parameters=point_parameters,
+            include_parasitics=True,
+            seed=rng,
+        )
+        with_parasitics = detection_margins(amm, inputs, true_columns, include_parasitics=True)
+        without_parasitics = detection_margins(amm, inputs, true_columns, include_parasitics=False)
+        points.append(
+            MarginPoint(
+                parameter=float(delta_v),
+                mean_margin=float(np.mean(with_parasitics)),
+                min_margin=float(np.min(with_parasitics)),
+                mean_margin_ideal=float(np.mean(without_parasitics)),
+            )
+        )
+    return points
+
+
+def optimal_resistance_range(points: Sequence[MarginPoint]) -> MarginPoint:
+    """Return the sweep point with the largest mean margin (the paper's optimum)."""
+    if not points:
+        raise ValueError("points must not be empty")
+    return max(points, key=lambda point: point.mean_margin)

@@ -1,0 +1,92 @@
+"""Generic seeded Monte-Carlo runner.
+
+Process-variation studies (memristor write error, transistor σVT, DWN
+thermal noise) repeat an experiment over many independently seeded trials
+and summarise the spread.  :class:`MonteCarloRunner` centralises the seed
+management (one master seed → independent child generators per trial) so
+that every study in the analysis layer is reproducible and its trials are
+statistically independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+from repro.utils.validation import check_integer
+
+
+@dataclass(frozen=True)
+class MonteCarloSummary:
+    """Summary statistics of a Monte-Carlo study.
+
+    Attributes
+    ----------
+    values:
+        Raw per-trial results.
+    mean, std:
+        Sample mean and standard deviation.
+    minimum, maximum:
+        Extremes over the trials.
+    percentile_5, percentile_95:
+        5th and 95th percentiles.
+    """
+
+    values: np.ndarray
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    percentile_5: float
+    percentile_95: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "MonteCarloSummary":
+        """Build a summary from raw trial values."""
+        array = np.asarray(list(values), dtype=float)
+        if array.size == 0:
+            raise ValueError("values must not be empty")
+        return cls(
+            values=array,
+            mean=float(np.mean(array)),
+            std=float(np.std(array, ddof=1)) if array.size > 1 else 0.0,
+            minimum=float(np.min(array)),
+            maximum=float(np.max(array)),
+            percentile_5=float(np.percentile(array, 5)),
+            percentile_95=float(np.percentile(array, 95)),
+        )
+
+
+class MonteCarloRunner:
+    """Runs a scalar-valued trial function over independent random seeds.
+
+    Parameters
+    ----------
+    trial:
+        Callable taking a ``numpy.random.Generator`` and returning a float.
+    trials:
+        Number of repetitions.
+    seed:
+        Master seed (or generator) from which the per-trial generators are
+        derived.
+    """
+
+    def __init__(
+        self,
+        trial: Callable[[np.random.Generator], float],
+        trials: int = 20,
+        seed: RandomState = None,
+    ) -> None:
+        check_integer("trials", trials, minimum=1)
+        self.trial = trial
+        self.trials = trials
+        self._rng = ensure_rng(seed)
+
+    def run(self) -> MonteCarloSummary:
+        """Execute all trials and return the summary statistics."""
+        generators = spawn_children(self._rng, self.trials)
+        values: List[float] = [float(self.trial(generator)) for generator in generators]
+        return MonteCarloSummary.from_values(values)

@@ -1,0 +1,163 @@
+"""Power and energy comparison of all designs (Table 1 and Fig. 13a).
+
+Table 1 of the paper compares, for WTA resolutions of 3/4/5 bits:
+
+* the proposed spin-CMOS processing element (100 MHz input rate),
+* the asynchronous Min/Max binary-tree WTA of ref [18] (50 MHz),
+* the standard binary-tree WTA of ref [17] (50 MHz),
+* a 45 nm digital CMOS MAC correlator (2.5 MHz),
+
+reporting power, operating frequency, and the energy per recognition
+normalised to the proposed design.
+
+Fig. 13a decomposes the proposed design's power into its static and
+dynamic components as the DWN switching threshold is scaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cmos.digital_mac import DigitalCorrelatorAsic
+from repro.cmos.wta_async import AsyncMinMaxWta
+from repro.cmos.wta_bt import BinaryTreeWta
+from repro.core.config import DesignParameters, default_parameters
+from repro.core.power import PowerBreakdown, SpinAmmPowerModel
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One design entry of the Table 1 comparison at one WTA resolution.
+
+    Attributes
+    ----------
+    design:
+        Design name ("spin-CMOS PE", "[18]", "[17]", "45nm digital CMOS").
+    resolution_bits:
+        WTA / operand resolution of the row.
+    power:
+        Total power (W) at the design's operating frequency.
+    frequency:
+        Input evaluation rate (Hz).
+    energy:
+        Energy (J) per recognition.
+    energy_ratio:
+        Energy normalised to the proposed spin-CMOS design at the same
+        resolution.
+    """
+
+    design: str
+    resolution_bits: int
+    power: float
+    frequency: float
+    energy: float
+    energy_ratio: float
+
+
+def build_table1(
+    parameters: Optional[DesignParameters] = None,
+    resolutions: Sequence[int] = (5, 4, 3),
+    sigma_vt: float = 5.0e-3,
+) -> List[Table1Row]:
+    """Regenerate the Table 1 comparison for the given resolutions.
+
+    Parameters
+    ----------
+    parameters:
+        Design parameters of the proposed module (array size, clock, ΔV).
+    resolutions:
+        WTA resolutions to tabulate (the paper reports 5, 4 and 3 bits).
+    sigma_vt:
+        σVT of minimum devices assumed for the analog CMOS baselines
+        (5 mV, the near-ideal corner used for Table 1).
+    """
+    parameters = parameters or default_parameters()
+    spin_model = SpinAmmPowerModel(parameters)
+    rows: List[Table1Row] = []
+    for bits in resolutions:
+        spin_breakdown = spin_model.breakdown(resolution_bits=bits)
+        spin_energy = spin_breakdown.energy_per_recognition
+
+        async_wta = AsyncMinMaxWta(
+            inputs=parameters.num_templates,
+            resolution_bits=bits,
+            sigma_vt=sigma_vt,
+        )
+        bt_wta = BinaryTreeWta(
+            inputs=parameters.num_templates,
+            resolution_bits=bits,
+            sigma_vt=sigma_vt,
+        )
+        digital = DigitalCorrelatorAsic(
+            feature_length=parameters.feature_length,
+            templates=parameters.num_templates,
+            bits=bits,
+        )
+
+        entries = [
+            (
+                "spin-CMOS PE",
+                spin_breakdown.total,
+                parameters.clock_frequency_hz,
+                spin_energy,
+            ),
+            (
+                "[18] async Min/Max BT-WTA",
+                async_wta.total_power(),
+                async_wta.frequency,
+                async_wta.energy_per_decision(),
+            ),
+            (
+                "[17] binary-tree WTA",
+                bt_wta.total_power(),
+                bt_wta.frequency,
+                bt_wta.energy_per_decision(),
+            ),
+            (
+                "45nm digital CMOS",
+                digital.total_power(),
+                digital.recognition_rate,
+                digital.total_power() / digital.recognition_rate,
+            ),
+        ]
+        for design, power, frequency, energy in entries:
+            rows.append(
+                Table1Row(
+                    design=design,
+                    resolution_bits=bits,
+                    power=power,
+                    frequency=frequency,
+                    energy=energy,
+                    energy_ratio=energy / spin_energy,
+                )
+            )
+    return rows
+
+
+def table1_by_design(rows: Sequence[Table1Row]) -> Dict[str, Dict[int, Table1Row]]:
+    """Index Table 1 rows as ``{design: {resolution: row}}`` for easy lookup."""
+    indexed: Dict[str, Dict[int, Table1Row]] = {}
+    for row in rows:
+        indexed.setdefault(row.design, {})[row.resolution_bits] = row
+    return indexed
+
+
+def threshold_power_sweep(
+    thresholds: Sequence[float],
+    parameters: Optional[DesignParameters] = None,
+    resolution_bits: Optional[int] = None,
+) -> List[PowerBreakdown]:
+    """Fig. 13a: power decomposition of the proposed design vs DWN threshold.
+
+    The static component (RCM evaluation current across ΔV plus the SAR DAC
+    path) scales with the threshold because every current in the design is
+    referenced to the WTA LSB; the dynamic (latch/register/tracking)
+    component is threshold independent.
+    """
+    parameters = parameters or default_parameters()
+    model = SpinAmmPowerModel(parameters)
+    return [
+        model.breakdown(threshold_current=threshold, resolution_bits=resolution_bits)
+        for threshold in thresholds
+    ]

@@ -1,0 +1,125 @@
+"""Plain-text report formatting for tables and sweeps.
+
+The benchmarks and examples print the regenerated tables and figure data
+to stdout (the repository has no plotting dependency); these helpers keep
+that formatting consistent: SI-prefixed engineering notation, aligned
+columns and the Table-1 / Table-2 layouts of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.analysis.accuracy import AccuracyPoint
+from repro.analysis.margins import MarginPoint
+from repro.analysis.power import Table1Row
+from repro.core.power import PowerBreakdown
+
+#: SI prefixes used by :func:`format_si`.
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format a value with an engineering SI prefix (e.g. ``65.2uW``)."""
+    if value == 0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g}{prefix}{unit}"
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g}{prefix}{unit}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render an aligned plain-text table."""
+    rows = [list(map(str, row)) for row in rows]
+    headers = list(map(str, headers))
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    lines = [render(headers), render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render the Table-1 comparison in the paper's layout."""
+    display_rows: List[List[str]] = []
+    for row in rows:
+        display_rows.append(
+            [
+                row.design,
+                f"{row.resolution_bits}-bit",
+                format_si(row.power, "W"),
+                format_si(row.frequency, "Hz"),
+                format_si(row.energy, "J"),
+                f"{row.energy_ratio:.0f}x",
+            ]
+        )
+    return format_table(
+        ["Design", "Resolution", "Power", "Frequency", "Energy", "Energy ratio"],
+        display_rows,
+    )
+
+
+def format_power_breakdown(breakdowns: Dict[str, PowerBreakdown]) -> str:
+    """Render a set of labelled power breakdowns (Fig. 13a style)."""
+    rows = []
+    for label, breakdown in breakdowns.items():
+        rows.append(
+            [
+                label,
+                format_si(breakdown.static_rcm, "W"),
+                format_si(breakdown.static_sar_dac, "W"),
+                format_si(breakdown.dynamic, "W"),
+                format_si(breakdown.total, "W"),
+            ]
+        )
+    return format_table(
+        ["Design point", "Static (RCM)", "Static (SAR DAC)", "Dynamic", "Total"], rows
+    )
+
+
+def format_accuracy_points(points: Sequence[AccuracyPoint]) -> str:
+    """Render an accuracy sweep (Fig. 3 style)."""
+    rows = [
+        [point.label, f"{point.accuracy * 100:.1f}%", f"{point.tie_rate * 100:.1f}%"]
+        for point in points
+    ]
+    return format_table(["Configuration", "Accuracy", "Tie rate"], rows)
+
+
+def format_margin_points(points: Sequence[MarginPoint], parameter_unit: str) -> str:
+    """Render a detection-margin sweep (Fig. 9 style)."""
+    rows = [
+        [
+            format_si(point.parameter, parameter_unit),
+            f"{point.mean_margin * 100:.2f}%",
+            f"{point.min_margin * 100:.2f}%",
+            f"{point.mean_margin_ideal * 100:.2f}%",
+        ]
+        for point in points
+    ]
+    return format_table(
+        ["Sweep point", "Mean margin", "Worst margin", "Margin (no parasitics)"], rows
+    )
+
+
+def format_table2(entries: Dict[str, str]) -> str:
+    """Render the Table-2 design-parameter listing."""
+    return format_table(["Parameter", "Value"], list(entries.items()))

@@ -1,0 +1,163 @@
+"""Process-variation studies (Fig. 13b and extended Monte-Carlo analyses).
+
+Fig. 13b plots the ratio of the power-delay (PD) product of the MS-CMOS
+WTA designs to that of the proposed spin-CMOS design, as the threshold
+mismatch σVT of minimum-sized transistors grows, with the detection
+resolution held at 4 % (≈5 bits).  Two mechanisms drive the ratio up:
+
+* the MS-CMOS designs must up-size their mirror devices as σVT grows
+  (area ∝ σVT², hence capacitance and bias current grow), so both their
+  power and their settling delay increase;
+* in the proposed design, transistor variation only enters through the
+  single DTCS-DAC step; its effect on power/delay is negligible.
+
+The extended analyses quantify the *functional* impact of variation: the
+probability that the analog WTA picks the wrong winner for a given margin
+(``wta_decision_error_rate``) and the Monte-Carlo accuracy of the full
+spin pipeline under memristor/DAC/latch variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.montecarlo import MonteCarloRunner, MonteCarloSummary
+from repro.cmos.wta_async import AsyncMinMaxWta
+from repro.cmos.wta_bt import AnalogWtaModel, BinaryTreeWta
+from repro.core.config import DesignParameters, default_parameters
+from repro.core.power import SpinAmmPowerModel
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class PdRatioPoint:
+    """One point of the Fig. 13b power-delay-ratio sweep.
+
+    Attributes
+    ----------
+    sigma_vt:
+        Minimum-device threshold mismatch (V).
+    ratio_bt:
+        PD product of the standard binary-tree WTA [17] over the proposed
+        design.
+    ratio_async:
+        PD product of the asynchronous Min/Max WTA [18] over the proposed
+        design.
+    """
+
+    sigma_vt: float
+    ratio_bt: float
+    ratio_async: float
+
+
+def _spin_pd_product(
+    parameters: DesignParameters, resolution_bits: int
+) -> float:
+    """Power-delay product (J) of the proposed design.
+
+    The delay is one input evaluation period (the conversion completes
+    within it); transistor variation affects only the single DTCS step and
+    is neglected, as in the paper.
+    """
+    model = SpinAmmPowerModel(parameters)
+    power = model.total_power(resolution_bits=resolution_bits)
+    return power * parameters.clock_period
+
+
+def pd_ratio_sweep(
+    sigma_vt_values: Sequence[float],
+    parameters: Optional[DesignParameters] = None,
+    resolution_bits: int = 5,
+) -> List[PdRatioPoint]:
+    """Fig. 13b: MS-CMOS / proposed PD-product ratio versus σVT.
+
+    Parameters
+    ----------
+    sigma_vt_values:
+        Minimum-device σVT values (V) to sweep; the paper starts at the
+        near-ideal 5 mV and increases.
+    parameters:
+        Proposed-design parameters.
+    resolution_bits:
+        Detection resolution held constant during the sweep (5 bits ≈ 4 %).
+    """
+    parameters = parameters or default_parameters()
+    spin_pd = _spin_pd_product(parameters, resolution_bits)
+    points: List[PdRatioPoint] = []
+    for sigma_vt in sigma_vt_values:
+        check_positive("sigma_vt", sigma_vt)
+        bt = BinaryTreeWta(
+            inputs=parameters.num_templates,
+            resolution_bits=resolution_bits,
+            sigma_vt=sigma_vt,
+        )
+        asynchronous = AsyncMinMaxWta(
+            inputs=parameters.num_templates,
+            resolution_bits=resolution_bits,
+            sigma_vt=sigma_vt,
+        )
+        points.append(
+            PdRatioPoint(
+                sigma_vt=float(sigma_vt),
+                ratio_bt=bt.power_delay_product() / spin_pd,
+                ratio_async=asynchronous.power_delay_product() / spin_pd,
+            )
+        )
+    return points
+
+
+def wta_decision_error_rate(
+    wta: AnalogWtaModel,
+    margin: float,
+    trials: int = 200,
+    base_current: float = 100.0e-6,
+    seed: RandomState = None,
+) -> float:
+    """Probability that an analog WTA mis-ranks two inputs separated by ``margin``.
+
+    Parameters
+    ----------
+    wta:
+        The analog WTA model (its mismatch statistics are used).
+    margin:
+        Relative separation between the best and second-best inputs.
+    trials:
+        Monte-Carlo repetitions.
+    base_current:
+        Magnitude (A) of the larger input current.
+    seed:
+        Seed or generator.
+    """
+    check_positive("margin", margin)
+    check_integer("trials", trials, minimum=1)
+    check_positive("base_current", base_current)
+    rng = ensure_rng(seed)
+    currents = np.array([base_current, base_current * (1.0 - margin)])
+    errors = 0
+    for _ in range(trials):
+        winner = wta.find_winner(currents, seed=rng)
+        if winner != 0:
+            errors += 1
+    return errors / trials
+
+
+def spin_pipeline_accuracy_mc(
+    build_and_score: Callable[[np.random.Generator], float],
+    trials: int = 10,
+    seed: RandomState = None,
+) -> MonteCarloSummary:
+    """Monte-Carlo accuracy of the spin pipeline under device variation.
+
+    ``build_and_score`` receives a per-trial generator, should rebuild the
+    pipeline with freshly drawn device variations (memristor write error,
+    DAC mismatch, latch offsets) and return the classification accuracy.
+    This indirection keeps the expensive pipeline construction under the
+    caller's control (benchmarks use the full 128x40 array, unit tests a
+    reduced one).
+    """
+    runner = MonteCarloRunner(build_and_score, trials=trials, seed=seed)
+    return runner.run()

@@ -1,0 +1,145 @@
+"""Command-line interface for regenerating the paper's headline results.
+
+``python -m repro <command>`` exposes the most commonly wanted outputs
+without writing any code:
+
+* ``table1`` — the power/frequency/energy comparison of Table 1;
+* ``table2`` — the design-parameter listing of Table 2;
+* ``fig13a`` — the static/dynamic power split versus DWN threshold;
+* ``accuracy`` — the Fig. 3 accuracy sweeps on the synthetic corpus;
+* ``recognise`` — build the reference 128x40 pipeline and classify a few
+  images end to end.
+
+Every command prints a plain-text table (the same formatters the
+benchmarks use) and returns a process exit code of 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.accuracy import downsizing_sweep, resolution_sweep
+from repro.analysis.power import build_table1, threshold_power_sweep
+from repro.analysis.report import (
+    format_accuracy_points,
+    format_power_breakdown,
+    format_si,
+    format_table,
+    format_table1,
+    format_table2,
+)
+from repro.core.config import default_parameters
+from repro.core.pipeline import build_pipeline
+from repro.datasets.attlike import load_default_dataset
+
+
+def _command_table1(arguments: argparse.Namespace) -> str:
+    rows = build_table1(resolutions=tuple(arguments.bits))
+    return format_table1(rows)
+
+
+def _command_table2(arguments: argparse.Namespace) -> str:
+    return format_table2(default_parameters().table2())
+
+
+def _command_fig13a(arguments: argparse.Namespace) -> str:
+    thresholds = [value * 1e-6 for value in arguments.thresholds]
+    breakdowns = threshold_power_sweep(thresholds)
+    labelled = {
+        f"threshold {format_si(threshold, 'A')}": breakdown
+        for threshold, breakdown in zip(thresholds, breakdowns)
+    }
+    return format_power_breakdown(labelled)
+
+
+def _command_accuracy(arguments: argparse.Namespace) -> str:
+    dataset = load_default_dataset(
+        subjects=arguments.subjects, images_per_subject=10, seed=arguments.seed
+    )
+    sections = []
+    sections.append("Fig. 3a - accuracy vs down-sizing")
+    sections.append(format_accuracy_points(downsizing_sweep(dataset)))
+    sections.append("")
+    sections.append("Fig. 3b - accuracy vs detection resolution")
+    sections.append(format_accuracy_points(resolution_sweep(dataset)))
+    return "\n".join(sections)
+
+
+def _command_recognise(arguments: argparse.Namespace) -> str:
+    dataset = load_default_dataset(seed=arguments.seed)
+    pipeline = build_pipeline(dataset, seed=arguments.seed)
+    rows = []
+    step = max(1, dataset.size // arguments.images)
+    indices = list(range(0, dataset.size, step))[: arguments.images]
+    for index in indices:
+        result = pipeline.classify_image(dataset.images[index])
+        rows.append(
+            [
+                str(index),
+                str(int(dataset.labels[index])),
+                str(result.winner),
+                f"{result.dom_code}/{pipeline.amm.wta.levels - 1}",
+                "yes" if result.accepted else "no",
+                format_si(result.static_power, "W"),
+            ]
+        )
+    return format_table(
+        ["Image", "True", "Predicted", "DOM", "Accepted", "Static power"], rows
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate headline results of the spin-neuron RCM paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="Table 1 power/energy comparison")
+    table1.add_argument(
+        "--bits", type=int, nargs="+", default=[5, 4, 3], help="WTA resolutions to tabulate"
+    )
+    table1.set_defaults(handler=_command_table1)
+
+    table2 = subparsers.add_parser("table2", help="Table 2 design parameters")
+    table2.set_defaults(handler=_command_table2)
+
+    fig13a = subparsers.add_parser("fig13a", help="power vs DWN threshold")
+    fig13a.add_argument(
+        "--thresholds",
+        type=float,
+        nargs="+",
+        default=[2.0, 1.0, 0.5, 0.25],
+        help="DWN thresholds in microamperes",
+    )
+    fig13a.set_defaults(handler=_command_fig13a)
+
+    accuracy = subparsers.add_parser("accuracy", help="Fig. 3 accuracy sweeps")
+    accuracy.add_argument("--subjects", type=int, default=40)
+    accuracy.add_argument("--seed", type=int, default=2013)
+    accuracy.set_defaults(handler=_command_accuracy)
+
+    recognise = subparsers.add_parser(
+        "recognise", help="classify images with the full 128x40 pipeline"
+    )
+    recognise.add_argument("--images", type=int, default=10)
+    recognise.add_argument("--seed", type=int, default=2013)
+    recognise.set_defaults(handler=_command_recognise)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    output = arguments.handler(arguments)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

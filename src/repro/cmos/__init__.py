@@ -1,0 +1,45 @@
+"""45 nm CMOS baseline designs used in the paper's evaluation (Section 5).
+
+Three comparison points are modelled:
+
+* the *standard binary-tree WTA* of ref [17] (Andreou-style CMOS analog
+  winner-take-all) — :class:`~repro.cmos.wta_bt.BinaryTreeWta`;
+* the *asynchronous current-mode Min/Max binary-tree WTA* of ref [18]
+  (Długosz-style) — :class:`~repro.cmos.wta_async.AsyncMinMaxWta`;
+* a *45 nm digital CMOS ASIC* performing the same correlation with
+  multiply-accumulate units — :class:`~repro.cmos.digital_mac.DigitalCorrelatorAsic`.
+
+A current-conveyor WTA (:class:`~repro.cmos.wta_cc.CurrentConveyorWta`) is
+also provided because Section 2 mentions it as the second broad WTA
+category, and a conventional CMOS SAR ADC model
+(:class:`~repro.cmos.adc.CmosSarAdc`) backs the paper's remark that
+implementing the proposed WTA scheme in MS-CMOS would cost conventional
+ADC power.
+
+The analog models are *calibrated architectural models*: their bias-current
+budget is anchored to the power figures the paper reports for the published
+45 nm simulations, and they expose the physical scaling laws (mismatch →
+device area → capacitance → bias current → power/delay) that drive the
+resolution and process-variation trends of Table 1 and Fig. 13b.
+"""
+
+from repro.cmos.adc import CmosSarAdc
+from repro.cmos.current_mirror import RegulatedCurrentMirror
+from repro.cmos.digital_mac import DigitalCorrelatorAsic
+from repro.cmos.mscmos_amm import MixedSignalAssociativeMemory
+from repro.cmos.technology import CmosEnergyModel
+from repro.cmos.wta_async import AsyncMinMaxWta
+from repro.cmos.wta_bt import AnalogWtaModel, BinaryTreeWta
+from repro.cmos.wta_cc import CurrentConveyorWta
+
+__all__ = [
+    "CmosSarAdc",
+    "RegulatedCurrentMirror",
+    "DigitalCorrelatorAsic",
+    "MixedSignalAssociativeMemory",
+    "CmosEnergyModel",
+    "AsyncMinMaxWta",
+    "AnalogWtaModel",
+    "BinaryTreeWta",
+    "CurrentConveyorWta",
+]

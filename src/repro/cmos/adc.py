@@ -1,0 +1,84 @@
+"""Conventional CMOS SAR ADC power model.
+
+Section 4-B notes: "the proposed WTA scheme implemented in MS-CMOS would
+result in large power consumption, resulting from conventional ADC's",
+whereas the DWN provides the same digitisation "at ultra low energy cost".
+This model quantifies that remark: a conventional SAR ADC needs a
+capacitive DAC (2^M unit capacitors charged/discharged every conversion),
+a static comparator pre-amplifier whose accuracy must reach the LSB, and
+SAR logic — a per-conversion energy orders of magnitude above the DWN +
+dynamic-latch path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.transistor import TechnologyParameters
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass
+class CmosSarAdc:
+    """Charge-redistribution SAR ADC at 45 nm.
+
+    Parameters
+    ----------
+    bits:
+        Conversion resolution.
+    unit_capacitance:
+        Unit capacitor of the capacitive DAC (F); bounded below by
+        matching and kT/C noise, 1 fF is an aggressive value.
+    comparator_bias_current:
+        Static bias (A) of the comparator pre-amplifier required to settle
+        an LSB decision within a bit cycle.
+    sample_rate:
+        Conversions per second.
+    technology:
+        45 nm constants.
+    """
+
+    bits: int = 5
+    unit_capacitance: float = 1.0e-15
+    comparator_bias_current: float = 10.0e-6
+    sample_rate: float = 100.0e6
+    technology: TechnologyParameters = field(default_factory=TechnologyParameters)
+
+    def __post_init__(self) -> None:
+        check_integer("bits", self.bits, minimum=1)
+        check_positive("unit_capacitance", self.unit_capacitance)
+        check_positive("comparator_bias_current", self.comparator_bias_current)
+        check_positive("sample_rate", self.sample_rate)
+
+    def dac_energy_per_conversion(self) -> float:
+        """Capacitive-DAC switching energy (J) per conversion.
+
+        The classic charge-redistribution array switches on the order of
+        ``2^M`` unit capacitors across the reference per conversion.
+        """
+        total_capacitance = (2**self.bits) * self.unit_capacitance
+        return total_capacitance * self.technology.supply_voltage**2
+
+    def logic_energy_per_conversion(self) -> float:
+        """SAR register and control switching energy (J) per conversion."""
+        per_bit = 4.0 * self.technology.inverter_switching_energy() * 8.0
+        return self.bits * per_bit
+
+    def comparator_power(self) -> float:
+        """Static power (W) of the comparator pre-amplifier."""
+        return self.comparator_bias_current * self.technology.supply_voltage
+
+    def energy_per_conversion(self) -> float:
+        """Total energy (J) per conversion at the configured sample rate."""
+        dynamic = self.dac_energy_per_conversion() + self.logic_energy_per_conversion()
+        static = self.comparator_power() / self.sample_rate
+        return dynamic + static
+
+    def total_power(self) -> float:
+        """Total ADC power (W) at the configured sample rate."""
+        return self.energy_per_conversion() * self.sample_rate
+
+    def power_for_bank(self, channels: int) -> float:
+        """Power (W) of a bank of ADCs digitising ``channels`` columns in parallel."""
+        check_integer("channels", channels, minimum=1)
+        return channels * self.total_power()

@@ -1,0 +1,152 @@
+"""Regulated current-mirror model for the mixed-signal CMOS designs.
+
+Section 2 of the paper describes the MS-CMOS associative memory front end
+(Fig. 4): regulated current mirrors present a low input impedance and a
+near-constant DC bias to the RCM columns, then copy the column currents
+into the analog WTA tree.  The same mirror structure is the basic building
+block of the binary-tree WTA nodes.
+
+What limits these circuits — and what this model captures — is the random
+mismatch between the mirror devices:
+
+* the relative current error of a mirror pair is
+  ``σ(ΔI/I) = √2 · (gm/I) · σVT = 2√2 · σVT / Vov`` in strong inversion;
+* to resolve 1 part in ``2^M`` the devices must be up-sized following
+  Pelgrom's law until their σVT is small enough, which grows the gate area
+  (and capacitance) as ``(2^M · σVT,min)²``;
+* the enlarged capacitance must still settle within the clock period,
+  which sets the minimum bias current (``gm = I·2/Vov`` against the RC of
+  the mirror node), so power rises with both resolution and process
+  variation — the mechanisms behind Table 1 and Fig. 13b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.transistor import TechnologyParameters
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+@dataclass
+class RegulatedCurrentMirror:
+    """A regulated (cascoded) current mirror sized for a target resolution.
+
+    Parameters
+    ----------
+    technology:
+        45 nm constants.
+    resolution_bits:
+        Number of bits of current-copy accuracy the mirror must support.
+    sigma_vt_minimum:
+        σVT (V) of a *minimum-sized* device in this process corner; the
+        paper sweeps this quantity in Fig. 13b (5 mV is the near-ideal
+        reference).
+    overdrive:
+        Gate overdrive voltage (V) of the mirror devices.
+    devices_per_branch:
+        Transistors stacked per branch (regulated mirrors use 2-3).
+    wiring_capacitance:
+        Fixed interconnect capacitance (F) on the mirror node.
+    margin:
+        Fraction of an LSB allocated to this mirror's error (< 1 because
+        several stages cascade along the signal path).
+    """
+
+    technology: TechnologyParameters = field(default_factory=TechnologyParameters)
+    resolution_bits: int = 5
+    sigma_vt_minimum: float = 5.0e-3
+    overdrive: float = 0.2
+    devices_per_branch: int = 3
+    wiring_capacitance: float = 1.0e-15
+    margin: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_integer("resolution_bits", self.resolution_bits, minimum=1)
+        check_positive("sigma_vt_minimum", self.sigma_vt_minimum)
+        check_in_range("overdrive", self.overdrive, 0.01, 1.0)
+        check_integer("devices_per_branch", self.devices_per_branch, minimum=1)
+        check_positive("wiring_capacitance", self.wiring_capacitance, allow_zero=True)
+        check_in_range("margin", self.margin, 0.01, 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Mismatch-driven sizing
+    # ------------------------------------------------------------------ #
+    def required_relative_accuracy(self) -> float:
+        """Relative current accuracy this mirror must achieve (fraction)."""
+        return self.margin / (2**self.resolution_bits)
+
+    def required_sigma_vt(self) -> float:
+        """Device σVT (V) needed to reach the required accuracy."""
+        # σ(ΔI/I) = 2√2 σVT / Vov  →  σVT = accuracy · Vov / (2√2)
+        return self.required_relative_accuracy() * self.overdrive / (2.0 * np.sqrt(2.0))
+
+    def area_upsizing(self) -> float:
+        """Gate-area multiple (relative to minimum) required by mismatch.
+
+        Pelgrom: σVT ∝ 1/√(WL), so area scales with (σVT,min / σVT,req)².
+        Never smaller than 1 (a minimum device cannot be shrunk further).
+        """
+        required = self.required_sigma_vt()
+        ratio = self.sigma_vt_minimum / required
+        return float(max(1.0, ratio**2))
+
+    def device_capacitance(self) -> float:
+        """Gate capacitance (F) of one up-sized mirror device."""
+        return self.technology.minimum_gate_capacitance() * self.area_upsizing()
+
+    def node_capacitance(self) -> float:
+        """Total capacitance (F) on the mirror's signal node."""
+        return (
+            self.devices_per_branch * self.device_capacitance()
+            + self.wiring_capacitance
+        )
+
+    def achieved_relative_mismatch(self) -> float:
+        """Relative current mismatch actually achieved after up-sizing."""
+        sigma_vt = self.sigma_vt_minimum / np.sqrt(self.area_upsizing())
+        return float(2.0 * np.sqrt(2.0) * sigma_vt / self.overdrive)
+
+    # ------------------------------------------------------------------ #
+    # Speed / power
+    # ------------------------------------------------------------------ #
+    def settling_time(self, bias_current: float) -> float:
+        """Time (s) to settle the node to the required accuracy at ``bias_current``."""
+        check_positive("bias_current", bias_current)
+        gm = 2.0 * bias_current / self.overdrive
+        tau = self.node_capacitance() / gm
+        # Settle to within 1/2^M of final value: ln(2^M) time constants.
+        return float(self.resolution_bits * np.log(2.0) * tau)
+
+    def minimum_bias_current(self, settling_time: float) -> float:
+        """Smallest bias current (A) that settles within ``settling_time``."""
+        check_positive("settling_time", settling_time)
+        required_tau = settling_time / (self.resolution_bits * np.log(2.0))
+        gm = self.node_capacitance() / required_tau
+        return float(gm * self.overdrive / 2.0)
+
+    def static_power(self, bias_current: float, branches: int = 2) -> float:
+        """Static power (W) of the mirror carrying ``bias_current`` in each branch."""
+        check_positive("bias_current", bias_current)
+        check_integer("branches", branches, minimum=1)
+        return branches * bias_current * self.technology.supply_voltage
+
+    # ------------------------------------------------------------------ #
+    # Functional behaviour
+    # ------------------------------------------------------------------ #
+    def copy(self, current: float, rng: Optional[np.random.Generator] = None) -> float:
+        """Copy a current through the mirror, adding its random gain error.
+
+        Used by the functional MS-CMOS WTA simulations when evaluating how
+        transistor variation corrupts the winner decision.
+        """
+        if current < 0:
+            raise ValueError("current must be non-negative")
+        if rng is None:
+            return current
+        error = rng.normal(0.0, self.achieved_relative_mismatch())
+        return float(max(0.0, current * (1.0 + error)))

@@ -1,0 +1,113 @@
+"""Digital 45 nm CMOS energy primitives.
+
+The digital baselines (the MAC correlator ASIC, the SAR/tracking logic of
+the proposed design, the winner-tracking registers) are costed in terms of
+a small set of gate-level energies derived from the
+:class:`~repro.devices.transistor.TechnologyParameters` constants:
+inverter transition, generic gate, flip-flop, full adder, and composites
+(ripple adders, array multipliers, registers).  Leakage is charged per
+gate-equivalent of logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.devices.transistor import TechnologyParameters
+from repro.utils.validation import check_integer, check_positive
+
+#: Gate-equivalents (minimum inverters) of common digital cells.
+GATE_EQUIVALENTS_NAND = 1.5
+GATE_EQUIVALENTS_FULL_ADDER = 6.0
+GATE_EQUIVALENTS_FLIPFLOP = 8.0
+
+
+@dataclass
+class CmosEnergyModel:
+    """Gate-level energy/leakage model for 45 nm digital logic.
+
+    Parameters
+    ----------
+    technology:
+        Node constants (supply, capacitances, leakage).
+    activity_factor:
+        Average switching activity of datapath nodes per clock cycle.
+    wiring_overhead:
+        Multiplier applied to gate switching energy to account for local
+        interconnect capacitance.
+    """
+
+    technology: TechnologyParameters = field(default_factory=TechnologyParameters)
+    activity_factor: float = 0.5
+    wiring_overhead: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.activity_factor <= 1.0:
+            raise ValueError(f"activity_factor must be in (0, 1], got {self.activity_factor}")
+        check_positive("wiring_overhead", self.wiring_overhead)
+
+    # ------------------------------------------------------------------ #
+    # Primitive energies (per transition, J)
+    # ------------------------------------------------------------------ #
+    def inverter_energy(self) -> float:
+        """Energy of one minimum-inverter output transition, with wiring."""
+        return self.wiring_overhead * self.technology.inverter_switching_energy()
+
+    def gate_energy(self, gate_equivalents: float = GATE_EQUIVALENTS_NAND) -> float:
+        """Energy of one transition of a gate of the given complexity."""
+        check_positive("gate_equivalents", gate_equivalents)
+        return gate_equivalents * self.inverter_energy()
+
+    def flipflop_energy(self) -> float:
+        """Energy of one flip-flop clock+data event."""
+        return self.gate_energy(GATE_EQUIVALENTS_FLIPFLOP)
+
+    def full_adder_energy(self) -> float:
+        """Energy of one full-adder evaluation."""
+        return self.gate_energy(GATE_EQUIVALENTS_FULL_ADDER)
+
+    # ------------------------------------------------------------------ #
+    # Composite datapath energies (per operation, J)
+    # ------------------------------------------------------------------ #
+    def adder_energy(self, bits: int) -> float:
+        """Ripple-carry adder of width ``bits`` (per addition)."""
+        check_integer("bits", bits, minimum=1)
+        return self.activity_factor * bits * self.full_adder_energy()
+
+    def multiplier_energy(self, bits_a: int, bits_b: int) -> float:
+        """Array multiplier ``bits_a x bits_b`` (per multiplication)."""
+        check_integer("bits_a", bits_a, minimum=1)
+        check_integer("bits_b", bits_b, minimum=1)
+        return self.activity_factor * bits_a * bits_b * self.full_adder_energy()
+
+    def register_energy(self, bits: int) -> float:
+        """Register write of width ``bits``."""
+        check_integer("bits", bits, minimum=1)
+        return self.activity_factor * bits * self.flipflop_energy()
+
+    def comparator_energy(self, bits: int) -> float:
+        """Digital magnitude comparator of width ``bits``."""
+        check_integer("bits", bits, minimum=1)
+        return self.activity_factor * bits * self.gate_energy(3.0)
+
+    def mac_energy(self, bits: int, accumulator_bits: Optional[int] = None) -> float:
+        """One multiply-accumulate of two ``bits``-wide operands."""
+        check_integer("bits", bits, minimum=1)
+        if accumulator_bits is None:
+            accumulator_bits = 2 * bits + 8
+        return (
+            self.multiplier_energy(bits, bits)
+            + self.adder_energy(accumulator_bits)
+            + self.register_energy(accumulator_bits)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Leakage
+    # ------------------------------------------------------------------ #
+    def leakage_power(self, gate_equivalents: float) -> float:
+        """Static leakage (W) of ``gate_equivalents`` worth of logic."""
+        check_positive("gate_equivalents", gate_equivalents)
+        # Each gate-equivalent is roughly two minimum-width devices leaking.
+        total_width_nm = gate_equivalents * 2.0 * self.technology.min_width_nm
+        return self.technology.leakage_power(total_width_nm)

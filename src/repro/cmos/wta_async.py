@@ -1,0 +1,38 @@
+"""Asynchronous current-mode Min/Max binary-tree WTA (the ref [18] baseline).
+
+Ref [18] (Długosz et al., "Low power current-mode binary-tree asynchronous
+Min/Max circuit") is the more recent, lower-power variant of the
+binary-tree WTA that the paper uses as its stronger MS-CMOS comparison
+point.  Architecturally it is still a binary tree of 2-input current
+comparators, but the asynchronous operation and simplified cells reduce
+the number of continuously biased branches per node and the
+resolution-independent bias floor.
+
+The model subclasses :class:`~repro.cmos.wta_bt.AnalogWtaModel` with
+calibration constants anchored to the paper's Table 1 figures for this
+design: ≈5.5 mW at 5-bit, ≈2.9-3.2 mW at 4-bit and ≈2.1-2.3 mW at 3-bit
+resolution (40 inputs, 45 nm, 50 MHz, σVT = 5 mV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cmos.wta_bt import AnalogWtaModel
+from repro.devices.transistor import TechnologyParameters
+
+
+@dataclass
+class AsyncMinMaxWta(AnalogWtaModel):
+    """Asynchronous Min/Max binary-tree WTA power/behaviour model."""
+
+    inputs: int = 40
+    resolution_bits: int = 5
+    technology: TechnologyParameters = field(default_factory=TechnologyParameters)
+    sigma_vt: float = 5.0e-3
+    frequency: float = 50.0e6
+    base_branch_current: float = 6.0e-6
+    resolution_branch_current: float = 0.9e-6
+    branches_per_input: int = 2
+    branches_per_node: int = 2
+    name: str = "async Min/Max binary-tree WTA [18]"

@@ -1,0 +1,106 @@
+"""Current-conveyor winner-take-all model.
+
+Section 2 mentions that analog WTA circuits fall into two broad
+categories: current-conveyor WTAs (the classic Lazzaro cell and its
+regulated descendants) and binary-tree WTAs, "the latter being more
+suitable for large number of inputs".  The paper's quantitative comparison
+uses the two binary-tree designs; the current-conveyor model is provided
+for the extended analyses (it illustrates *why* the binary tree wins at
+N = 40: the conveyor's common-node resolution degrades with the number of
+competing cells, so its bias current must grow with N to hold a given
+resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.transistor import TechnologyParameters
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass
+class CurrentConveyorWta:
+    """Lazzaro-style current-conveyor WTA with a shared competition node.
+
+    Parameters
+    ----------
+    inputs:
+        Number of competing cells.
+    resolution_bits:
+        Required selection resolution.
+    technology:
+        45 nm constants.
+    sigma_vt:
+        σVT (V) of minimum devices.
+    frequency:
+        Evaluation rate (Hz).
+    cell_bias_current:
+        Bias current (A) per competing cell at the reference resolution
+        (5-bit) and N = 2; grows with both resolution and fan-in.
+    """
+
+    inputs: int = 40
+    resolution_bits: int = 5
+    technology: TechnologyParameters = field(default_factory=TechnologyParameters)
+    sigma_vt: float = 5.0e-3
+    frequency: float = 50.0e6
+    cell_bias_current: float = 20.0e-6
+    name: str = "current-conveyor WTA"
+
+    def __post_init__(self) -> None:
+        check_integer("inputs", self.inputs, minimum=2)
+        check_integer("resolution_bits", self.resolution_bits, minimum=1)
+        check_positive("sigma_vt", self.sigma_vt)
+        check_positive("frequency", self.frequency)
+        check_positive("cell_bias_current", self.cell_bias_current)
+
+    def effective_cell_current(self) -> float:
+        """Per-cell bias current (A) after resolution and fan-in scaling.
+
+        The shared-node comparison error grows roughly with ``sqrt(N)``
+        (every loser cell injects its mismatch into the common node), so
+        holding a fixed resolution requires the bias current — and with it
+        gm — to grow with ``sqrt(N)`` and with the resolution target.
+        """
+        resolution_factor = (2**self.resolution_bits) / 32.0
+        fanin_factor = np.sqrt(self.inputs / 2.0)
+        variation_factor = (self.sigma_vt / 5.0e-3) ** 2
+        return float(
+            self.cell_bias_current
+            * resolution_factor
+            * fanin_factor
+            * (0.5 + 0.5 * variation_factor)
+        )
+
+    def static_power(self) -> float:
+        """Total static power (W): every cell is biased continuously."""
+        return 2.0 * self.inputs * self.effective_cell_current() * self.technology.supply_voltage
+
+    def total_power(self) -> float:
+        """Total power (W)."""
+        return 1.05 * self.static_power()
+
+    def energy_per_decision(self) -> float:
+        """Energy (J) per winner decision."""
+        return self.total_power() / self.frequency
+
+    def find_winner(self, currents: np.ndarray, seed: RandomState = None) -> int:
+        """Select the winner with a single shared-node comparison.
+
+        All inputs are corrupted by one comparison-referred error whose
+        sigma grows with the fan-in, then the largest is returned.
+        """
+        currents = np.asarray(currents, dtype=float)
+        if currents.ndim != 1 or currents.size < 1:
+            raise ValueError("currents must be a non-empty 1-D array")
+        rng = ensure_rng(seed)
+        base_error = 2.0 * np.sqrt(2.0) * self.sigma_vt / 0.2
+        sigma = base_error * np.sqrt(self.inputs / 2.0) / np.sqrt(
+            max(1.0, self.effective_cell_current() / self.cell_bias_current)
+        )
+        noisy = currents * (1.0 + rng.normal(0.0, sigma, size=currents.shape))
+        return int(np.argmax(noisy))

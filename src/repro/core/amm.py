@@ -1,0 +1,479 @@
+"""The spin-CMOS associative memory module (AMM).
+
+This is the top-level hardware model of Section 4: a programmed resistive
+crossbar whose rows are driven by binary-weighted DTCS DACs and whose
+columns feed the domain-wall-neuron SAR winner-take-all.  A single call to
+:meth:`AssociativeMemoryModule.recognise` performs what one 10 ns input
+period performs in the hardware: input conversion, current-mode
+correlation, DOM digitisation and winner tracking.
+
+The module also exposes an *ideal* evaluation path (pure digital dot
+product and ideal detection) used as the accuracy reference, and static
+power accounting hooks consumed by :mod:`repro.core.power`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DesignParameters, default_parameters
+from repro.core.wta import SpinCmosWta, WtaResult
+from repro.crossbar.array import ResistiveCrossbar
+from repro.crossbar.programming import TemplateProgrammer
+from repro.crossbar.solver import CrossbarSolution, CrossbarSolver
+from repro.devices.dac import DtcsDac
+from repro.devices.dwn import DwnConfig
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_integer, check_positive, check_shape
+
+
+class InputDacBank:
+    """One binary-weighted DTCS DAC per crossbar row.
+
+    Each row's DAC has independently drawn per-bit conductance mismatch;
+    the bank exposes a vectorised code→conductance conversion so a full
+    128-row input vector is converted in one call.
+
+    Parameters
+    ----------
+    rows:
+        Number of crossbar rows (input vector length).
+    bits:
+        DAC resolution (5 for the reference design).
+    unit_conductance:
+        LSB conductance (S) of every DAC.
+    mismatch_sigma:
+        One-sigma relative mismatch of each binary-weighted device.
+    seed:
+        Seed or generator for the mismatch draws.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        bits: int,
+        unit_conductance: float,
+        mismatch_sigma: float = 0.0,
+        seed: RandomState = None,
+    ) -> None:
+        check_integer("rows", rows, minimum=1)
+        check_integer("bits", bits, minimum=1)
+        check_positive("unit_conductance", unit_conductance)
+        if mismatch_sigma < 0 or mismatch_sigma > 0.5:
+            raise ValueError(f"mismatch_sigma must be in [0, 0.5], got {mismatch_sigma}")
+        self.rows = rows
+        self.bits = bits
+        self.unit_conductance = unit_conductance
+        self.mismatch_sigma = mismatch_sigma
+        rng = ensure_rng(seed)
+        weights = 2.0 ** np.arange(bits)
+        nominal = unit_conductance * weights
+        if mismatch_sigma > 0.0:
+            errors = rng.normal(0.0, mismatch_sigma, size=(rows, bits))
+        else:
+            errors = np.zeros((rows, bits))
+        #: Per-row, per-bit conductances (S), shape ``(rows, bits)``.
+        self.bit_conductances = nominal[None, :] * (1.0 + errors)
+
+    @property
+    def max_code(self) -> int:
+        """Largest input code."""
+        return 2**self.bits - 1
+
+    def conductances(self, codes: np.ndarray) -> np.ndarray:
+        """Per-row DAC conductances (S) for an integer input-code vector."""
+        codes = np.asarray(codes, dtype=np.int64)
+        check_shape("codes", codes, (self.rows,))
+        if np.any(codes < 0) or np.any(codes > self.max_code):
+            raise ValueError(f"codes must be in [0, {self.max_code}]")
+        masks = ((codes[:, None] >> np.arange(self.bits)) & 1).astype(float)
+        return np.sum(masks * self.bit_conductances, axis=1)
+
+    def full_scale_conductance(self) -> float:
+        """Nominal conductance at the maximum code (S)."""
+        return self.unit_conductance * float(2**self.bits - 1)
+
+    def rescaled(self, factor: float) -> "InputDacBank":
+        """Return a bank with all conductances scaled by ``factor`` (calibration)."""
+        check_positive("factor", factor)
+        bank = InputDacBank.__new__(InputDacBank)
+        bank.rows = self.rows
+        bank.bits = self.bits
+        bank.unit_conductance = self.unit_conductance * factor
+        bank.mismatch_sigma = self.mismatch_sigma
+        bank.bit_conductances = self.bit_conductances * factor
+        return bank
+
+
+@dataclass(frozen=True)
+class RecognitionResult:
+    """Outcome of one associative-memory evaluation.
+
+    Attributes
+    ----------
+    winner_column:
+        Index of the winning crossbar column.
+    winner:
+        Class label associated with the winning column (equals the column
+        index when no label mapping was supplied).
+    dom_code:
+        Digitised degree of match of the winner.
+    accepted:
+        True when the DOM clears the acceptance threshold; False signals
+        "input not in the stored set".
+    tie:
+        True when the WTA could not separate two or more columns at its
+        resolution.
+    codes:
+        DOM codes of every column.
+    column_currents:
+        Analog column currents (A) that entered the WTA.
+    static_power:
+        Static power (W) drawn from the ΔV supply during this evaluation.
+    events:
+        Switching-activity counters from the WTA conversion.
+    """
+
+    winner_column: int
+    winner: int
+    dom_code: int
+    accepted: bool
+    tie: bool
+    codes: np.ndarray
+    column_currents: np.ndarray
+    static_power: float
+    events: Dict[str, int]
+
+
+class AssociativeMemoryModule:
+    """RCM + DTCS DACs + spin-neuron WTA: the complete AMM of the paper.
+
+    Most users should construct the module through
+    :meth:`AssociativeMemoryModule.from_templates`, which programs the
+    crossbar, calibrates the input-DAC scale against the stored templates
+    and wires up the WTA from a :class:`~repro.core.config.DesignParameters`
+    object.
+
+    Parameters
+    ----------
+    crossbar:
+        Programmed resistive crossbar (rows = features, columns = templates).
+    input_dacs:
+        Per-row input DAC bank.
+    wta:
+        The spin-CMOS winner-take-all.
+    parameters:
+        Design parameters (ΔV, clock, thresholds).
+    column_labels:
+        Class label of each crossbar column; defaults to the column index.
+    include_parasitics:
+        Whether recognitions solve the full parasitic network (True) or the
+        ideal crossbar equations (False).
+    input_variation:
+        One-sigma relative variation applied to the input DAC conductances
+        on every evaluation (models input-source noise/variation).
+    seed:
+        Seed or generator for the per-evaluation input variation.
+    """
+
+    def __init__(
+        self,
+        crossbar: ResistiveCrossbar,
+        input_dacs: InputDacBank,
+        wta: SpinCmosWta,
+        parameters: Optional[DesignParameters] = None,
+        column_labels: Optional[Sequence[int]] = None,
+        include_parasitics: bool = True,
+        input_variation: float = 0.0,
+        seed: RandomState = None,
+    ) -> None:
+        self.parameters = parameters or default_parameters()
+        if crossbar.columns != wta.columns:
+            raise ValueError(
+                f"crossbar has {crossbar.columns} columns but the WTA expects {wta.columns}"
+            )
+        if input_dacs.rows != crossbar.rows:
+            raise ValueError(
+                f"DAC bank has {input_dacs.rows} rows but the crossbar has {crossbar.rows}"
+            )
+        if input_variation < 0 or input_variation > 0.5:
+            raise ValueError(f"input_variation must be in [0, 0.5], got {input_variation}")
+        self.crossbar = crossbar
+        self.input_dacs = input_dacs
+        self.wta = wta
+        self.include_parasitics = include_parasitics
+        self.input_variation = input_variation
+        if column_labels is None:
+            column_labels = list(range(crossbar.columns))
+        if len(column_labels) != crossbar.columns:
+            raise ValueError(
+                f"column_labels must have {crossbar.columns} entries, got {len(column_labels)}"
+            )
+        self.column_labels = np.asarray(column_labels, dtype=np.int64)
+        self.solver = CrossbarSolver(
+            crossbar,
+            delta_v=self.parameters.delta_v,
+            termination_resistance=wta.dwn_config.device_resistance,
+        )
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_templates(
+        cls,
+        template_codes: np.ndarray,
+        parameters: Optional[DesignParameters] = None,
+        column_labels: Optional[Sequence[int]] = None,
+        include_parasitics: bool = True,
+        input_variation: float = 0.0,
+        dac_mismatch_sigma: float = 0.0,
+        stochastic_dwn: bool = False,
+        seed: RandomState = None,
+    ) -> "AssociativeMemoryModule":
+        """Program a crossbar from template codes and build the full AMM.
+
+        Parameters
+        ----------
+        template_codes:
+            Integer template matrix, shape ``(features, templates)``;
+            each column is one stored pattern.
+        parameters:
+            Design parameters; defaults to the reference design.
+        column_labels:
+            Class label per column.
+        include_parasitics, input_variation, dac_mismatch_sigma,
+        stochastic_dwn:
+            Non-ideality switches forwarded to the sub-models.
+        seed:
+            Master seed for programming, mismatch and evaluation noise.
+        """
+        parameters = parameters or default_parameters()
+        rng = ensure_rng(seed)
+        template_codes = np.asarray(template_codes)
+        if template_codes.ndim != 2:
+            raise ValueError("template_codes must be 2-D (features x templates)")
+        rows, columns = template_codes.shape
+        if columns != parameters.num_templates:
+            parameters = dataclasses.replace(parameters, num_templates=columns)
+        programmer = TemplateProgrammer(
+            memristor=parameters.memristor_model(seed=rng),
+            bits=parameters.template_bits,
+        )
+        programmed = programmer.program(template_codes)
+        crossbar = ResistiveCrossbar.from_programmed(
+            programmed, parasitics=parameters.wire_parasitics()
+        )
+
+        input_dacs = cls._calibrated_dac_bank(
+            crossbar,
+            parameters,
+            dac_mismatch_sigma,
+            rng,
+            include_parasitics=include_parasitics,
+        )
+
+        wta = SpinCmosWta(
+            columns=columns,
+            resolution_bits=parameters.wta_resolution_bits,
+            full_scale_current=parameters.wta_full_scale_current,
+            dwn_config=parameters.dwn_config(stochastic=stochastic_dwn),
+            dac_gain_sigma=dac_mismatch_sigma,
+            mtj=parameters.mtj(),
+            seed=rng,
+        )
+        return cls(
+            crossbar=crossbar,
+            input_dacs=input_dacs,
+            wta=wta,
+            parameters=parameters,
+            column_labels=column_labels,
+            include_parasitics=include_parasitics,
+            input_variation=input_variation,
+            seed=rng,
+        )
+
+    @staticmethod
+    def _calibrated_dac_bank(
+        crossbar: ResistiveCrossbar,
+        parameters: DesignParameters,
+        dac_mismatch_sigma: float,
+        rng: np.random.Generator,
+        include_parasitics: bool = True,
+        target_fraction: float = 0.95,
+        iterations: int = 4,
+    ) -> InputDacBank:
+        """Size the input DACs so the best-match current fills the WTA range.
+
+        The paper chooses the DAC output range so that the maximum
+        dot-product current slightly exceeds the WTA full scale (32 µA for
+        5 bits with a 1 µA threshold).  Here the self-correlation of the
+        strongest stored template is used as the calibration input, the
+        crossbar is solved through the *same* path used during recognition
+        (including wire parasitics and the spin-neuron termination when
+        enabled) and the DAC unit conductance is fixed-point iterated until
+        the peak column current reaches ``target_fraction`` of full scale.
+        """
+        rows = crossbar.rows
+        bits = parameters.input_bits
+        # Initial guess: full-scale DAC conductance equal to 2 % of G_TS.
+        unit_guess = 0.02 * crossbar.nominal_row_conductance() / (2**bits - 1)
+        bank = InputDacBank(
+            rows=rows,
+            bits=bits,
+            unit_conductance=unit_guess,
+            mismatch_sigma=dac_mismatch_sigma,
+            seed=rng,
+        )
+        # Calibration input: the stored pattern with the largest ideal
+        # self-correlation, reconstructed as input codes from the programmed
+        # conductances.
+        memristor = parameters.memristor_model()
+        values = memristor.conductance_to_value(crossbar.conductances)
+        conductance_matrix = crossbar.conductances
+        self_correlations = np.einsum("ij,ij->j", values, conductance_matrix)
+        best_column = int(np.argmax(self_correlations))
+        max_code = 2**bits - 1
+        calibration_codes = np.rint(values[:, best_column] * max_code).astype(np.int64)
+
+        solver = CrossbarSolver(
+            crossbar,
+            delta_v=parameters.delta_v,
+            termination_resistance=parameters.dwn_config().device_resistance,
+        )
+        target_current = target_fraction * parameters.wta_full_scale_current
+        for _ in range(iterations):
+            dac_conductances = bank.conductances(calibration_codes)
+            solution = solver.solve(
+                dac_conductances, include_parasitics=include_parasitics
+            )
+            peak = float(solution.column_currents.max())
+            if peak <= 0:
+                break
+            scale = target_current / peak
+            if abs(scale - 1.0) < 1e-3:
+                break
+            bank = bank.rescaled(scale)
+        return bank
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    @property
+    def dom_threshold_code(self) -> int:
+        """DOM acceptance threshold expressed as a code."""
+        return int(
+            round(self.parameters.dom_threshold_fraction * (self.wta.levels - 1))
+        )
+
+    def column_solution(self, input_codes: np.ndarray) -> CrossbarSolution:
+        """Solve the crossbar for an input-code vector (no WTA)."""
+        input_codes = np.asarray(input_codes, dtype=np.int64)
+        check_shape("input_codes", input_codes, (self.crossbar.rows,))
+        conductances = self.input_dacs.conductances(input_codes)
+        if self.input_variation > 0.0:
+            noise = self._rng.normal(0.0, self.input_variation, size=conductances.shape)
+            conductances = np.clip(conductances * (1.0 + noise), 0.0, None)
+        return self.solver.solve(
+            conductances, include_parasitics=self.include_parasitics
+        )
+
+    def recognise(self, input_codes: np.ndarray) -> RecognitionResult:
+        """Full associative recall of one input feature vector."""
+        solution = self.column_solution(input_codes)
+        wta_result = self.wta.convert(solution.column_currents)
+        return self._package(solution, wta_result)
+
+    def recognise_ideal(self, input_codes: np.ndarray) -> RecognitionResult:
+        """Reference recall: ideal dot product and ideal detection.
+
+        Bypasses DAC non-linearity, parasitics and device non-idealities;
+        used by the accuracy analyses as the "ideal comparison" baseline.
+        """
+        input_codes = np.asarray(input_codes, dtype=np.int64)
+        check_shape("input_codes", input_codes, (self.crossbar.rows,))
+        values = input_codes.astype(float) / self.input_dacs.max_code
+        currents = self.crossbar.ideal_dot_product(values)
+        scale = self.parameters.wta_full_scale_current / max(currents.max(), 1e-30)
+        currents = currents * scale * 0.95
+        wta_result = SpinCmosWta.ideal(
+            currents,
+            self.parameters.wta_resolution_bits,
+            self.parameters.wta_full_scale_current,
+        )
+        solution = CrossbarSolution(
+            column_currents=currents,
+            row_voltages=np.zeros((self.crossbar.rows, self.crossbar.columns)),
+            column_voltages=np.zeros((self.crossbar.rows, self.crossbar.columns)),
+            supply_current=0.0,
+            delta_v=self.parameters.delta_v,
+        )
+        return self._package(solution, wta_result)
+
+    def _package(
+        self, solution: CrossbarSolution, wta_result: WtaResult
+    ) -> RecognitionResult:
+        winner_column = wta_result.winner
+        return RecognitionResult(
+            winner_column=winner_column,
+            winner=int(self.column_labels[winner_column]),
+            dom_code=wta_result.dom_code,
+            accepted=wta_result.accepted(self.dom_threshold_code),
+            tie=wta_result.tie,
+            codes=wta_result.codes,
+            column_currents=solution.column_currents,
+            static_power=solution.static_power,
+            events=wta_result.events,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batch evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, input_codes_batch: np.ndarray, labels: np.ndarray
+    ) -> Dict[str, float]:
+        """Classify a batch and report accuracy statistics.
+
+        Parameters
+        ----------
+        input_codes_batch:
+            Integer feature vectors, shape ``(n, features)``.
+        labels:
+            True class labels, shape ``(n,)``.
+
+        Returns
+        -------
+        A dictionary with ``accuracy``, ``acceptance_rate``, ``tie_rate``
+        and ``mean_static_power``.
+        """
+        input_codes_batch = np.asarray(input_codes_batch)
+        labels = np.asarray(labels)
+        if input_codes_batch.ndim != 2:
+            raise ValueError("input_codes_batch must be 2-D (n x features)")
+        if labels.shape[0] != input_codes_batch.shape[0]:
+            raise ValueError("labels and inputs must have the same length")
+        correct = 0
+        accepted = 0
+        ties = 0
+        static_power = 0.0
+        for codes, label in zip(input_codes_batch, labels):
+            result = self.recognise(codes)
+            if result.winner == label:
+                correct += 1
+            if result.accepted:
+                accepted += 1
+            if result.tie:
+                ties += 1
+            static_power += result.static_power
+        count = input_codes_batch.shape[0]
+        return {
+            "accuracy": correct / count,
+            "acceptance_rate": accepted / count,
+            "tie_rate": ties / count,
+            "mean_static_power": static_power / count,
+        }

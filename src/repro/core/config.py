@@ -1,0 +1,260 @@
+"""Design parameters of the reference associative memory module.
+
+:class:`DesignParameters` gathers every number of Table 2 of the paper
+(template geometry, device parameters, crossbar parasitics) together with
+the handful of operating-point choices discussed in the text (ΔV = 30 mV,
+DWN threshold = 1 µA, 100 MHz input rate, 5-bit WTA resolution) so that
+the whole design is described by a single, serialisable object.  Factory
+helpers derive the component models (memristor, DWN, DACs, parasitics)
+from it, and the sweeps of the analysis layer work by replacing one field
+at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.crossbar.parasitics import WireParasitics
+from repro.devices.dwm import DomainWallMagnet
+from repro.devices.dwn import DwnConfig
+from repro.devices.memristor import MemristorModel
+from repro.devices.mtj import MagneticTunnelJunction
+from repro.devices.transistor import TechnologyParameters
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class DesignParameters:
+    """Complete parameter set of the spin-CMOS associative memory (Table 2).
+
+    Parameters
+    ----------
+    template_shape:
+        Reduced feature-image shape; (16, 8) → 128-element vectors.
+    template_bits:
+        Bit width of the stored template values (5 → 32 levels).
+    num_templates:
+        Number of stored patterns / crossbar columns (40 individuals).
+    input_bits:
+        Bit width of the input feature codes driving the DTCS DACs.
+    wta_resolution_bits:
+        Resolution of the winner-take-all / degree-of-match digitisation.
+    clock_frequency_hz:
+        Input data rate (one recognition per period); 100 MHz.
+    delta_v:
+        DTCS terminal voltage above the clamp rail (V); 30 mV.
+    clamp_voltage:
+        DC level V of the spin-neuron bias rail (V); its absolute value
+        does not enter the computation, only ΔV does.
+    dwn_threshold_current:
+        Switching threshold of the domain-wall neurons (A); 1 µA.
+    dwn_switching_time:
+        Nominal DWN switching time (s); 1.5 ns.
+    dwn_barrier_kt:
+        Free-domain anisotropy barrier in units of kT; 20.
+    free_layer_nm:
+        Free-domain dimensions (thickness, width, length) in nm; 3x22x60.
+    saturation_magnetisation_emu:
+        Free-layer Ms in emu/cm³; 800.
+    mtj_r_parallel_ohm, mtj_r_antiparallel_ohm:
+        MTJ read-stack resistances; 5 kΩ / 15 kΩ.
+    memristor_r_min_ohm, memristor_r_max_ohm:
+        Programmable memristor resistance range; 1 kΩ – 32 kΩ.
+    memristor_write_accuracy:
+        Relative one-sigma write precision; 3 %.
+    wire_resistance_per_um, wire_capacitance_per_um:
+        Copper crossbar parasitics; 1 Ω/µm and 0.4 fF/µm.
+    cell_pitch_um:
+        Crosspoint pitch used to convert per-length parasitics to
+        per-segment values.
+    dom_threshold_fraction:
+        Degree-of-match acceptance threshold as a fraction of full scale;
+        inputs whose winning DOM falls below it are rejected as "not in
+        the stored set".
+    """
+
+    template_shape: Tuple[int, int] = (16, 8)
+    template_bits: int = 5
+    num_templates: int = 40
+    input_bits: int = 5
+    wta_resolution_bits: int = 5
+    clock_frequency_hz: float = 100.0e6
+    delta_v: float = 30.0e-3
+    clamp_voltage: float = 0.1
+    dwn_threshold_current: float = 1.0e-6
+    dwn_switching_time: float = 1.5e-9
+    dwn_barrier_kt: float = 20.0
+    free_layer_nm: Tuple[float, float, float] = (3.0, 22.0, 60.0)
+    saturation_magnetisation_emu: float = 800.0
+    mtj_r_parallel_ohm: float = 5.0e3
+    mtj_r_antiparallel_ohm: float = 15.0e3
+    memristor_r_min_ohm: float = 1.0e3
+    memristor_r_max_ohm: float = 32.0e3
+    memristor_write_accuracy: float = 0.03
+    wire_resistance_per_um: float = 1.0
+    wire_capacitance_per_um: float = 0.4e-15
+    cell_pitch_um: float = 0.1
+    dom_threshold_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_integer("template rows", self.template_shape[0], minimum=1)
+        check_integer("template columns", self.template_shape[1], minimum=1)
+        check_integer("template_bits", self.template_bits, minimum=1)
+        check_integer("num_templates", self.num_templates, minimum=2)
+        check_integer("input_bits", self.input_bits, minimum=1)
+        check_integer("wta_resolution_bits", self.wta_resolution_bits, minimum=1)
+        check_positive("clock_frequency_hz", self.clock_frequency_hz)
+        check_positive("delta_v", self.delta_v)
+        check_positive("clamp_voltage", self.clamp_voltage)
+        check_positive("dwn_threshold_current", self.dwn_threshold_current)
+        check_positive("dwn_switching_time", self.dwn_switching_time)
+        check_positive("dwn_barrier_kt", self.dwn_barrier_kt)
+        check_positive("memristor_r_min_ohm", self.memristor_r_min_ohm)
+        check_positive("memristor_r_max_ohm", self.memristor_r_max_ohm)
+        if self.memristor_r_max_ohm <= self.memristor_r_min_ohm:
+            raise ValueError("memristor_r_max_ohm must exceed memristor_r_min_ohm")
+        if not 0.0 <= self.dom_threshold_fraction < 1.0:
+            raise ValueError("dom_threshold_fraction must be in [0, 1)")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def feature_length(self) -> int:
+        """Number of crossbar rows (template elements); 128 by default."""
+        return self.template_shape[0] * self.template_shape[1]
+
+    @property
+    def wta_levels(self) -> int:
+        """Number of degree-of-match levels (``2**wta_resolution_bits``)."""
+        return 2**self.wta_resolution_bits
+
+    @property
+    def wta_full_scale_current(self) -> float:
+        """Column current mapped to the top WTA code (A).
+
+        Section 4-A: with a 1 µA neuron threshold the maximum dot-product
+        output must exceed ``2**M x 1 µA`` = 32 µA for 5-bit resolution —
+        the WTA LSB equals the neuron threshold.
+        """
+        return self.wta_levels * self.dwn_threshold_current
+
+    @property
+    def clock_period(self) -> float:
+        """Input data period (s)."""
+        return 1.0 / self.clock_frequency_hz
+
+    @property
+    def wta_relative_resolution(self) -> float:
+        """WTA resolution as a fraction of full scale (≈4 % for 5 bits)."""
+        return 1.0 / self.wta_levels
+
+    # ------------------------------------------------------------------ #
+    # Component factories
+    # ------------------------------------------------------------------ #
+    def memristor_model(self, seed=None) -> MemristorModel:
+        """Build the memristor model implied by these parameters."""
+        return MemristorModel(
+            r_min_ohm=self.memristor_r_min_ohm,
+            r_max_ohm=self.memristor_r_max_ohm,
+            write_accuracy=self.memristor_write_accuracy,
+            levels=2**self.template_bits,
+            seed=seed,
+        )
+
+    def wire_parasitics(self) -> WireParasitics:
+        """Build the crossbar wire-parasitics description."""
+        return WireParasitics(
+            resistance_per_um=self.wire_resistance_per_um,
+            capacitance_per_um=self.wire_capacitance_per_um,
+            cell_pitch_um=self.cell_pitch_um,
+        )
+
+    def dwn_config(self, stochastic: bool = False) -> DwnConfig:
+        """Build the domain-wall-neuron configuration."""
+        return DwnConfig(
+            threshold_current=self.dwn_threshold_current,
+            evaluation_time=0.5 * self.clock_period,
+            barrier_kt=self.dwn_barrier_kt,
+            stochastic=stochastic,
+        )
+
+    def domain_wall_magnet(self) -> DomainWallMagnet:
+        """Build the free-domain magnet model (Table 2 dimensions)."""
+        thickness, width, length = self.free_layer_nm
+        return DomainWallMagnet(
+            thickness_nm=thickness,
+            width_nm=width,
+            length_nm=length,
+            ms_emu_per_cm3=self.saturation_magnetisation_emu,
+            barrier_kt=self.dwn_barrier_kt,
+        )
+
+    def mtj(self, variation: float = 0.0, seed=None) -> MagneticTunnelJunction:
+        """Build the MTJ read-stack model."""
+        return MagneticTunnelJunction(
+            r_parallel_ohm=self.mtj_r_parallel_ohm,
+            r_antiparallel_ohm=self.mtj_r_antiparallel_ohm,
+            variation=variation,
+            seed=seed,
+        )
+
+    def technology(self) -> TechnologyParameters:
+        """Build the 45 nm CMOS technology constants."""
+        return TechnologyParameters()
+
+    # ------------------------------------------------------------------ #
+    # Sweep helpers
+    # ------------------------------------------------------------------ #
+    def with_resolution(self, bits: int) -> "DesignParameters":
+        """Copy with a different WTA resolution (Table 1 rows)."""
+        return replace(self, wta_resolution_bits=bits)
+
+    def with_threshold(self, threshold_current: float) -> "DesignParameters":
+        """Copy with a different DWN threshold current (Fig. 13a sweep)."""
+        return replace(self, dwn_threshold_current=threshold_current)
+
+    def with_delta_v(self, delta_v: float) -> "DesignParameters":
+        """Copy with a different terminal voltage (Fig. 9b sweep)."""
+        return replace(self, delta_v=delta_v)
+
+    def with_resistance_range(self, r_min_ohm: float, r_max_ohm: float) -> "DesignParameters":
+        """Copy with a different memristor resistance range (Fig. 9a sweep)."""
+        return replace(
+            self, memristor_r_min_ohm=r_min_ohm, memristor_r_max_ohm=r_max_ohm
+        )
+
+    def table2(self) -> Dict[str, str]:
+        """Render the Table-2 parameter listing as human-readable strings."""
+        thickness, width, length = self.free_layer_nm
+        return {
+            "Template size": (
+                f"{self.template_shape[0]}x{self.template_shape[1]}, "
+                f"{self.template_bits}-bit"
+            ),
+            "# template": str(self.num_templates),
+            "Comparator resolution": f"{self.wta_resolution_bits}-bit",
+            "Input data rate": f"{self.clock_frequency_hz / 1e6:.0f}MHz",
+            "Crossbar parasitics": (
+                f"{self.wire_resistance_per_um:.0f}Ohm/um, "
+                f"{self.wire_capacitance_per_um * 1e15:.1f}fF/um"
+            ),
+            "Crossbar material": "Cu",
+            "Memristor material": "Ag-aSi",
+            "Magnet material": "NiFe",
+            "Free-layer size": f"{thickness:.0f}x{width:.0f}x{length:.0f}nm3",
+            "Ms": f"{self.saturation_magnetisation_emu:.0f} emu/cm3",
+            "Ku2V": f"{self.dwn_barrier_kt:.0f}KT",
+            "Ic": f"{self.dwn_threshold_current * 1e6:.0f}uA",
+            "Tswitch": f"{self.dwn_switching_time * 1e9:.1f}ns",
+            "Resistance range": (
+                f"{self.memristor_r_min_ohm / 1e3:.0f}kOhm to "
+                f"{self.memristor_r_max_ohm / 1e3:.0f}kOhm"
+            ),
+        }
+
+
+def default_parameters() -> DesignParameters:
+    """Return the reference design point of the paper (Table 2)."""
+    return DesignParameters()

@@ -1,0 +1,189 @@
+"""End-to-end face-recognition pipeline.
+
+Ties together the dataset, the Fig. 2 feature-reduction flow and the
+associative memory module:
+
+1. build one template per individual by averaging that individual's
+   reduced images;
+2. program the templates into the crossbar and calibrate the input DACs;
+3. classify images by extracting their features and performing an
+   associative recall.
+
+:func:`build_pipeline` is the one-stop constructor used by the examples
+and the system-accuracy benchmark; :func:`build_default_amm` is a
+convenience wrapper that returns only the programmed
+:class:`~repro.core.amm.AssociativeMemoryModule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.amm import AssociativeMemoryModule, RecognitionResult
+from repro.core.config import DesignParameters, default_parameters
+from repro.datasets.attlike import FaceDataset
+from repro.datasets.features import FeatureExtractor, build_templates, templates_to_matrix
+from repro.utils.rng import RandomState
+
+
+@dataclass(frozen=True)
+class PipelineEvaluation:
+    """Aggregate classification statistics over a dataset.
+
+    Attributes
+    ----------
+    accuracy:
+        Fraction of images whose winning template matches the true class.
+    acceptance_rate:
+        Fraction of images whose DOM cleared the acceptance threshold.
+    tie_rate:
+        Fraction of images for which the WTA reported a tie.
+    mean_static_power:
+        Average static power (W) of the evaluations.
+    per_class_accuracy:
+        Accuracy per class label.
+    count:
+        Number of images evaluated.
+    """
+
+    accuracy: float
+    acceptance_rate: float
+    tie_rate: float
+    mean_static_power: float
+    per_class_accuracy: Dict[int, float]
+    count: int
+
+
+class FaceRecognitionPipeline:
+    """Feature extraction + associative recall, bound to one template set.
+
+    Parameters
+    ----------
+    amm:
+        A programmed associative memory module whose column labels map to
+        dataset class labels.
+    extractor:
+        The feature extractor used both for template construction and for
+        run-time inputs (they must match).
+    """
+
+    def __init__(self, amm: AssociativeMemoryModule, extractor: FeatureExtractor) -> None:
+        if extractor.feature_length != amm.crossbar.rows:
+            raise ValueError(
+                f"extractor produces {extractor.feature_length}-element vectors but the "
+                f"crossbar has {amm.crossbar.rows} rows"
+            )
+        self.amm = amm
+        self.extractor = extractor
+
+    # ------------------------------------------------------------------ #
+    # Single-image interface
+    # ------------------------------------------------------------------ #
+    def classify_image(self, image: np.ndarray) -> RecognitionResult:
+        """Extract features from a raw image and perform associative recall."""
+        codes = self.extractor.extract_codes(image)
+        return self.amm.recognise(codes)
+
+    def classify_codes(self, codes: np.ndarray) -> RecognitionResult:
+        """Recall directly from a pre-extracted feature-code vector."""
+        return self.amm.recognise(codes)
+
+    # ------------------------------------------------------------------ #
+    # Dataset evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, dataset: FaceDataset, limit: Optional[int] = None) -> PipelineEvaluation:
+        """Classify (a subset of) a dataset and report aggregate statistics.
+
+        Parameters
+        ----------
+        dataset:
+            Corpus to classify.
+        limit:
+            Optional cap on the number of images (taken evenly across the
+            corpus) to keep run times manageable in tests.
+        """
+        images = dataset.test_images
+        labels = dataset.test_labels
+        if limit is not None and limit < len(images):
+            indices = np.linspace(0, len(images) - 1, limit).round().astype(int)
+            images = images[indices]
+            labels = labels[indices]
+        correct = 0
+        accepted = 0
+        ties = 0
+        static_power = 0.0
+        per_class_correct: Dict[int, int] = {}
+        per_class_total: Dict[int, int] = {}
+        for image, label in zip(images, labels):
+            result = self.classify_image(image)
+            label = int(label)
+            per_class_total[label] = per_class_total.get(label, 0) + 1
+            if result.winner == label:
+                correct += 1
+                per_class_correct[label] = per_class_correct.get(label, 0) + 1
+            if result.accepted:
+                accepted += 1
+            if result.tie:
+                ties += 1
+            static_power += result.static_power
+        count = len(images)
+        per_class_accuracy = {
+            label: per_class_correct.get(label, 0) / total
+            for label, total in per_class_total.items()
+        }
+        return PipelineEvaluation(
+            accuracy=correct / count,
+            acceptance_rate=accepted / count,
+            tie_rate=ties / count,
+            mean_static_power=static_power / count,
+            per_class_accuracy=per_class_accuracy,
+            count=count,
+        )
+
+
+def build_pipeline(
+    dataset: FaceDataset,
+    parameters: Optional[DesignParameters] = None,
+    extractor: Optional[FeatureExtractor] = None,
+    include_parasitics: bool = True,
+    input_variation: float = 0.0,
+    dac_mismatch_sigma: float = 0.0,
+    stochastic_dwn: bool = False,
+    seed: RandomState = None,
+) -> FaceRecognitionPipeline:
+    """Build templates from ``dataset`` and assemble the full pipeline.
+
+    The design parameters' template geometry is adapted to the dataset
+    (number of classes) when they differ, so the same function serves the
+    reference 40-class configuration and the reduced configurations used
+    in fast tests.
+    """
+    parameters = parameters or default_parameters()
+    extractor = extractor or FeatureExtractor(
+        feature_shape=parameters.template_shape, bits=parameters.template_bits
+    )
+    templates = build_templates(dataset.images, dataset.labels, extractor)
+    matrix, labels = templates_to_matrix(templates)
+    amm = AssociativeMemoryModule.from_templates(
+        template_codes=matrix,
+        parameters=parameters,
+        column_labels=labels,
+        include_parasitics=include_parasitics,
+        input_variation=input_variation,
+        dac_mismatch_sigma=dac_mismatch_sigma,
+        stochastic_dwn=stochastic_dwn,
+        seed=seed,
+    )
+    return FaceRecognitionPipeline(amm=amm, extractor=extractor)
+
+
+def build_default_amm(
+    dataset: FaceDataset,
+    parameters: Optional[DesignParameters] = None,
+    seed: RandomState = None,
+) -> AssociativeMemoryModule:
+    """Convenience constructor returning only the programmed AMM."""
+    return build_pipeline(dataset, parameters=parameters, seed=seed).amm

@@ -1,0 +1,288 @@
+"""Power model of the spin-CMOS associative memory (Fig. 13a, Table 1).
+
+The paper identifies two power components for the proposed design:
+
+* **static power** — the current-mode evaluation current of the RCM flowing
+  across the small terminal voltage ΔV (plus the share sunk by the SAR
+  DACs, which crosses 2ΔV).  Because every current in the design is scaled
+  to the DWN threshold (the WTA LSB), the static power is proportional to
+  the threshold and to ``2**resolution`` — this is the falling curve of
+  Fig. 13a;
+* **dynamic power** — the switched capacitance of the per-column sense
+  latch, SAR register, DAC input gates and the shared winner-tracking
+  logic, clocked ``resolution`` times per input period.  This component is
+  essentially independent of the DWN threshold and dominates once the
+  threshold is scaled down (the flat curve of Fig. 13a).
+
+The model is analytic, parameterised by the 45 nm technology constants and
+a small number of architectural activity factors documented below; it can
+also re-compute the dynamic energy from the *measured* switching-event
+counters that :class:`~repro.core.wta.SpinCmosWta` reports, which is how
+the system benchmark cross-checks the analytic estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import DesignParameters, default_parameters
+from repro.devices.latch import DynamicCmosLatch
+from repro.devices.transistor import TechnologyParameters
+from repro.utils.validation import check_in_range, check_positive
+
+#: Average column current as a fraction of the WTA full scale during an
+#: evaluation (typical degree-of-match values sit below mid-scale).
+DEFAULT_COLUMN_UTILIZATION = 0.40
+#: Extra RCM supply current flowing into the dummy (row-equalising) cells,
+#: as a fraction of the column current.
+DEFAULT_DUMMY_OVERHEAD = 0.15
+#: Average SAR-DAC sink current as a fraction of the WTA full scale over a
+#: conversion (the binary search dwells near the input value).
+DEFAULT_SAR_UTILIZATION = 0.40
+#: Equivalent number of minimum-inverter transitions of the per-column
+#: digital logic (SAR register update, DAC drivers, tracking AND/flop) in
+#: one conversion cycle, including activity factors.
+DEFAULT_GATE_EQUIVALENTS_PER_COLUMN_CYCLE = 4.0
+#: Capacitance of the shared detection line spanning all columns (F).
+DEFAULT_DETECTION_LINE_CAPACITANCE = 4.0e-15
+#: Switched capacitance of one sense-latch operation (F).  Smaller than the
+#: stand-alone latch default because the power-critical layout minimises the
+#: internal node loading.
+DEFAULT_LATCH_CAPACITANCE = 1.0e-15
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Static/dynamic power decomposition of one design point.
+
+    Attributes
+    ----------
+    static_rcm:
+        Static power (W) of the crossbar evaluation currents across ΔV.
+    static_sar_dac:
+        Additional static power (W) of the SAR-DAC current path (which
+        crosses 2ΔV rather than ΔV).
+    dynamic:
+        Dynamic switching power (W) of latches, registers and tracking
+        logic at the input data rate.
+    frequency:
+        Input data rate (Hz) the figures refer to.
+    """
+
+    static_rcm: float
+    static_sar_dac: float
+    dynamic: float
+    frequency: float
+
+    @property
+    def static_total(self) -> float:
+        """Total static power (W)."""
+        return self.static_rcm + self.static_sar_dac
+
+    @property
+    def total(self) -> float:
+        """Total power (W)."""
+        return self.static_total + self.dynamic
+
+    @property
+    def energy_per_recognition(self) -> float:
+        """Energy (J) per input evaluation."""
+        return self.total / self.frequency
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form used by the report formatters."""
+        return {
+            "static_rcm": self.static_rcm,
+            "static_sar_dac": self.static_sar_dac,
+            "static_total": self.static_total,
+            "dynamic": self.dynamic,
+            "total": self.total,
+            "energy_per_recognition": self.energy_per_recognition,
+        }
+
+
+class SpinAmmPowerModel:
+    """Analytic power model of the proposed spin-CMOS AMM.
+
+    Parameters
+    ----------
+    parameters:
+        Design parameters (threshold, resolution, ΔV, clock, array size).
+    technology:
+        45 nm constants used for the digital switching energies.
+    column_utilization, dummy_overhead, sar_utilization:
+        Architectural activity factors (see module constants).
+    gate_equivalents_per_column_cycle:
+        Digital switching activity per column per conversion cycle,
+        expressed in minimum-inverter transitions.
+    latch_capacitance:
+        Switched capacitance per sense operation (F).
+    detection_line_capacitance:
+        Capacitance of the shared detection line (F).
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[DesignParameters] = None,
+        technology: Optional[TechnologyParameters] = None,
+        column_utilization: float = DEFAULT_COLUMN_UTILIZATION,
+        dummy_overhead: float = DEFAULT_DUMMY_OVERHEAD,
+        sar_utilization: float = DEFAULT_SAR_UTILIZATION,
+        gate_equivalents_per_column_cycle: float = DEFAULT_GATE_EQUIVALENTS_PER_COLUMN_CYCLE,
+        latch_capacitance: float = DEFAULT_LATCH_CAPACITANCE,
+        detection_line_capacitance: float = DEFAULT_DETECTION_LINE_CAPACITANCE,
+    ) -> None:
+        self.parameters = parameters or default_parameters()
+        self.technology = technology or TechnologyParameters()
+        check_in_range("column_utilization", column_utilization, 0.0, 1.0)
+        check_in_range("dummy_overhead", dummy_overhead, 0.0, 1.0)
+        check_in_range("sar_utilization", sar_utilization, 0.0, 1.0)
+        check_positive("gate_equivalents_per_column_cycle", gate_equivalents_per_column_cycle)
+        check_positive("latch_capacitance", latch_capacitance)
+        check_positive("detection_line_capacitance", detection_line_capacitance)
+        self.column_utilization = column_utilization
+        self.dummy_overhead = dummy_overhead
+        self.sar_utilization = sar_utilization
+        self.gate_equivalents_per_column_cycle = gate_equivalents_per_column_cycle
+        self.latch = DynamicCmosLatch(
+            supply_voltage=self.technology.supply_voltage,
+            node_capacitance=latch_capacitance,
+        )
+        self.detection_line_capacitance = detection_line_capacitance
+
+    # ------------------------------------------------------------------ #
+    # Static components
+    # ------------------------------------------------------------------ #
+    def rcm_static_power(
+        self,
+        threshold_current: Optional[float] = None,
+        resolution_bits: Optional[int] = None,
+    ) -> float:
+        """Static power (W) of the RCM evaluation currents across ΔV."""
+        parameters = self.parameters
+        threshold = threshold_current or parameters.dwn_threshold_current
+        bits = resolution_bits or parameters.wta_resolution_bits
+        full_scale = (2**bits) * threshold
+        column_current = self.column_utilization * full_scale
+        total_current = (
+            parameters.num_templates * column_current * (1.0 + self.dummy_overhead)
+        )
+        return total_current * parameters.delta_v
+
+    def sar_dac_static_power(
+        self,
+        threshold_current: Optional[float] = None,
+        resolution_bits: Optional[int] = None,
+    ) -> float:
+        """Extra static power (W) of the SAR-DAC sink path (2ΔV drop)."""
+        parameters = self.parameters
+        threshold = threshold_current or parameters.dwn_threshold_current
+        bits = resolution_bits or parameters.wta_resolution_bits
+        full_scale = (2**bits) * threshold
+        sink_current = parameters.num_templates * self.sar_utilization * full_scale
+        return sink_current * parameters.delta_v
+
+    # ------------------------------------------------------------------ #
+    # Dynamic components
+    # ------------------------------------------------------------------ #
+    def dynamic_energy_per_conversion(
+        self, resolution_bits: Optional[int] = None
+    ) -> float:
+        """Switched energy (J) of one full WTA conversion (all columns)."""
+        parameters = self.parameters
+        bits = resolution_bits or parameters.wta_resolution_bits
+        columns = parameters.num_templates
+        per_column_cycle = (
+            self.latch.sense_energy()
+            + self.gate_equivalents_per_column_cycle
+            * self.technology.inverter_switching_energy()
+        )
+        column_energy = columns * bits * per_column_cycle
+        detection_energy = (
+            bits
+            * self.detection_line_capacitance
+            * self.technology.supply_voltage**2
+        )
+        return column_energy + detection_energy
+
+    def dynamic_power(self, resolution_bits: Optional[int] = None) -> float:
+        """Dynamic power (W) at the design's input data rate."""
+        return (
+            self.dynamic_energy_per_conversion(resolution_bits)
+            * self.parameters.clock_frequency_hz
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def breakdown(
+        self,
+        threshold_current: Optional[float] = None,
+        resolution_bits: Optional[int] = None,
+    ) -> PowerBreakdown:
+        """Full static/dynamic decomposition for a design point."""
+        return PowerBreakdown(
+            static_rcm=self.rcm_static_power(threshold_current, resolution_bits),
+            static_sar_dac=self.sar_dac_static_power(threshold_current, resolution_bits),
+            dynamic=self.dynamic_power(resolution_bits),
+            frequency=self.parameters.clock_frequency_hz,
+        )
+
+    def total_power(
+        self,
+        threshold_current: Optional[float] = None,
+        resolution_bits: Optional[int] = None,
+    ) -> float:
+        """Total power (W) for a design point."""
+        return self.breakdown(threshold_current, resolution_bits).total
+
+    def energy_per_recognition(
+        self,
+        threshold_current: Optional[float] = None,
+        resolution_bits: Optional[int] = None,
+    ) -> float:
+        """Energy (J) per evaluated input."""
+        return self.breakdown(
+            threshold_current, resolution_bits
+        ).energy_per_recognition
+
+    # ------------------------------------------------------------------ #
+    # Measured-activity path
+    # ------------------------------------------------------------------ #
+    def dynamic_energy_from_events(self, events: Dict[str, int]) -> float:
+        """Dynamic energy (J) of one conversion from measured event counters.
+
+        Uses the switching-activity dictionary produced by
+        :meth:`repro.core.wta.SpinCmosWta.convert`, so that the power
+        reported for an actual workload reflects its real bit activity
+        rather than the average activity factors.
+        """
+        inverter = self.technology.inverter_switching_energy()
+        energy = 0.0
+        energy += events.get("latch_senses", 0) * self.latch.sense_energy()
+        energy += events.get("sar_bit_writes", 0) * 2.0 * inverter
+        energy += events.get("dac_transitions", 0) * inverter
+        energy += events.get("tracking_writes", 0) * self.parameters.num_templates * inverter
+        energy += (
+            events.get("detection_precharges", 0)
+            * self.detection_line_capacitance
+            * self.technology.supply_voltage**2
+        )
+        return energy
+
+    def power_from_measurement(
+        self, static_power: float, events: Dict[str, int]
+    ) -> PowerBreakdown:
+        """Combine a measured crossbar static power with measured WTA activity."""
+        check_positive("static_power", static_power, allow_zero=True)
+        dynamic = (
+            self.dynamic_energy_from_events(events)
+            * self.parameters.clock_frequency_hz
+        )
+        return PowerBreakdown(
+            static_rcm=static_power,
+            static_sar_dac=self.sar_dac_static_power(),
+            dynamic=dynamic,
+            frequency=self.parameters.clock_frequency_hz,
+        )

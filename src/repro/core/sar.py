@@ -1,0 +1,151 @@
+"""Successive-approximation register (SAR) logic.
+
+The first half of the paper's WTA algorithm (Fig. 10) is a per-column SAR
+analog-to-digital conversion: the column's degree-of-match current is
+digitised by successively trying bits from the MSB down, with the
+domain-wall neuron acting as the comparator and the column's DTCS DAC
+producing the trial current.
+
+:class:`SuccessiveApproximationRegister` implements the digital register
+and its bit-cycling control; it knows nothing about currents, so the same
+class serves the spin-CMOS WTA, the conventional CMOS SAR ADC baseline and
+the unit tests that verify the conversion algorithm against direct
+quantisation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.validation import check_integer
+
+
+class SuccessiveApproximationRegister:
+    """Binary-search register for SAR conversion.
+
+    Usage::
+
+        sar = SuccessiveApproximationRegister(bits=5)
+        sar.begin()
+        while not sar.done:
+            trial = sar.trial_code          # DAC drives this code
+            keep = input_current > dac(trial)
+            sar.resolve_bit(keep)
+        result = sar.code
+
+    Parameters
+    ----------
+    bits:
+        Conversion resolution.
+    """
+
+    def __init__(self, bits: int) -> None:
+        check_integer("bits", bits, minimum=1)
+        self.bits = bits
+        self._code = 0
+        self._bit_index = -1
+        self._started = False
+        self._decisions: List[bool] = []
+
+    # ------------------------------------------------------------------ #
+    # State inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def code(self) -> int:
+        """Current register contents (the conversion result once done)."""
+        return self._code
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable code."""
+        return 2**self.bits - 1
+
+    @property
+    def done(self) -> bool:
+        """True once every bit has been resolved."""
+        return self._started and self._bit_index < 0
+
+    @property
+    def current_bit(self) -> int:
+        """Index of the bit currently under trial (MSB = bits - 1)."""
+        if not self._started or self._bit_index < 0:
+            raise RuntimeError("no conversion in progress")
+        return self._bit_index
+
+    @property
+    def trial_code(self) -> int:
+        """Code currently presented to the DAC (register with the trial bit set)."""
+        if not self._started or self._bit_index < 0:
+            raise RuntimeError("no conversion in progress")
+        return self._code
+
+    @property
+    def decisions(self) -> List[bool]:
+        """Per-bit comparator decisions so far, MSB first."""
+        return list(self._decisions)
+
+    # ------------------------------------------------------------------ #
+    # Conversion control
+    # ------------------------------------------------------------------ #
+    def begin(self) -> int:
+        """Start a conversion: clear the register and set the MSB for trial.
+
+        Returns the first trial code (mid-scale).
+        """
+        self._bit_index = self.bits - 1
+        self._code = 1 << self._bit_index
+        self._started = True
+        self._decisions = []
+        return self._code
+
+    def resolve_bit(self, keep: bool) -> int:
+        """Resolve the bit under trial and set up the next one.
+
+        Parameters
+        ----------
+        keep:
+            Comparator outcome — True when the input exceeded the DAC
+            output, so the trial bit stays set.
+
+        Returns
+        -------
+        The next trial code, or the final code when the conversion is done.
+        """
+        if not self._started or self._bit_index < 0:
+            raise RuntimeError("no conversion in progress")
+        if not keep:
+            self._code &= ~(1 << self._bit_index)
+        self._decisions.append(bool(keep))
+        self._bit_index -= 1
+        if self._bit_index >= 0:
+            self._code |= 1 << self._bit_index
+        return self._code
+
+    def bit_value(self, bit_index: int) -> int:
+        """Return the resolved value (0/1) of a bit of the current code."""
+        check_integer("bit_index", bit_index, minimum=0)
+        if bit_index >= self.bits:
+            raise ValueError(f"bit_index must be < {self.bits}, got {bit_index}")
+        return (self._code >> bit_index) & 1
+
+    # ------------------------------------------------------------------ #
+    # Reference conversion
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def convert_value(cls, value: float, full_scale: float, bits: int) -> int:
+        """Reference SAR conversion of an analog value with an ideal comparator.
+
+        Digitises ``value`` against a DAC with LSB ``full_scale / 2**bits``
+        using the same keep/clear recursion as the hardware; used by tests
+        and by the ideal-detection accuracy analyses.
+        """
+        check_integer("bits", bits, minimum=1)
+        if full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+        sar = cls(bits)
+        sar.begin()
+        lsb = full_scale / (2**bits)
+        while not sar.done:
+            dac_output = sar.trial_code * lsb
+            sar.resolve_bit(value >= dac_output)
+        return sar.code

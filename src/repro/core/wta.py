@@ -1,0 +1,303 @@
+"""Spin-CMOS winner-take-all (Figs. 10-12 of the paper).
+
+Each crossbar column output is received by a domain-wall neuron whose input
+node is clamped at the bias rail.  A per-column DTCS DAC, driven by a
+successive-approximation register, pulls a trial current out of the same
+node; the neuron therefore resolves ``sign(I_column - I_DAC)`` every
+conversion cycle and acts as the SAR comparator.  A fully digital
+"winner-tracking" layer runs in parallel with the conversion:
+
+* after the first (MSB) cycle, the tracking registers (TR) mark the columns
+  whose MSB resolved to 1;
+* in every later cycle, each column's discharge register (DR) is the AND of
+  its TR and its freshly resolved bit; if *any* DR is high the shared
+  detection line (DL) discharges, the TR write is enabled, and only the
+  columns whose bit was 1 remain marked;
+* if no DR is high (no marked column had this bit set) the TR contents are
+  left unchanged.
+
+At the end of the conversion the surviving TR identifies the column with
+the largest degree of match and its SAR register holds the DOM value.
+
+Implementation note: the paper's description seeds the TRs with the MSB
+results directly.  If *no* column resolves its MSB to 1, that scheme would
+leave every TR low and lose the winner; we instead initialise the TRs to
+all-ones and apply the same AND/any-discharge update from the first cycle
+onwards, which is identical whenever at least one MSB is 1 (the normal
+situation, since the input scale is chosen so the best match exceeds
+mid-scale) and remains correct otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.sar import SuccessiveApproximationRegister
+from repro.devices.dwn import DomainWallNeuron, DwnConfig
+from repro.devices.latch import DynamicCmosLatch
+from repro.devices.mtj import MagneticTunnelJunction
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class WtaResult:
+    """Outcome of one winner-take-all conversion.
+
+    Attributes
+    ----------
+    winner:
+        Index of the winning column (lowest index on a tie).
+    dom_code:
+        Degree-of-match code of the winner (the winner's SAR result).
+    codes:
+        SAR conversion result of every column.
+    survivors:
+        Boolean mask of columns whose tracking register remained high.
+    tie:
+        True when more than one column survived (identical codes at the
+        WTA resolution).
+    events:
+        Counters of the digital/analog activity during the conversion,
+        consumed by the power model: latch senses, SAR register bit
+        writes, DAC input transitions, DWN switching events, tracking
+        register writes and detection-line discharges.
+    """
+
+    winner: int
+    dom_code: int
+    codes: np.ndarray
+    survivors: np.ndarray
+    tie: bool
+    events: Dict[str, int]
+
+    def accepted(self, dom_threshold_code: int) -> bool:
+        """Whether the winner's DOM clears the acceptance threshold.
+
+        The paper discards the winner when the DOM is below a predetermined
+        threshold, signalling that the input does not belong to the stored
+        data set.
+        """
+        return self.dom_code >= dom_threshold_code
+
+
+class SpinCmosWta:
+    """SAR-based winner-take-all built from domain-wall neurons.
+
+    Parameters
+    ----------
+    columns:
+        Number of competing inputs (stored templates); 40 in the paper.
+    resolution_bits:
+        WTA / DOM resolution; 5 bits in the reference design.
+    full_scale_current:
+        Column current (A) mapped to the top DOM code.  The DAC LSB is
+        ``full_scale_current / 2**resolution_bits`` and equals the neuron
+        threshold in the reference design.
+    dwn_config:
+        Domain-wall-neuron configuration (threshold, barrier, stochastic
+        switching).
+    dac_gain_sigma:
+        One-sigma relative gain error of each column's SAR DAC (the
+        "single step" in which transistor variation affects the proposed
+        WTA); drawn once per column.
+    latch, mtj:
+        Optional read-stack models shared by all columns.
+    reset_neurons:
+        If True (default), every neuron is pre-set to the -1 state at the
+        start of *each conversion cycle* (a two-phase preset/evaluate
+        operation).  A sub-threshold comparison then resolves to "input
+        below DAC", so the hysteresis of the DWN becomes a uniform one-LSB
+        offset that preserves the ranking between columns.  If False the
+        neurons keep their state across cycles and sub-threshold
+        comparisons return stale decisions, degrading the effective
+        resolution by up to the hysteresis width.
+    seed:
+        Seed or generator for all stochastic elements.
+    """
+
+    def __init__(
+        self,
+        columns: int,
+        resolution_bits: int = 5,
+        full_scale_current: float = 32.0e-6,
+        dwn_config: Optional[DwnConfig] = None,
+        dac_gain_sigma: float = 0.0,
+        latch: Optional[DynamicCmosLatch] = None,
+        mtj: Optional[MagneticTunnelJunction] = None,
+        reset_neurons: bool = True,
+        seed: RandomState = None,
+    ) -> None:
+        check_integer("columns", columns, minimum=1)
+        check_integer("resolution_bits", resolution_bits, minimum=1)
+        check_positive("full_scale_current", full_scale_current)
+        if dac_gain_sigma < 0 or dac_gain_sigma > 0.5:
+            raise ValueError(f"dac_gain_sigma must be in [0, 0.5], got {dac_gain_sigma}")
+        self.columns = columns
+        self.resolution_bits = resolution_bits
+        self.full_scale_current = full_scale_current
+        self.dwn_config = dwn_config or DwnConfig()
+        self.dac_gain_sigma = dac_gain_sigma
+        self.reset_neurons = reset_neurons
+        rng = ensure_rng(seed)
+        neuron_rngs = spawn_children(rng, columns)
+        latch = latch or DynamicCmosLatch()
+        mtj = mtj or MagneticTunnelJunction()
+        self.neurons: List[DomainWallNeuron] = [
+            DomainWallNeuron(
+                config=self.dwn_config,
+                mtj=mtj,
+                latch=latch,
+                seed=neuron_rngs[index],
+            )
+            for index in range(columns)
+        ]
+        if dac_gain_sigma > 0.0:
+            self._dac_gains = 1.0 + rng.normal(0.0, dac_gain_sigma, size=columns)
+        else:
+            self._dac_gains = np.ones(columns)
+
+    # ------------------------------------------------------------------ #
+    # DAC behaviour
+    # ------------------------------------------------------------------ #
+    @property
+    def levels(self) -> int:
+        """Number of DOM levels (``2**resolution_bits``)."""
+        return 2**self.resolution_bits
+
+    @property
+    def lsb_current(self) -> float:
+        """Ideal DAC LSB current (A); equals the neuron threshold by design."""
+        return self.full_scale_current / self.levels
+
+    def dac_current(self, column: int, code: int) -> float:
+        """Trial current (A) generated by a column's SAR DAC for ``code``."""
+        if code < 0 or code >= self.levels:
+            raise ValueError(f"code must be in [0, {self.levels - 1}], got {code}")
+        return float(code * self.lsb_current * self._dac_gains[column])
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def convert(self, column_currents: np.ndarray) -> WtaResult:
+        """Run the full SAR conversion plus winner tracking.
+
+        Parameters
+        ----------
+        column_currents:
+            Degree-of-match currents (A) delivered by the crossbar columns,
+            shape ``(columns,)``.
+        """
+        currents = np.asarray(column_currents, dtype=float)
+        if currents.shape != (self.columns,):
+            raise ValueError(
+                f"column_currents must have shape ({self.columns},), got {currents.shape}"
+            )
+
+        registers = [
+            SuccessiveApproximationRegister(self.resolution_bits)
+            for _ in range(self.columns)
+        ]
+        events = {
+            "latch_senses": 0,
+            "sar_bit_writes": 0,
+            "dac_transitions": 0,
+            "dwn_switches": 0,
+            "tracking_writes": 0,
+            "detection_discharges": 0,
+            "detection_precharges": 0,
+        }
+
+        previous_trial = np.zeros(self.columns, dtype=np.int64)
+        for column, register in enumerate(registers):
+            previous_trial[column] = register.begin()
+            events["sar_bit_writes"] += 1
+
+        tracking = np.ones(self.columns, dtype=bool)
+        switch_baseline = [neuron.switch_count for neuron in self.neurons]
+
+        for cycle in range(self.resolution_bits):
+            events["detection_precharges"] += 1
+            bit_results = np.zeros(self.columns, dtype=bool)
+            for column, register in enumerate(registers):
+                trial_code = register.trial_code
+                dac_current = self.dac_current(column, trial_code)
+                neuron = self.neurons[column]
+                if self.reset_neurons:
+                    neuron.reset(-1)
+                neuron.apply_current(float(currents[column]) - dac_current)
+                decision = neuron.read()
+                events["latch_senses"] += 1
+                keep = decision > 0
+                bit_results[column] = keep
+                next_trial = register.resolve_bit(keep)
+                toggled_bits = bin(int(previous_trial[column]) ^ int(next_trial)).count("1")
+                events["dac_transitions"] += toggled_bits
+                events["sar_bit_writes"] += toggled_bits
+                previous_trial[column] = next_trial
+
+            discharge = tracking & bit_results
+            if discharge.any():
+                events["detection_discharges"] += 1
+                events["tracking_writes"] += 1
+                tracking = discharge
+
+        events["dwn_switches"] = int(
+            sum(
+                neuron.switch_count - baseline
+                for neuron, baseline in zip(self.neurons, switch_baseline)
+            )
+        )
+
+        codes = np.array([register.code for register in registers], dtype=np.int64)
+        survivors = tracking.copy()
+        if survivors.any():
+            candidate_indices = np.flatnonzero(survivors)
+        else:
+            candidate_indices = np.arange(self.columns)
+        winner = int(candidate_indices[np.argmax(codes[candidate_indices])])
+        tie = bool(np.count_nonzero(codes[candidate_indices] == codes[winner]) > 1)
+        return WtaResult(
+            winner=winner,
+            dom_code=int(codes[winner]),
+            codes=codes,
+            survivors=survivors,
+            tie=tie,
+            events=events,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reference behaviour
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def ideal(
+        column_currents: np.ndarray,
+        resolution_bits: int,
+        full_scale_current: float,
+    ) -> WtaResult:
+        """Ideal winner-take-all at the given resolution (no device effects).
+
+        Quantises the column currents with an ideal ADC of the same
+        resolution and full scale, then picks the largest code (lowest
+        index on ties).  Used as the reference in the accuracy analyses of
+        Fig. 3b and in unit tests of the hardware WTA.
+        """
+        check_integer("resolution_bits", resolution_bits, minimum=1)
+        check_positive("full_scale_current", full_scale_current)
+        currents = np.asarray(column_currents, dtype=float)
+        levels = 2**resolution_bits
+        lsb = full_scale_current / levels
+        codes = np.clip(np.floor(currents / lsb), 0, levels - 1).astype(np.int64)
+        winner = int(np.argmax(codes))
+        tie = bool(np.count_nonzero(codes == codes[winner]) > 1)
+        return WtaResult(
+            winner=winner,
+            dom_code=int(codes[winner]),
+            codes=codes,
+            survivors=codes == codes[winner],
+            tie=tie,
+            events={},
+        )

@@ -1,0 +1,205 @@
+"""The resistive crossbar memory array.
+
+:class:`ResistiveCrossbar` owns the programmed conductance state of a
+``rows x columns`` crossbar (rows = input feature dimensions, columns =
+stored templates), together with the per-row dummy conductances that
+equalise the row totals.  It provides the *ideal* (wire-resistance-free)
+current-mode dot product directly; the parasitic-aware evaluation lives in
+:mod:`repro.crossbar.solver`, which consumes the same object.
+
+The ideal analysis follows Section 4-A of the paper.  With the row driven
+by a DTCS DAC of conductance ``G_T(i)`` from a supply ΔV above the clamp
+voltage, and all memristors of the row (total ``G_TS``) terminating at the
+clamp voltage, the row bar settles at::
+
+    V_row(i) = ΔV · G_T(i) / (G_T(i) + G_TS)
+
+and the current through the memristor (i, j) is::
+
+    I(i, j) = ΔV · G_T(i) · G_TS / (G_T(i) + G_TS) · (G(i, j) / G_TS)
+
+The column output current is the sum over rows — the (slightly
+non-linear) dot product between the input-dependent DAC conductances and
+the stored conductances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crossbar.parasitics import WireParasitics
+from repro.crossbar.programming import ProgrammedArray, TemplateProgrammer
+from repro.utils.validation import check_positive, check_shape
+
+
+class ResistiveCrossbar:
+    """A programmed resistive crossbar memory.
+
+    Parameters
+    ----------
+    conductances:
+        Achieved memristor conductance matrix, shape ``(rows, columns)``.
+    dummy_conductances:
+        Per-row dummy conductance (shape ``(rows,)``) terminating at the
+        clamp rail, equalising the row totals.
+    parasitics:
+        Wire parasitics of the metal bars (defaults to Table 2 values).
+    """
+
+    def __init__(
+        self,
+        conductances: np.ndarray,
+        dummy_conductances: Optional[np.ndarray] = None,
+        parasitics: Optional[WireParasitics] = None,
+    ) -> None:
+        conductances = np.asarray(conductances, dtype=float)
+        if conductances.ndim != 2:
+            raise ValueError(
+                f"conductances must be 2-D (rows x columns), got shape {conductances.shape}"
+            )
+        if np.any(conductances <= 0):
+            raise ValueError("all memristor conductances must be positive")
+        self._conductances = conductances.copy()
+        rows = conductances.shape[0]
+        if dummy_conductances is None:
+            dummy_conductances = np.zeros(rows)
+        dummy_conductances = np.asarray(dummy_conductances, dtype=float)
+        check_shape("dummy_conductances", dummy_conductances, (rows,))
+        if np.any(dummy_conductances < 0):
+            raise ValueError("dummy conductances must be non-negative")
+        self._dummy = dummy_conductances.copy()
+        self.parasitics = parasitics or WireParasitics()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_programmed(
+        cls,
+        programmed: ProgrammedArray,
+        parasitics: Optional[WireParasitics] = None,
+    ) -> "ResistiveCrossbar":
+        """Build a crossbar from the result of a :class:`TemplateProgrammer` write."""
+        return cls(
+            conductances=programmed.conductances,
+            dummy_conductances=programmed.dummy_conductances,
+            parasitics=parasitics,
+        )
+
+    @classmethod
+    def from_template_codes(
+        cls,
+        template_codes: np.ndarray,
+        programmer: Optional[TemplateProgrammer] = None,
+        parasitics: Optional[WireParasitics] = None,
+    ) -> "ResistiveCrossbar":
+        """Program template codes (``rows x columns`` integers) into a new crossbar."""
+        programmer = programmer or TemplateProgrammer()
+        programmed = programmer.program(template_codes)
+        return cls.from_programmed(programmed, parasitics=parasitics)
+
+    # ------------------------------------------------------------------ #
+    # Geometry / state
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> int:
+        """Number of rows (input dimensions); 128 in the reference design."""
+        return self._conductances.shape[0]
+
+    @property
+    def columns(self) -> int:
+        """Number of columns (stored templates); 40 in the reference design."""
+        return self._conductances.shape[1]
+
+    @property
+    def conductances(self) -> np.ndarray:
+        """Copy of the memristor conductance matrix (S)."""
+        return self._conductances.copy()
+
+    @property
+    def dummy_conductances(self) -> np.ndarray:
+        """Copy of the per-row dummy conductances (S)."""
+        return self._dummy.copy()
+
+    def row_total_conductances(self) -> np.ndarray:
+        """Total conductance loading each row (memristors + dummy), shape ``(rows,)``."""
+        return self._conductances.sum(axis=1) + self._dummy
+
+    def nominal_row_conductance(self) -> float:
+        """The (equalised) G_TS value: mean of the per-row totals."""
+        return float(self.row_total_conductances().mean())
+
+    def column_total_conductances(self) -> np.ndarray:
+        """Total memristor conductance hanging off each column bar."""
+        return self._conductances.sum(axis=0)
+
+    # ------------------------------------------------------------------ #
+    # Ideal (wire-free) evaluation
+    # ------------------------------------------------------------------ #
+    def row_voltages(self, dac_conductances: np.ndarray, delta_v: float) -> np.ndarray:
+        """Row-bar voltages above the clamp rail for given DAC conductances."""
+        check_positive("delta_v", delta_v)
+        dac = np.asarray(dac_conductances, dtype=float)
+        check_shape("dac_conductances", dac, (self.rows,))
+        if np.any(dac < 0):
+            raise ValueError("DAC conductances must be non-negative")
+        totals = self.row_total_conductances()
+        return delta_v * dac / (dac + totals)
+
+    def column_currents(self, dac_conductances: np.ndarray, delta_v: float) -> np.ndarray:
+        """Ideal column output currents (A) for the given DAC drive.
+
+        Implements the paper's expression
+        ``I(i,j) = ΔV · G_T(i) · G(i,j) / (G_T(i) + G_TS)`` summed over rows.
+        Wire parasitics are ignored here; use
+        :class:`~repro.crossbar.solver.CrossbarSolver` for the full network.
+        """
+        voltages = self.row_voltages(dac_conductances, delta_v)
+        return voltages @ self._conductances
+
+    def column_currents_from_row_currents(self, row_currents: np.ndarray) -> np.ndarray:
+        """Distribute externally-computed row input currents onto the columns.
+
+        Convenience path for analyses that model the input as ideal current
+        sources: each row current splits among that row's memristors (and
+        dummy) in proportion to conductance.
+        """
+        row_currents = np.asarray(row_currents, dtype=float)
+        check_shape("row_currents", row_currents, (self.rows,))
+        totals = self.row_total_conductances()
+        shares = self._conductances / totals[:, None]
+        return row_currents @ shares
+
+    def ideal_dot_product(self, input_values: np.ndarray) -> np.ndarray:
+        """Mathematical dot product of normalised inputs with the stored conductances.
+
+        This is the "ideal comparison" reference used by the accuracy
+        analyses (Fig. 3): no DAC non-linearity, no parasitics, no
+        variations — just ``inputs @ G``.
+        """
+        input_values = np.asarray(input_values, dtype=float)
+        check_shape("input_values", input_values, (self.rows,))
+        return input_values @ self._conductances
+
+    # ------------------------------------------------------------------ #
+    # Power bookkeeping
+    # ------------------------------------------------------------------ #
+    def static_current(self, dac_conductances: np.ndarray, delta_v: float) -> float:
+        """Total static current (A) drawn from the ΔV supply for a given input.
+
+        Includes the share flowing into the dummy conductances, since that
+        current also crosses the ΔV terminal voltage.
+        """
+        voltages = self.row_voltages(dac_conductances, delta_v)
+        per_row = voltages * self.row_total_conductances()
+        return float(per_row.sum())
+
+    def static_power(self, dac_conductances: np.ndarray, delta_v: float) -> float:
+        """Static power (W) dissipated across the ΔV bias for a given input."""
+        return self.static_current(dac_conductances, delta_v) * delta_v
+
+    def total_wire_capacitance(self) -> float:
+        """Total metal-bar capacitance of the array (F), for dynamic-power use."""
+        return self.parasitics.array_capacitance(self.rows, self.columns)

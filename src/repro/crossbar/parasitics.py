@@ -1,0 +1,107 @@
+"""Crossbar wire parasitics.
+
+Table 2 of the paper lists the copper crossbar parasitics used in its SPICE
+model: 1 Ω/µm of wire resistance and 0.4 fF/µm of wire capacitance.  The
+voltage drops across these distributed wire resistances are what limits how
+*low* the memristor resistance range can be pushed (Fig. 9a) and how small
+the terminal voltage ΔV can be made (Fig. 9b): large column currents
+flowing through tens of ohms of wire steal a significant fraction of a
+30 mV signal.
+
+:class:`WireParasitics` converts the per-length figures and the cell pitch
+into the per-segment resistances used by the MNA solver and into total line
+capacitances used by the dynamic-power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+#: Table 2 values.
+DEFAULT_RESISTANCE_PER_UM = 1.0
+DEFAULT_CAPACITANCE_PER_UM = 0.4e-15
+#: Crosspoint pitch assumed for the 128 x 40 array (µm).  This includes the
+#: via landing pads and peripheral routing share per cell.
+DEFAULT_CELL_PITCH_UM = 1.0
+
+
+@dataclass(frozen=True)
+class WireParasitics:
+    """Distributed wire parasitics of the metal crossbar.
+
+    Parameters
+    ----------
+    resistance_per_um:
+        Wire resistance per micrometre (Ω/µm).
+    capacitance_per_um:
+        Wire capacitance per micrometre (F/µm).
+    cell_pitch_um:
+        Distance between adjacent crosspoints along a bar (µm).
+    """
+
+    resistance_per_um: float = DEFAULT_RESISTANCE_PER_UM
+    capacitance_per_um: float = DEFAULT_CAPACITANCE_PER_UM
+    cell_pitch_um: float = DEFAULT_CELL_PITCH_UM
+
+    def __post_init__(self) -> None:
+        check_positive("resistance_per_um", self.resistance_per_um, allow_zero=True)
+        check_positive("capacitance_per_um", self.capacitance_per_um, allow_zero=True)
+        check_positive("cell_pitch_um", self.cell_pitch_um)
+
+    @property
+    def segment_resistance(self) -> float:
+        """Resistance (Ω) of one wire segment between adjacent crosspoints."""
+        return self.resistance_per_um * self.cell_pitch_um
+
+    @property
+    def segment_capacitance(self) -> float:
+        """Capacitance (F) of one wire segment between adjacent crosspoints."""
+        return self.capacitance_per_um * self.cell_pitch_um
+
+    def row_resistance(self, columns: int) -> float:
+        """End-to-end resistance (Ω) of a horizontal bar spanning ``columns`` cells."""
+        if columns < 1:
+            raise ValueError(f"columns must be >= 1, got {columns}")
+        return self.segment_resistance * columns
+
+    def column_resistance(self, rows: int) -> float:
+        """End-to-end resistance (Ω) of an in-plane (column) bar spanning ``rows`` cells."""
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        return self.segment_resistance * rows
+
+    def row_capacitance(self, columns: int) -> float:
+        """Total capacitance (F) of one horizontal bar."""
+        if columns < 1:
+            raise ValueError(f"columns must be >= 1, got {columns}")
+        return self.segment_capacitance * columns
+
+    def column_capacitance(self, rows: int) -> float:
+        """Total capacitance (F) of one column bar."""
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        return self.segment_capacitance * rows
+
+    def array_capacitance(self, rows: int, columns: int) -> float:
+        """Total wire capacitance (F) of the whole array (all bars)."""
+        return rows * self.row_capacitance(columns) + columns * self.column_capacitance(rows)
+
+    def scaled(self, pitch_factor: float) -> "WireParasitics":
+        """Return parasitics for a technology with the pitch scaled by ``pitch_factor``."""
+        check_positive("pitch_factor", pitch_factor)
+        return WireParasitics(
+            resistance_per_um=self.resistance_per_um,
+            capacitance_per_um=self.capacitance_per_um,
+            cell_pitch_um=self.cell_pitch_um * pitch_factor,
+        )
+
+
+def ideal_parasitics() -> WireParasitics:
+    """Parasitics object representing ideal (zero-resistance) wires.
+
+    Used by the margin analyses to separate the non-linearity contribution
+    (low G_TS) from the wire-drop contribution (high G_TS) in Fig. 9a.
+    """
+    return WireParasitics(resistance_per_um=0.0, capacitance_per_um=0.0)

@@ -1,0 +1,193 @@
+"""Programming of template data into memristor conductances.
+
+The paper stores each individual's 128-element, 32-level analog feature
+vector along one column of the crossbar (Section 2).  This module provides
+the mapping from quantised template codes to target conductances, the
+write operation with finite precision, and the computation of the dummy
+conductances that equalise the total conductance ``G_TS`` of every
+horizontal bar ("dummy memristors are added for each horizontal input bar
+such that G_ST is equal for all horizontal bars", Section 4-A) — a
+requirement of the DTCS-DAC current-divider analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.devices.memristor import MemristorModel, ParallelMemristorCell
+from repro.utils.quantize import UniformQuantizer
+from repro.utils.validation import check_integer
+
+
+@dataclass
+class ProgrammedArray:
+    """Outcome of programming a template matrix into the crossbar.
+
+    Attributes
+    ----------
+    target_conductances:
+        Ideal (error-free) conductance matrix, shape ``(rows, columns)``.
+    conductances:
+        Achieved conductances after the finite-precision write.
+    dummy_conductances:
+        Per-row dummy conductance added to equalise the row totals, shape
+        ``(rows,)``.
+    row_total_conductance:
+        The equalised total conductance ``G_TS`` seen by every row's DAC
+        (memristors plus dummy), a scalar.
+    """
+
+    target_conductances: np.ndarray
+    conductances: np.ndarray
+    dummy_conductances: np.ndarray
+    row_total_conductance: float
+
+    @property
+    def rows(self) -> int:
+        """Number of crossbar rows (input dimensions)."""
+        return self.conductances.shape[0]
+
+    @property
+    def columns(self) -> int:
+        """Number of crossbar columns (stored templates)."""
+        return self.conductances.shape[1]
+
+    def write_error(self) -> np.ndarray:
+        """Relative conductance error introduced by the write operation."""
+        return (self.conductances - self.target_conductances) / self.target_conductances
+
+
+class TemplateProgrammer:
+    """Maps template codes to conductances and performs the array write.
+
+    Parameters
+    ----------
+    memristor:
+        Single-cell behavioural model providing the conductance range and
+        the write accuracy.
+    bits:
+        Bit width of the template codes (5 in the reference design).
+    parallel_cells:
+        Number of memristors combined in parallel per stored value; 1 for
+        the baseline design, >1 to emulate the higher-precision composite
+        cells of ref [4].
+    dummy_headroom:
+        Extra conductance margin (relative) added to the equalised row
+        total above the worst-case row sum, so that every row receives a
+        strictly positive dummy conductance.
+    """
+
+    def __init__(
+        self,
+        memristor: Optional[MemristorModel] = None,
+        bits: int = 5,
+        parallel_cells: int = 1,
+        dummy_headroom: float = 0.01,
+    ) -> None:
+        check_integer("bits", bits, minimum=1)
+        check_integer("parallel_cells", parallel_cells, minimum=1)
+        if dummy_headroom < 0:
+            raise ValueError(f"dummy_headroom must be >= 0, got {dummy_headroom}")
+        self.memristor = memristor or MemristorModel()
+        self.bits = bits
+        self.parallel_cells = parallel_cells
+        self.dummy_headroom = dummy_headroom
+        self._cell = (
+            ParallelMemristorCell(self.memristor, parallel_cells)
+            if parallel_cells > 1
+            else None
+        )
+        self._quantizer = UniformQuantizer(bits=bits, minimum=0.0, maximum=1.0)
+
+    # ------------------------------------------------------------------ #
+    # Value mapping
+    # ------------------------------------------------------------------ #
+    def codes_to_values(self, codes: np.ndarray) -> np.ndarray:
+        """Convert integer template codes to normalised values in [0, 1]."""
+        codes = np.asarray(codes)
+        max_code = 2**self.bits - 1
+        if np.any(codes < 0) or np.any(codes > max_code):
+            raise ValueError(f"template codes must be in [0, {max_code}]")
+        return codes.astype(float) / max_code
+
+    def values_to_target_conductances(self, values: np.ndarray) -> np.ndarray:
+        """Ideal conductance for normalised values (no write error)."""
+        if self._cell is not None:
+            return self._cell.value_to_conductance(values)
+        return self.memristor.value_to_conductance(values)
+
+    # ------------------------------------------------------------------ #
+    # Array programming
+    # ------------------------------------------------------------------ #
+    def program(self, template_codes: np.ndarray) -> ProgrammedArray:
+        """Program a ``(rows, columns)`` matrix of template codes.
+
+        Each column is one stored pattern.  Returns the achieved
+        conductance matrix together with the per-row dummy conductances
+        that equalise ``G_TS`` across rows.
+        """
+        template_codes = np.asarray(template_codes)
+        if template_codes.ndim != 2:
+            raise ValueError(
+                f"template_codes must be 2-D (rows x columns), got shape {template_codes.shape}"
+            )
+        values = self.codes_to_values(template_codes)
+        targets = self.values_to_target_conductances(values)
+        if self._cell is not None:
+            programmed = self._cell.program_values(values)
+        else:
+            programmed = self.memristor.program_values(values)
+        dummy, row_total = self._equalise_rows(programmed)
+        return ProgrammedArray(
+            target_conductances=targets,
+            conductances=programmed,
+            dummy_conductances=dummy,
+            row_total_conductance=row_total,
+        )
+
+    def program_values(self, values: np.ndarray) -> ProgrammedArray:
+        """Program a matrix of normalised values (bypasses code quantisation)."""
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D, got shape {values.shape}")
+        quantised = self._quantizer.quantize(values)
+        targets = self.values_to_target_conductances(quantised)
+        if self._cell is not None:
+            programmed = self._cell.program_values(quantised)
+        else:
+            programmed = self.memristor.program_values(quantised)
+        dummy, row_total = self._equalise_rows(programmed)
+        return ProgrammedArray(
+            target_conductances=targets,
+            conductances=programmed,
+            dummy_conductances=dummy,
+            row_total_conductance=row_total,
+        )
+
+    def _equalise_rows(self, conductances: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Compute per-row dummy conductances that equalise the row sums."""
+        row_sums = conductances.sum(axis=1)
+        row_total = float(row_sums.max() * (1.0 + self.dummy_headroom))
+        dummy = row_total - row_sums
+        return dummy, row_total
+
+    # ------------------------------------------------------------------ #
+    # Cost reporting
+    # ------------------------------------------------------------------ #
+    def write_energy(self, rows: int, columns: int) -> float:
+        """Total one-time programming energy (J) for a ``rows x columns`` array."""
+        check_integer("rows", rows, minimum=1)
+        check_integer("columns", columns, minimum=1)
+        per_cell = (
+            self._cell.write_energy() if self._cell is not None else self.memristor.write_energy()
+        )
+        return per_cell * rows * columns
+
+    def effective_precision_bits(self) -> float:
+        """Effective stored-value precision in bits (write accuracy limited)."""
+        if self._cell is not None:
+            return self._cell.effective_bits()
+        return self.memristor.equivalent_bits()

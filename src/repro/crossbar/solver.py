@@ -1,0 +1,277 @@
+"""DC solvers for the resistive crossbar network.
+
+The paper's design parameters (memristor resistance range, ΔV, image
+compression factor) were "determined based on the simulation of RCM model,
+in order to ensure resolvable detection margin" — i.e. on a SPICE DC solve
+of the crossbar including wire parasitics.  This module provides the same
+capability in Python:
+
+* :meth:`CrossbarSolver.solve_ideal` — the analytic solution with
+  zero-resistance wires (equivalent to the expressions of Section 4-A);
+* :meth:`CrossbarSolver.solve` — a full modified-nodal-analysis (MNA)
+  solution of the resistive network with distributed wire segments, DAC
+  source conductances, dummy cells and the finite input resistance of the
+  spin neurons clamping the column outputs.
+
+The MNA network has one node per crosspoint on each horizontal (row) bar
+and each in-plane (column) bar — ``2 · rows · columns`` unknowns, solved
+with a sparse LU factorisation.  For the reference 128x40 array that is a
+10 240-node system, solved in a few milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from repro.crossbar.array import ResistiveCrossbar
+from repro.utils.validation import check_positive, check_shape
+
+#: Effective termination resistance used when the column clamp is ideal.
+MIN_TERMINATION_RESISTANCE_OHM = 1.0e-3
+
+
+@dataclass(frozen=True)
+class CrossbarSolution:
+    """Result of a crossbar DC solve.
+
+    Attributes
+    ----------
+    column_currents:
+        Output current (A) delivered by each column into its termination
+        (the spin-neuron input node), shape ``(columns,)``.
+    row_voltages:
+        Voltage (V, relative to the clamp rail) of every row-bar node,
+        shape ``(rows, columns)``.
+    column_voltages:
+        Voltage of every column-bar node, shape ``(rows, columns)``.
+    supply_current:
+        Total current (A) drawn from the ΔV supply through the input DACs.
+    delta_v:
+        Terminal voltage used for the solve (V).
+    """
+
+    column_currents: np.ndarray
+    row_voltages: np.ndarray
+    column_voltages: np.ndarray
+    supply_current: float
+    delta_v: float
+
+    @property
+    def static_power(self) -> float:
+        """Static power (W) drawn from the ΔV supply during evaluation."""
+        return self.supply_current * self.delta_v
+
+    def winner(self) -> int:
+        """Index of the column with the largest output current (ideal detection)."""
+        return int(np.argmax(self.column_currents))
+
+    def detection_margin(self) -> float:
+        """Relative margin between the best and second-best column currents.
+
+        Defined as ``(I_best - I_second) / I_best``; this is the quantity
+        the detection unit must resolve, plotted in Fig. 9.
+        """
+        if self.column_currents.size < 2:
+            return 1.0
+        ordered = np.sort(self.column_currents)[::-1]
+        best, second = ordered[0], ordered[1]
+        if best <= 0:
+            return 0.0
+        return float((best - second) / best)
+
+
+class CrossbarSolver:
+    """Ideal and parasitic-aware DC evaluation of a programmed crossbar.
+
+    Parameters
+    ----------
+    crossbar:
+        The programmed :class:`~repro.crossbar.array.ResistiveCrossbar`.
+    delta_v:
+        Terminal voltage of the DTCS supply above the clamp rail (V).
+    termination_resistance:
+        Input resistance (Ω) of the device clamping each column output —
+        the magneto-metallic spin neuron presents a few tens of ohms; use
+        0 for an ideal clamp.
+    """
+
+    def __init__(
+        self,
+        crossbar: ResistiveCrossbar,
+        delta_v: float = 30.0e-3,
+        termination_resistance: float = 50.0,
+    ) -> None:
+        check_positive("delta_v", delta_v)
+        if termination_resistance < 0:
+            raise ValueError("termination_resistance must be >= 0")
+        self.crossbar = crossbar
+        self.delta_v = delta_v
+        self.termination_resistance = max(
+            termination_resistance, MIN_TERMINATION_RESISTANCE_OHM
+        )
+
+    # ------------------------------------------------------------------ #
+    # Ideal solve
+    # ------------------------------------------------------------------ #
+    def solve_ideal(self, dac_conductances: np.ndarray) -> CrossbarSolution:
+        """Analytic solution with zero wire resistance.
+
+        The row bars float at the current-divider voltage of Section 4-A
+        and all column nodes sit exactly at the clamp rail.
+        """
+        crossbar = self.crossbar
+        dac = np.asarray(dac_conductances, dtype=float)
+        check_shape("dac_conductances", dac, (crossbar.rows,))
+        row_v = crossbar.row_voltages(dac, self.delta_v)
+        column_currents = row_v @ crossbar.conductances
+        supply_current = float(np.sum(dac * (self.delta_v - row_v)))
+        row_voltages = np.repeat(row_v[:, None], crossbar.columns, axis=1)
+        column_voltages = np.zeros((crossbar.rows, crossbar.columns))
+        return CrossbarSolution(
+            column_currents=column_currents,
+            row_voltages=row_voltages,
+            column_voltages=column_voltages,
+            supply_current=supply_current,
+            delta_v=self.delta_v,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Full MNA solve
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        dac_conductances: np.ndarray,
+        include_parasitics: bool = True,
+    ) -> CrossbarSolution:
+        """Solve the full resistive network.
+
+        Parameters
+        ----------
+        dac_conductances:
+            DAC conductance per row (S), shape ``(rows,)``; zeros are
+            allowed (row not driven).
+        include_parasitics:
+            If False, or if the crossbar's wire resistance is zero, the
+            analytic ideal solution is returned instead of assembling the
+            MNA system.
+        """
+        crossbar = self.crossbar
+        dac = np.asarray(dac_conductances, dtype=float)
+        check_shape("dac_conductances", dac, (crossbar.rows,))
+        if np.any(dac < 0):
+            raise ValueError("DAC conductances must be non-negative")
+        segment_resistance = crossbar.parasitics.segment_resistance
+        if not include_parasitics or segment_resistance == 0.0:
+            return self.solve_ideal(dac)
+
+        rows, cols = crossbar.rows, crossbar.columns
+        conductances = crossbar.conductances
+        dummy = crossbar.dummy_conductances
+        g_wire = 1.0 / segment_resistance
+        g_term = 1.0 / self.termination_resistance
+        n_nodes = 2 * rows * cols
+
+        def row_node(i: int, j: int) -> int:
+            return i * cols + j
+
+        def col_node(i: int, j: int) -> int:
+            return rows * cols + i * cols + j
+
+        entries_i = []
+        entries_j = []
+        entries_v = []
+        rhs = np.zeros(n_nodes)
+
+        def stamp_conductance(a: int, b: int, g: float) -> None:
+            """Stamp a conductance between nodes a and b (b = -1 means ground)."""
+            if g == 0.0:
+                return
+            entries_i.append(a)
+            entries_j.append(a)
+            entries_v.append(g)
+            if b >= 0:
+                entries_i.append(b)
+                entries_j.append(b)
+                entries_v.append(g)
+                entries_i.append(a)
+                entries_j.append(b)
+                entries_v.append(-g)
+                entries_i.append(b)
+                entries_j.append(a)
+                entries_v.append(-g)
+
+        # DAC sources: conductance from the ΔV supply to the first row node,
+        # entered as a conductance to ground plus a Norton current injection.
+        for i in range(rows):
+            node = row_node(i, 0)
+            stamp_conductance(node, -1, dac[i])
+            rhs[node] += dac[i] * self.delta_v
+            # Dummy memristor terminating at the clamp rail.
+            stamp_conductance(node, -1, dummy[i])
+
+        # Row wire segments.
+        for i in range(rows):
+            for j in range(cols - 1):
+                stamp_conductance(row_node(i, j), row_node(i, j + 1), g_wire)
+
+        # Memristors between row and column bars.
+        for i in range(rows):
+            for j in range(cols):
+                stamp_conductance(row_node(i, j), col_node(i, j), conductances[i, j])
+
+        # Column wire segments.
+        for j in range(cols):
+            for i in range(rows - 1):
+                stamp_conductance(col_node(i, j), col_node(i + 1, j), g_wire)
+
+        # Column terminations (spin-neuron input clamp) at the last row end.
+        for j in range(cols):
+            stamp_conductance(col_node(rows - 1, j), -1, g_term)
+
+        matrix = sparse.coo_matrix(
+            (entries_v, (entries_i, entries_j)), shape=(n_nodes, n_nodes)
+        ).tocsr()
+        voltages = spsolve(matrix, rhs)
+
+        row_voltages = voltages[: rows * cols].reshape(rows, cols)
+        column_voltages = voltages[rows * cols :].reshape(rows, cols)
+        column_currents = g_term * column_voltages[rows - 1, :]
+        supply_current = float(np.sum(dac * (self.delta_v - row_voltages[:, 0])))
+        return CrossbarSolution(
+            column_currents=column_currents,
+            row_voltages=row_voltages,
+            column_voltages=column_voltages,
+            supply_current=supply_current,
+            delta_v=self.delta_v,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrappers
+    # ------------------------------------------------------------------ #
+    def solve_for_codes(
+        self,
+        input_codes: np.ndarray,
+        dac,
+        include_parasitics: bool = True,
+    ) -> CrossbarSolution:
+        """Drive the crossbar from integer input codes through a DTCS DAC.
+
+        Parameters
+        ----------
+        input_codes:
+            Integer pixel codes, shape ``(rows,)``.
+        dac:
+            A :class:`~repro.devices.dac.DtcsDac` whose per-code conductance
+            defines the row drive.
+        include_parasitics:
+            Forwarded to :meth:`solve`.
+        """
+        input_codes = np.asarray(input_codes)
+        check_shape("input_codes", input_codes, (self.crossbar.rows,))
+        dac_conductances = dac.conductance_array(input_codes)
+        return self.solve(dac_conductances, include_parasitics=include_parasitics)

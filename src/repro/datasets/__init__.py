@@ -1,0 +1,31 @@
+"""Datasets and feature extraction.
+
+The paper evaluates the associative memory on the AT&T (ORL) Cambridge
+face database: 40 individuals, 10 images each, reduced to 16x8 pixel
+5-bit feature vectors by down-sampling and pixel-wise averaging (Fig. 2).
+That database cannot be redistributed here, so :mod:`repro.datasets.faces`
+provides a synthetic, parametric face-image generator with the same
+structure (40 classes x 10 images, 128x96 8-bit pixels, within-class
+variation from pose/illumination/noise), and
+:mod:`repro.datasets.features` implements the paper's feature-reduction
+flow on top of it.  The substitution is recorded in DESIGN.md.
+"""
+
+from repro.datasets.attlike import FaceDataset, load_default_dataset
+from repro.datasets.faces import SyntheticFaceGenerator
+from repro.datasets.features import (
+    FeatureExtractor,
+    build_templates,
+    downsample_image,
+    normalize_image,
+)
+
+__all__ = [
+    "FaceDataset",
+    "load_default_dataset",
+    "SyntheticFaceGenerator",
+    "FeatureExtractor",
+    "build_templates",
+    "downsample_image",
+    "normalize_image",
+]

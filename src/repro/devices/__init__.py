@@ -1,0 +1,61 @@
+"""Behavioural device models used by the associative-memory designs.
+
+The models follow the simulation framework of the paper (Fig. 14): rather
+than re-running micromagnetic or SPICE device simulations, each device is
+represented by a behavioural model parameterised with the statistical
+characteristics the paper reports (Table 2), and the circuit/system layers
+compose these behavioural models.
+
+Contents
+--------
+
+:class:`~repro.devices.memristor.MemristorModel`
+    Multi-level Ag-Si memristor with bounded conductance range and finite
+    write accuracy.
+:class:`~repro.devices.memristor.ParallelMemristorCell`
+    Parallel combination of several memristors storing one analog value at
+    higher effective precision.
+:class:`~repro.devices.dwm.DomainWallMagnet`
+    Domain-wall magnet strip: critical current, switching time and thermal
+    stability scaling with dimensions (Fig. 5).
+:class:`~repro.devices.dwn.DomainWallNeuron`
+    The "spin neuron": a current-mode comparator with hysteresis built from
+    a DWM free domain, read out through an MTJ (Figs. 6-7).
+:class:`~repro.devices.mtj.MagneticTunnelJunction`
+    Two-state tunnel junction used to read the DWN free-domain polarity.
+:class:`~repro.devices.latch.DynamicCmosLatch`
+    Dynamic CMOS sense latch comparing the DWN MTJ against a reference MTJ.
+:class:`~repro.devices.transistor.TechnologyParameters`,
+:class:`~repro.devices.transistor.MosTransistor`
+    Analytical 45 nm transistor models with Pelgrom mismatch.
+:class:`~repro.devices.dac.DtcsDac`
+    Binary-weighted deep-triode current-source DAC (Fig. 8).
+:class:`~repro.devices.dynamics.DomainWallTransientModel`
+    Time-domain (stochastic collective-coordinate) wall-motion model used
+    for switching-delay and timing-margin studies.
+"""
+
+from repro.devices.dac import DtcsDac, DacCharacteristics
+from repro.devices.dwm import DomainWallMagnet
+from repro.devices.dwn import DomainWallNeuron, DwnConfig
+from repro.devices.dynamics import DomainWallTransientModel, TransientResult
+from repro.devices.latch import DynamicCmosLatch
+from repro.devices.memristor import MemristorModel, ParallelMemristorCell
+from repro.devices.mtj import MagneticTunnelJunction
+from repro.devices.transistor import MosTransistor, TechnologyParameters
+
+__all__ = [
+    "DtcsDac",
+    "DacCharacteristics",
+    "DomainWallMagnet",
+    "DomainWallNeuron",
+    "DomainWallTransientModel",
+    "TransientResult",
+    "DwnConfig",
+    "DynamicCmosLatch",
+    "MemristorModel",
+    "ParallelMemristorCell",
+    "MagneticTunnelJunction",
+    "MosTransistor",
+    "TechnologyParameters",
+]

@@ -1,0 +1,308 @@
+"""Binary-weighted deep-triode current-source (DTCS) DAC.
+
+Section 4-A of the paper introduces the input conversion scheme: each 5-bit
+input pixel drives a small binary-weighted array of PMOS transistors whose
+sources sit at ``V + ΔV`` and whose drains feed a horizontal bar of the
+crossbar, which is clamped close to ``V`` by the low-resistance spin
+neurons.  Because the drain-source voltage is only ΔV ≈ 30 mV, the devices
+operate in *deep triode* and behave as digitally-selected conductances.
+
+The current delivered into the crossbar row is therefore the current
+divider between the DAC conductance ``G_T`` (proportional to the input
+code) and the total row conductance ``G_TS`` (all memristors on that row,
+made equal across rows by dummy cells)::
+
+    I_in = ΔV · G_T · G_TS / (G_T + G_TS)
+
+which is *not* perfectly proportional to the code: a small ``G_TS`` (high
+memristor resistances) bends the characteristic (Fig. 8b) and erodes the
+detection margin (Fig. 9a).  The same DAC structure, driven by the SAR
+register, generates the comparison currents of the WTA (Fig. 11).
+
+The model exposes:
+
+* :meth:`DtcsDac.conductance` — code-to-conductance with per-bit mismatch;
+* :meth:`DtcsDac.output_current` — the loaded (non-linear) output current;
+* :meth:`DtcsDac.characteristics` — a full code sweep with linearity
+  metrics, used by the Fig. 8b bench;
+* sizing helpers that translate a full-scale current requirement into the
+  unit-device conductance and transistor W/L.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.transistor import MosPolarity, MosTransistor, TechnologyParameters
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class DacCharacteristics:
+    """Result of a full code sweep of a DTCS DAC into a given load.
+
+    Attributes
+    ----------
+    codes:
+        Integer input codes ``0 .. 2**bits - 1``.
+    currents:
+        Output current (A) for each code, including loading non-linearity
+        and mismatch.
+    ideal_currents:
+        Currents of a perfectly linear DAC with the same full-scale value.
+    """
+
+    codes: np.ndarray
+    currents: np.ndarray
+    ideal_currents: np.ndarray
+
+    @property
+    def full_scale_current(self) -> float:
+        """Output current at the maximum code (A)."""
+        return float(self.currents[-1])
+
+    @property
+    def lsb_current(self) -> float:
+        """Average LSB step of the actual characteristic (A)."""
+        return self.full_scale_current / (len(self.codes) - 1)
+
+    def integral_nonlinearity(self) -> np.ndarray:
+        """INL per code, in LSBs of the actual characteristic."""
+        return (self.currents - self.ideal_currents) / self.lsb_current
+
+    def differential_nonlinearity(self) -> np.ndarray:
+        """DNL per code transition, in LSBs."""
+        steps = np.diff(self.currents)
+        return steps / self.lsb_current - 1.0
+
+    def max_integral_nonlinearity(self) -> float:
+        """Worst-case |INL| in LSBs — the scalar plotted in Fig. 8b style sweeps."""
+        return float(np.max(np.abs(self.integral_nonlinearity())))
+
+    def relative_nonlinearity(self) -> float:
+        """Worst-case deviation from the ideal line as a fraction of full scale."""
+        denom = self.full_scale_current
+        if denom == 0.0:
+            return 0.0
+        return float(np.max(np.abs(self.currents - self.ideal_currents)) / denom)
+
+
+class DtcsDac:
+    """Binary-weighted deep-triode current-source DAC.
+
+    Parameters
+    ----------
+    bits:
+        Resolution (5 for the paper's input and SAR DACs).
+    unit_conductance:
+        Conductance (S) of the LSB device when switched on.
+    delta_v:
+        Terminal voltage across the DAC/crossbar series combination (V);
+        30 mV in the reference design.
+    mismatch_sigma:
+        One-sigma relative conductance mismatch of each binary-weighted
+        device (from σVT / overdrive); drawn once at construction.
+    technology:
+        Technology constants, used for sizing and energy estimates.
+    seed:
+        Seed or generator for the mismatch draw.
+    """
+
+    def __init__(
+        self,
+        bits: int = 5,
+        unit_conductance: float = 12.5e-6,
+        delta_v: float = 30.0e-3,
+        mismatch_sigma: float = 0.0,
+        technology: Optional[TechnologyParameters] = None,
+        seed: RandomState = None,
+    ) -> None:
+        check_integer("bits", bits, minimum=1)
+        check_positive("unit_conductance", unit_conductance)
+        check_positive("delta_v", delta_v)
+        if mismatch_sigma < 0 or mismatch_sigma > 0.5:
+            raise ValueError(f"mismatch_sigma must be in [0, 0.5], got {mismatch_sigma}")
+        self.bits = bits
+        self.unit_conductance = unit_conductance
+        self.delta_v = delta_v
+        self.mismatch_sigma = mismatch_sigma
+        self.technology = technology or TechnologyParameters()
+        rng = ensure_rng(seed)
+        weights = 2.0 ** np.arange(bits)
+        if mismatch_sigma > 0.0:
+            errors = rng.normal(0.0, mismatch_sigma, size=bits)
+        else:
+            errors = np.zeros(bits)
+        #: Per-bit conductances (S), LSB first, including sampled mismatch.
+        self.bit_conductances = unit_conductance * weights * (1.0 + errors)
+
+    # ------------------------------------------------------------------ #
+    # Code-domain behaviour
+    # ------------------------------------------------------------------ #
+    @property
+    def max_code(self) -> int:
+        """Largest input code (``2**bits - 1``)."""
+        return 2**self.bits - 1
+
+    def conductance(self, code: int) -> float:
+        """Total DAC conductance ``G_T`` (S) for an integer input code."""
+        code = int(code)
+        if code < 0 or code > self.max_code:
+            raise ValueError(f"code must be in [0, {self.max_code}], got {code}")
+        if code == 0:
+            return 0.0
+        bits_set = [(code >> k) & 1 for k in range(self.bits)]
+        return float(np.dot(bits_set, self.bit_conductances))
+
+    def conductance_array(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`conductance` over an integer code array."""
+        codes = np.asarray(codes, dtype=np.int64)
+        if np.any(codes < 0) or np.any(codes > self.max_code):
+            raise ValueError(f"codes must be in [0, {self.max_code}]")
+        masks = ((codes[..., None] >> np.arange(self.bits)) & 1).astype(float)
+        return masks @ self.bit_conductances
+
+    def output_current(self, code: int, load_conductance: float) -> float:
+        """Loaded output current (A) for ``code`` into ``load_conductance``.
+
+        Implements ``I = ΔV · G_T · G_L / (G_T + G_L)`` — the series
+        current divider of Fig. 8.  A very large load recovers the linear
+        characteristic ``I = ΔV · G_T``.
+        """
+        check_positive("load_conductance", load_conductance)
+        g_t = self.conductance(code)
+        if g_t == 0.0:
+            return 0.0
+        return self.delta_v * g_t * load_conductance / (g_t + load_conductance)
+
+    def output_current_array(self, codes: np.ndarray, load_conductance: float) -> np.ndarray:
+        """Vectorised loaded output current for an array of codes."""
+        check_positive("load_conductance", load_conductance)
+        g_t = self.conductance_array(codes)
+        currents = np.zeros_like(g_t)
+        nonzero = g_t > 0
+        currents[nonzero] = (
+            self.delta_v
+            * g_t[nonzero]
+            * load_conductance
+            / (g_t[nonzero] + load_conductance)
+        )
+        return currents
+
+    def unloaded_full_scale_current(self) -> float:
+        """Full-scale current (A) with an ideal (infinite-conductance) load."""
+        return self.delta_v * float(np.sum(self.bit_conductances))
+
+    # ------------------------------------------------------------------ #
+    # Characterisation (Fig. 8b)
+    # ------------------------------------------------------------------ #
+    def characteristics(self, load_conductance: float) -> DacCharacteristics:
+        """Sweep all codes into ``load_conductance`` and report linearity."""
+        codes = np.arange(self.max_code + 1)
+        currents = self.output_current_array(codes, load_conductance)
+        full_scale = currents[-1]
+        ideal = full_scale * codes / self.max_code
+        return DacCharacteristics(codes=codes, currents=currents, ideal_currents=ideal)
+
+    # ------------------------------------------------------------------ #
+    # Sizing helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_full_scale_current(
+        cls,
+        full_scale_current: float,
+        bits: int = 5,
+        delta_v: float = 30.0e-3,
+        load_conductance: Optional[float] = None,
+        mismatch_sigma: float = 0.0,
+        technology: Optional[TechnologyParameters] = None,
+        seed: RandomState = None,
+    ) -> "DtcsDac":
+        """Build a DAC sized to deliver ``full_scale_current`` at the top code.
+
+        If ``load_conductance`` is given, the sizing accounts for the
+        loading current division so that the *loaded* full-scale current
+        matches the request; otherwise the unloaded value is used.
+        """
+        check_positive("full_scale_current", full_scale_current)
+        check_integer("bits", bits, minimum=1)
+        check_positive("delta_v", delta_v)
+        total_weight = float(2**bits - 1)
+        if load_conductance is None:
+            total_conductance = full_scale_current / delta_v
+        else:
+            check_positive("load_conductance", load_conductance)
+            available = delta_v * load_conductance
+            if full_scale_current >= available:
+                raise ValueError(
+                    "requested full-scale current cannot be delivered through "
+                    f"load {load_conductance:.3e} S at delta_v {delta_v:.3e} V"
+                )
+            total_conductance = (
+                full_scale_current
+                * load_conductance
+                / (delta_v * load_conductance - full_scale_current)
+            )
+        return cls(
+            bits=bits,
+            unit_conductance=total_conductance / total_weight,
+            delta_v=delta_v,
+            mismatch_sigma=mismatch_sigma,
+            technology=technology,
+            seed=seed,
+        )
+
+    def unit_device(self) -> MosTransistor:
+        """Return a PMOS sized to provide the unit (LSB) conductance.
+
+        Deep-triode conductance ``g = µCox (W/L)(Vdd - |VT|)`` is solved
+        for the aspect ratio; small LSB conductances need W/L < 1, which is
+        realised by lengthening the channel at minimum width (exactly what
+        the paper's DTCS devices do to deliver micro-ampere currents).
+        """
+        tech = self.technology
+        overdrive = tech.supply_voltage - tech.threshold_voltage
+        aspect = self.unit_conductance / (
+            tech.process_transconductance(MosPolarity.PMOS) * overdrive
+        )
+        minimum_aspect = tech.min_width_nm / tech.min_length_nm
+        if aspect >= minimum_aspect:
+            width_nm = aspect * tech.min_length_nm
+            length_nm = tech.min_length_nm
+        else:
+            width_nm = tech.min_width_nm
+            length_nm = tech.min_width_nm / aspect
+        return MosTransistor(
+            technology=tech,
+            polarity=MosPolarity.PMOS,
+            width_nm=width_nm,
+            length_nm=length_nm,
+        )
+
+    def total_gate_capacitance(self) -> float:
+        """Total gate capacitance (F) switched when the input code changes."""
+        unit = self.unit_device().gate_capacitance()
+        return unit * float(np.sum(2.0 ** np.arange(self.bits)))
+
+    def switching_energy(self, activity: float = 0.5) -> float:
+        """Dynamic energy (J) of one code update with the given bit activity."""
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must be in [0, 1], got {activity}")
+        return activity * self.total_gate_capacitance() * self.technology.supply_voltage**2
+
+    def expected_mismatch_sigma(self) -> float:
+        """Relative conductance mismatch implied by σVT of the unit device.
+
+        In deep triode, ``δg/g = δVT / (Vdd - VT)``, so even the ≈55 mV σVT
+        of a minimum device produces well under 10 % conductance error —
+        and, as the paper notes, this error enters the signal path only
+        once (a "single step"), unlike the cascaded mirrors of the
+        MS-CMOS WTA.
+        """
+        tech = self.technology
+        overdrive = tech.supply_voltage - tech.threshold_voltage
+        return self.unit_device().sigma_vt() / overdrive

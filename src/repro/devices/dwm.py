@@ -1,0 +1,234 @@
+"""Domain-wall magnet (DWM) scaling physics.
+
+Section 3 and Fig. 5 of the paper summarise the device-level behaviour the
+system design relies on:
+
+* a domain wall in a magnetic nano-strip can be displaced by injecting
+  current along the strip, with a *critical current density* of roughly
+  1e6 A/cm² observed experimentally (refs [12-14]);
+* for a scaled strip of cross-section 3 nm x 20 nm the corresponding
+  critical current is about 1 µA, and switching completes in under 1.5 ns;
+* both the critical current and the switching time *scale down with the
+  device dimensions* (Fig. 5b and 5c);
+* the free domain must retain a non-volatility / stability barrier
+  ``Eb``; memory devices need a large barrier (≥ 40 kT) while computing
+  devices can be aggressively scaled (the paper uses Eb = 20 kT).
+
+:class:`DomainWallMagnet` packages those relations.  The model is a
+behavioural 1-D description of current-driven domain-wall motion:
+
+* critical current ``I_c = J_c * (width * thickness)``;
+* above threshold, the domain wall moves with velocity
+  ``v = mobility * (J - J_c)`` (linear viscous regime reported for the
+  massless-wall dynamics of ref [13]);
+* the switching time is the time for the wall to traverse the free-domain
+  length, ``t_sw = length / v``;
+* the thermal stability factor is ``Δ = K_u V / (k_B T)``, expressed in
+  units of kT as in Table 2 (``Ku2V = 20 kT``).
+
+These four relations are sufficient to regenerate Fig. 5b/5c and to expose
+the threshold/retention trade-off explored in the power analysis
+(Fig. 13a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import THERMAL_ENERGY_300K
+from repro.utils.validation import check_positive
+
+#: Experimental critical current density for DWM strips (A/m²); the paper
+#: quotes ~1e6 A/cm² = 1e10 A/m².
+DEFAULT_CRITICAL_CURRENT_DENSITY = 1.0e10
+
+#: Domain-wall mobility in the linear (viscous) regime, chosen so that the
+#: default 3x20x60 nm³ device at twice its critical current switches in the
+#: 1.5 ns quoted in Table 2.  Units: (m/s) per (A/m²) of overdrive.
+DEFAULT_WALL_MOBILITY = 4.0e-9
+
+#: Default free-domain dimensions from the paper (nm): thickness x width x length.
+DEFAULT_THICKNESS_NM = 3.0
+DEFAULT_WIDTH_NM = 20.0
+DEFAULT_LENGTH_NM = 60.0
+
+#: Saturation magnetisation of the NiFe free layer (emu/cm³, Table 2).
+DEFAULT_MS_EMU_PER_CM3 = 800.0
+
+#: Default anisotropy energy barrier in units of kT (Table 2, ``Ku2V``).
+DEFAULT_BARRIER_KT = 20.0
+
+
+@dataclass(frozen=True)
+class DomainWallMagnet:
+    """Behavioural domain-wall magnet strip.
+
+    Parameters
+    ----------
+    thickness_nm, width_nm, length_nm:
+        Free-domain dimensions.  The cross-section (thickness x width)
+        controls the critical current; the length controls the switching
+        (wall transit) time and, together with the cross-section, the
+        thermal barrier.
+    critical_current_density:
+        Threshold current density for wall motion, in A/m².
+    wall_mobility:
+        Wall velocity per unit overdrive current density, in (m/s)/(A/m²).
+    ms_emu_per_cm3:
+        Saturation magnetisation (only used for documentation/energy
+        bookkeeping; the behavioural switching model does not need it).
+    barrier_kt:
+        Anisotropy energy barrier of the free domain at the *reference*
+        dimensions, expressed in units of kT at 300 K.  The barrier of a
+        scaled device is assumed proportional to its volume.
+    """
+
+    thickness_nm: float = DEFAULT_THICKNESS_NM
+    width_nm: float = DEFAULT_WIDTH_NM
+    length_nm: float = DEFAULT_LENGTH_NM
+    critical_current_density: float = DEFAULT_CRITICAL_CURRENT_DENSITY
+    wall_mobility: float = DEFAULT_WALL_MOBILITY
+    ms_emu_per_cm3: float = DEFAULT_MS_EMU_PER_CM3
+    barrier_kt: float = DEFAULT_BARRIER_KT
+
+    def __post_init__(self) -> None:
+        check_positive("thickness_nm", self.thickness_nm)
+        check_positive("width_nm", self.width_nm)
+        check_positive("length_nm", self.length_nm)
+        check_positive("critical_current_density", self.critical_current_density)
+        check_positive("wall_mobility", self.wall_mobility)
+        check_positive("ms_emu_per_cm3", self.ms_emu_per_cm3)
+        check_positive("barrier_kt", self.barrier_kt)
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def cross_section_m2(self) -> float:
+        """Current-carrying cross section (thickness x width) in m²."""
+        return (self.thickness_nm * 1e-9) * (self.width_nm * 1e-9)
+
+    @property
+    def volume_m3(self) -> float:
+        """Free-domain volume in m³."""
+        return self.cross_section_m2 * (self.length_nm * 1e-9)
+
+    def scaled(self, factor: float) -> "DomainWallMagnet":
+        """Return a copy with all three linear dimensions scaled by ``factor``.
+
+        Used by the Fig. 5b/5c sweeps, which explore how the critical
+        current and switching speed improve as the device is shrunk.
+        """
+        check_positive("factor", factor)
+        return DomainWallMagnet(
+            thickness_nm=self.thickness_nm * factor,
+            width_nm=self.width_nm * factor,
+            length_nm=self.length_nm * factor,
+            critical_current_density=self.critical_current_density,
+            wall_mobility=self.wall_mobility,
+            ms_emu_per_cm3=self.ms_emu_per_cm3,
+            barrier_kt=self.barrier_kt * factor**3,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Switching physics
+    # ------------------------------------------------------------------ #
+    @property
+    def critical_current(self) -> float:
+        """Critical (threshold) current for domain-wall motion, in amperes.
+
+        ``I_c = J_c * A`` where ``A`` is the strip cross section.  With the
+        default 3 x 20 nm cross section and 1e6 A/cm² this is ≈ 0.6 µA,
+        consistent with the ≈1 µA threshold the paper quotes for its
+        3x20x60 nm³ device once a safety margin is included.
+        """
+        return self.critical_current_density * self.cross_section_m2
+
+    def wall_velocity(self, current: float) -> float:
+        """Domain-wall velocity (m/s) for a drive ``current`` (A).
+
+        Zero below the critical current; linear in the overdrive current
+        density above it.
+        """
+        current = abs(current)
+        current_density = current / self.cross_section_m2
+        overdrive = current_density - self.critical_current_density
+        if overdrive <= 0:
+            return 0.0
+        return self.wall_mobility * overdrive
+
+    def switching_time(self, current: float) -> float:
+        """Time (s) for the wall to traverse the free domain at ``current``.
+
+        Returns ``inf`` if the current is at or below the critical current.
+        Shorter devices switch faster for the same drive current (Fig. 5c).
+        """
+        velocity = self.wall_velocity(current)
+        if velocity <= 0.0:
+            return float("inf")
+        return (self.length_nm * 1e-9) / velocity
+
+    def minimum_current_for_time(self, switching_time: float) -> float:
+        """Smallest current (A) that completes switching within ``switching_time``.
+
+        Inverse of :meth:`switching_time`; used when sizing the DWN
+        threshold for a target clock period.
+        """
+        check_positive("switching_time", switching_time)
+        required_velocity = (self.length_nm * 1e-9) / switching_time
+        overdrive_density = required_velocity / self.wall_mobility
+        return (self.critical_current_density + overdrive_density) * self.cross_section_m2
+
+    # ------------------------------------------------------------------ #
+    # Thermal stability
+    # ------------------------------------------------------------------ #
+    @property
+    def thermal_stability_factor(self) -> float:
+        """Barrier height Δ = Eb / kT of this device (dimensionless)."""
+        return self.barrier_kt
+
+    @property
+    def barrier_energy_joule(self) -> float:
+        """Anisotropy energy barrier in joules."""
+        return self.barrier_kt * THERMAL_ENERGY_300K
+
+    def retention_time(self, attempt_period: float = 1.0e-9) -> float:
+        """Mean thermally-activated retention time (s), Néel-Arrhenius law.
+
+        ``t = t0 * exp(Δ)`` with attempt period ``t0 ≈ 1 ns``.  Memory
+        devices need Δ ≥ 40 for years of retention; the computing device of
+        the paper accepts Δ = 20 (milliseconds), which is ample for a
+        result that is read within nanoseconds of being written.
+        """
+        check_positive("attempt_period", attempt_period)
+        return attempt_period * float(np.exp(self.thermal_stability_factor))
+
+    def random_switching_probability(self, duration: float, attempt_period: float = 1.0e-9) -> float:
+        """Probability of a spurious thermal flip within ``duration`` seconds."""
+        check_positive("duration", duration)
+        rate = 1.0 / self.retention_time(attempt_period)
+        return float(1.0 - np.exp(-rate * duration))
+
+    def switching_energy(self, current: float) -> float:
+        """Joule dissipation of one switching event at the given drive current.
+
+        The free domain is metallic with a resistance of a few tens of ohms;
+        the dominant term at the ≈µA currents used here is negligible
+        compared to the CMOS peripheral energy, but it is reported for
+        completeness: ``E = I² * R_strip * t_switch``.
+        """
+        resistance = self.strip_resistance()
+        t_sw = self.switching_time(current)
+        if not np.isfinite(t_sw):
+            return float("inf")
+        return current**2 * resistance * t_sw
+
+    def strip_resistance(self, resistivity_ohm_m: float = 2.0e-7) -> float:
+        """Electrical resistance (ohm) of the free-domain strip.
+
+        Permalloy (NiFe) resistivity is ≈ 20 µΩ·cm = 2e-7 Ω·m.
+        """
+        length_m = self.length_nm * 1e-9
+        return resistivity_ohm_m * length_m / self.cross_section_m2

@@ -1,0 +1,195 @@
+"""Transient (time-domain) model of current-driven domain-wall motion.
+
+The behavioural comparator model in :mod:`repro.devices.dwn` abstracts the
+domain-wall neuron to a threshold with a switching time.  This module
+provides the next level of detail — the 1-D collective-coordinate picture
+that the paper's micromagnetic simulations reduce to for system-level use:
+
+* the wall position ``q(t)`` along the free domain advances with a velocity
+  proportional to the current-density overdrive (the viscous regime of the
+  referenced experiments);
+* thermal agitation adds a random walk component whose magnitude follows
+  from the fluctuation-dissipation relation, parameterised here through the
+  device's thermal stability factor;
+* the device has *switched* once the wall has traversed the free-domain
+  length.
+
+The transient model is used to study the switching-delay distribution of
+the spin neuron (how much timing margin the 100 MHz clock really has) and
+the error rate of marginal comparisons — effects that the quasi-static
+threshold model cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.dwm import DomainWallMagnet
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Outcome of one transient simulation.
+
+    Attributes
+    ----------
+    times:
+        Simulation time points (s).
+    positions:
+        Normalised wall position (0 = start, 1 = fully switched) at each
+        time point, clipped to [0, 1].
+    switched:
+        Whether the wall reached the far end within the simulated window.
+    switching_time:
+        First time (s) at which the wall reached the far end, or ``inf``.
+    """
+
+    times: np.ndarray
+    positions: np.ndarray
+    switched: bool
+    switching_time: float
+
+
+@dataclass
+class DomainWallTransientModel:
+    """1-D stochastic transient model of the DWN free-domain wall.
+
+    Parameters
+    ----------
+    magnet:
+        The free-domain magnet providing geometry, mobility and the
+        critical current.
+    temperature_factor:
+        Scales the thermal random-walk amplitude; 1.0 corresponds to the
+        fluctuation level implied by the device's 20 kT barrier at room
+        temperature, 0 disables thermal noise (deterministic motion).
+    time_step:
+        Integration step (s).
+    seed:
+        Seed or generator for the thermal noise.
+    """
+
+    magnet: DomainWallMagnet = field(default_factory=DomainWallMagnet)
+    temperature_factor: float = 1.0
+    time_step: float = 25.0e-12
+    seed: RandomState = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("temperature_factor", self.temperature_factor, allow_zero=True)
+        check_positive("time_step", self.time_step)
+        self._rng = ensure_rng(self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Elementary quantities
+    # ------------------------------------------------------------------ #
+    def drift_velocity(self, current: float) -> float:
+        """Deterministic wall velocity (m/s), signed with the drive current."""
+        magnitude = self.magnet.wall_velocity(current)
+        return float(np.sign(current) * magnitude)
+
+    def diffusion_coefficient(self) -> float:
+        """Effective wall diffusion coefficient (m²/s) from thermal agitation.
+
+        Scaled so that over one nominal switching time the RMS thermal
+        displacement is a fraction ``1/sqrt(Δ)`` of the free-domain length —
+        i.e. a 20 kT device wanders by ~22 % of its length, consistent with
+        the soft switching boundary the behavioural model expresses through
+        its thermally-assisted switching probability.
+        """
+        length = self.magnet.length_nm * 1e-9
+        nominal_time = self.magnet.switching_time(2.0 * self.magnet.critical_current)
+        wander = length / np.sqrt(self.magnet.thermal_stability_factor)
+        return float(self.temperature_factor * wander**2 / (2.0 * nominal_time))
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self,
+        current: float,
+        duration: float = 5.0e-9,
+        initial_position: float = 0.0,
+    ) -> TransientResult:
+        """Integrate the wall motion under a constant drive current.
+
+        Parameters
+        ----------
+        current:
+            Drive current (A); positive drives the wall towards the
+            switched (position = 1) end.
+        duration:
+            Simulated window (s); the DWN evaluation phase is ~5 ns at the
+            100 MHz input rate.
+        initial_position:
+            Normalised starting position in [0, 1].
+        """
+        check_positive("duration", duration)
+        if not 0.0 <= initial_position <= 1.0:
+            raise ValueError("initial_position must lie in [0, 1]")
+        length = self.magnet.length_nm * 1e-9
+        steps = max(1, int(round(duration / self.time_step)))
+        times = np.arange(steps + 1) * self.time_step
+        positions = np.empty(steps + 1)
+        positions[0] = initial_position
+
+        drift = self.drift_velocity(current) / length
+        if self.temperature_factor > 0.0:
+            noise_sigma = np.sqrt(2.0 * self.diffusion_coefficient() * self.time_step) / length
+        else:
+            noise_sigma = 0.0
+
+        switched_at = float("inf")
+        position = initial_position
+        for step in range(1, steps + 1):
+            kick = self._rng.normal(0.0, noise_sigma) if noise_sigma > 0 else 0.0
+            position = position + drift * self.time_step + kick
+            position = min(1.0, max(0.0, position))
+            positions[step] = position
+            if position >= 1.0 and not np.isfinite(switched_at):
+                switched_at = float(times[step])
+        return TransientResult(
+            times=times,
+            positions=positions,
+            switched=bool(np.isfinite(switched_at)),
+            switching_time=switched_at,
+        )
+
+    def switching_time_distribution(
+        self,
+        current: float,
+        trials: int = 50,
+        duration: float = 5.0e-9,
+    ) -> np.ndarray:
+        """Switching times (s) over repeated thermal trials (``inf`` = no switch)."""
+        check_integer("trials", trials, minimum=1)
+        return np.array(
+            [self.simulate(current, duration=duration).switching_time for _ in range(trials)]
+        )
+
+    def switching_probability(
+        self,
+        current: float,
+        duration: float = 5.0e-9,
+        trials: int = 50,
+    ) -> float:
+        """Monte-Carlo switching probability within ``duration`` at ``current``."""
+        times = self.switching_time_distribution(current, trials=trials, duration=duration)
+        return float(np.mean(np.isfinite(times)))
+
+    def timing_margin(self, current: float, clock_period: float = 10.0e-9) -> float:
+        """Deterministic timing slack (s) of the evaluation phase.
+
+        Half the clock period is allotted to the evaluate phase; the slack
+        is that window minus the drift-only switching time (negative when
+        the device cannot switch in time).
+        """
+        check_positive("clock_period", clock_period)
+        window = clock_period / 2.0
+        nominal = self.magnet.switching_time(current)
+        return float(window - nominal)

@@ -1,0 +1,104 @@
+"""Dynamic CMOS sense latch used to read the domain-wall neuron state.
+
+Fig. 7b of the paper: a clocked cross-coupled latch whose two load branches
+discharge through (a) the DWN's MTJ and (b) a reference MTJ whose
+resistance lies midway between the MTJ's parallel and anti-parallel
+values.  The branch with the smaller resistance discharges faster and wins
+the regeneration, so the latch digitises the MTJ state.  Because the read
+current is a short transient, it does not disturb the magnetic state.
+
+The behavioural model captures what matters at the system level:
+
+* a *decision*: which branch had the lower effective resistance, including
+  a random input-referred offset resistance (transistor mismatch);
+* an *energy per sense operation*: the charge taken from the supply to
+  pre-charge and regenerate the latch nodes, ``E = C_latch · Vdd²``; this
+  is one of the dominant dynamic-energy terms of the proposed design
+  (Fig. 13a);
+* a *sense time* bounded by the discharge RC, small compared to the 10 ns
+  cycle at 100 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class DynamicCmosLatch:
+    """Clocked resistance-comparing sense latch.
+
+    Parameters
+    ----------
+    supply_voltage:
+        Pre-charge supply (V); 1.0 V for the 45 nm node.
+    node_capacitance:
+        Total switched capacitance per sense operation (F).  A handful of
+        minimum 45 nm devices plus wiring is of the order of 1-2 fF.
+    offset_sigma_ohm:
+        One-sigma input-referred offset expressed as an equivalent
+        resistance imbalance between the two branches (ohm).  Transistor
+        mismatch in the cross-coupled pair translates into an effective
+        resistance offset of a few hundred ohms for minimum devices, well
+        below the 5 kΩ read margin of the MTJ stack.
+    sense_time:
+        Nominal regeneration time (s).
+    """
+
+    supply_voltage: float = 1.0
+    node_capacitance: float = 2.0e-15
+    offset_sigma_ohm: float = 200.0
+    sense_time: float = 0.5e-9
+
+    def __post_init__(self) -> None:
+        check_positive("supply_voltage", self.supply_voltage)
+        check_positive("node_capacitance", self.node_capacitance)
+        check_in_range("offset_sigma_ohm", self.offset_sigma_ohm, 0.0, 1.0e6)
+        check_positive("sense_time", self.sense_time)
+
+    def sense(
+        self,
+        device_resistance: float,
+        reference_resistance: float,
+        rng: np.random.Generator = None,
+    ) -> bool:
+        """Resolve one comparison between the device and reference branches.
+
+        Returns True when the device branch has the lower effective
+        resistance (discharges faster), i.e. when the MTJ is in its
+        parallel (low-resistance) state, possibly corrupted by latch
+        offset.
+        """
+        check_positive("device_resistance", device_resistance)
+        check_positive("reference_resistance", reference_resistance)
+        offset = 0.0
+        if self.offset_sigma_ohm > 0.0 and rng is not None:
+            offset = float(rng.normal(0.0, self.offset_sigma_ohm))
+        return (device_resistance + offset) < reference_resistance
+
+    def sense_energy(self) -> float:
+        """Energy drawn from the supply per sense operation (J)."""
+        return self.node_capacitance * self.supply_voltage**2
+
+    def error_probability(self, resistance_margin_ohm: float) -> float:
+        """Probability of a wrong decision for a given resistance margin.
+
+        ``resistance_margin_ohm`` is the gap between the branch being sensed
+        and the reference (≈ 5 kΩ for the paper's MTJ).  With Gaussian
+        offset, the error probability is the tail beyond the margin.
+        """
+        check_positive("resistance_margin_ohm", resistance_margin_ohm)
+        if self.offset_sigma_ohm == 0.0:
+            return 0.0
+        from scipy.stats import norm
+
+        return float(norm.sf(resistance_margin_ohm / self.offset_sigma_ohm))
+
+    def discharge_time(self, branch_resistance: float) -> float:
+        """RC discharge time constant of one branch (s)."""
+        check_positive("branch_resistance", branch_resistance)
+        return branch_resistance * self.node_capacitance

@@ -1,0 +1,257 @@
+"""Multi-level Ag-Si memristor model.
+
+Section 2 of the paper summarises what the design needs from the memristor
+technology:
+
+* a continuous (multi-level) conductance range, here 1 kΩ – 32 kΩ
+  (Table 2), i.e. a 32:1 resistance ratio;
+* a finite *write accuracy*: the paper uses 3 % write precision,
+  "equivalent to 5 bits", noting that 0.3 % (8-bit) tuning has been
+  demonstrated but costs much more write energy;
+* the option of storing one analog value in a *parallel combination* of
+  several memristors to gain effective precision beyond the single-cell
+  write accuracy (ref [4] of the paper).
+
+:class:`MemristorModel` captures exactly this behavioural contract: it maps
+normalised template values to target conductances, applies write error and
+optional read noise, and reports write energy so that the analysis layer
+can reason about precision/energy trade-offs.  The I-V characteristic of
+the programmed device is assumed ohmic over the small (≈30 mV) operating
+voltage used by the design, which is the same assumption the paper's SPICE
+model makes for read-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+#: Default resistance bounds from Table 2 of the paper.
+DEFAULT_R_MIN_OHM = 1.0e3
+DEFAULT_R_MAX_OHM = 32.0e3
+
+#: Default relative write accuracy used in the paper (3 %, ≈ 5 bits).
+DEFAULT_WRITE_ACCURACY = 0.03
+
+#: Write energy of a single multi-level programming operation, used for
+#: relative comparisons only.  Programming precision beyond this baseline
+#: is modelled as requiring geometrically more verify pulses.
+BASE_WRITE_ENERGY_J = 1.0e-12
+
+
+@dataclass
+class MemristorModel:
+    """Behavioural multi-level Ag-Si memristor.
+
+    Parameters
+    ----------
+    r_min_ohm, r_max_ohm:
+        Lowest and highest programmable resistance.  ``g_max = 1/r_min`` is
+        the largest conductance, reached by the largest stored value.
+    write_accuracy:
+        One-sigma relative error of the programmed conductance (e.g. 0.03
+        for the 3 % write precision used in the paper).
+    read_noise:
+        One-sigma relative fluctuation added on every read (cycle-to-cycle
+        conductance noise); 0 disables it.
+    levels:
+        Number of discrete programming levels targeted by the write
+        circuitry (the paper stores 32-level, i.e. 5-bit, template values).
+    seed:
+        Seed or generator for the stochastic write/read errors.
+    """
+
+    r_min_ohm: float = DEFAULT_R_MIN_OHM
+    r_max_ohm: float = DEFAULT_R_MAX_OHM
+    write_accuracy: float = DEFAULT_WRITE_ACCURACY
+    read_noise: float = 0.0
+    levels: int = 32
+    seed: RandomState = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("r_min_ohm", self.r_min_ohm)
+        check_positive("r_max_ohm", self.r_max_ohm)
+        if self.r_max_ohm <= self.r_min_ohm:
+            raise ValueError(
+                f"r_max_ohm ({self.r_max_ohm}) must exceed r_min_ohm ({self.r_min_ohm})"
+            )
+        check_in_range("write_accuracy", self.write_accuracy, 0.0, 0.5)
+        check_in_range("read_noise", self.read_noise, 0.0, 0.5)
+        check_integer("levels", self.levels, minimum=2)
+        self._rng = ensure_rng(self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Conductance range helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def g_min(self) -> float:
+        """Smallest programmable conductance (siemens)."""
+        return 1.0 / self.r_max_ohm
+
+    @property
+    def g_max(self) -> float:
+        """Largest programmable conductance (siemens)."""
+        return 1.0 / self.r_min_ohm
+
+    @property
+    def conductance_ratio(self) -> float:
+        """Dynamic range ``g_max / g_min`` (32 for the default 1 kΩ–32 kΩ)."""
+        return self.g_max / self.g_min
+
+    def level_conductances(self) -> np.ndarray:
+        """Return the ideal conductance of each programming level.
+
+        Level 0 maps to ``g_min`` and the top level to ``g_max`` on a linear
+        conductance scale, which is how the paper stores 32-level analog
+        pattern values (the dot product is linear in conductance).
+        """
+        return np.linspace(self.g_min, self.g_max, self.levels)
+
+    # ------------------------------------------------------------------ #
+    # Programming
+    # ------------------------------------------------------------------ #
+    def value_to_conductance(self, values: np.ndarray) -> np.ndarray:
+        """Map normalised template values in ``[0, 1]`` to target conductances."""
+        values = np.asarray(values, dtype=float)
+        if np.any(values < -1e-9) or np.any(values > 1 + 1e-9):
+            raise ValueError("normalised values must lie in [0, 1]")
+        values = np.clip(values, 0.0, 1.0)
+        return self.g_min + values * (self.g_max - self.g_min)
+
+    def conductance_to_value(self, conductances: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`value_to_conductance` (clipped to [0, 1])."""
+        conductances = np.asarray(conductances, dtype=float)
+        values = (conductances - self.g_min) / (self.g_max - self.g_min)
+        return np.clip(values, 0.0, 1.0)
+
+    def program(self, target_conductance: np.ndarray) -> np.ndarray:
+        """Program target conductances and return the achieved conductances.
+
+        The achieved conductance is the target perturbed by a Gaussian
+        relative error of one sigma ``write_accuracy`` and clipped to the
+        programmable range — the behavioural summary of iterative
+        write-verify tuning reported for Ag-Si devices.
+        """
+        target = np.asarray(target_conductance, dtype=float)
+        if np.any(target < self.g_min - 1e-15) or np.any(target > self.g_max + 1e-15):
+            raise ValueError(
+                "target conductance outside the programmable range "
+                f"[{self.g_min:.3e}, {self.g_max:.3e}] S"
+            )
+        if self.write_accuracy == 0.0:
+            return np.clip(target, self.g_min, self.g_max)
+        error = self._rng.normal(0.0, self.write_accuracy, size=target.shape)
+        achieved = target * (1.0 + error)
+        return np.clip(achieved, self.g_min, self.g_max)
+
+    def program_values(self, values: np.ndarray) -> np.ndarray:
+        """Program normalised values in ``[0, 1]``; convenience wrapper."""
+        return self.program(self.value_to_conductance(values))
+
+    def read(self, programmed_conductance: np.ndarray) -> np.ndarray:
+        """Return the conductance observed during a read operation.
+
+        Adds cycle-to-cycle read noise when ``read_noise`` is non-zero.
+        """
+        programmed = np.asarray(programmed_conductance, dtype=float)
+        if self.read_noise == 0.0:
+            return programmed.copy()
+        noise = self._rng.normal(0.0, self.read_noise, size=programmed.shape)
+        return np.clip(programmed * (1.0 + noise), 0.0, None)
+
+    # ------------------------------------------------------------------ #
+    # Write cost model
+    # ------------------------------------------------------------------ #
+    def write_energy(self, accuracy: Optional[float] = None) -> float:
+        """Energy (J) of programming one cell to the given relative accuracy.
+
+        The paper notes that the write energy "may increase significantly
+        for higher precision requirements".  We model the cost of the
+        iterative write-verify loop as inversely proportional to the target
+        accuracy relative to a 3 % baseline: programming to 0.3 % (8-bit)
+        costs ten times the pulses, hence ten times the energy, of
+        programming to 3 % (5-bit).
+        """
+        accuracy = self.write_accuracy if accuracy is None else accuracy
+        check_in_range("accuracy", accuracy, 1e-4, 0.5)
+        return BASE_WRITE_ENERGY_J * (DEFAULT_WRITE_ACCURACY / accuracy)
+
+    def equivalent_bits(self) -> float:
+        """Precision of a single write expressed in bits (log2 of 1/accuracy)."""
+        return float(np.log2(1.0 / self.write_accuracy))
+
+
+@dataclass
+class ParallelMemristorCell:
+    """One analog value stored as a parallel combination of several memristors.
+
+    The paper (citing ref [4]) notes that "for a given write-precision,
+    larger number of bits can be obtained by using parallel combination of
+    multiple memristors to store a single analog value".  A parallel
+    combination of ``n`` independently-written devices has the sum of their
+    conductances, so independent write errors average down by ``sqrt(n)``
+    while the usable conductance range scales by ``n``.
+
+    Parameters
+    ----------
+    memristor:
+        The underlying single-cell model (range and write accuracy).
+    count:
+        Number of parallel devices per stored value.
+    """
+
+    memristor: MemristorModel
+    count: int = 2
+
+    def __post_init__(self) -> None:
+        check_integer("count", self.count, minimum=1)
+
+    @property
+    def g_min(self) -> float:
+        """Minimum cell conductance: all devices at their lowest state."""
+        return self.count * self.memristor.g_min
+
+    @property
+    def g_max(self) -> float:
+        """Maximum cell conductance: all devices at their highest state."""
+        return self.count * self.memristor.g_max
+
+    def effective_write_accuracy(self) -> float:
+        """Expected relative accuracy of the composite cell (≈ σ/√n)."""
+        return self.memristor.write_accuracy / np.sqrt(self.count)
+
+    def effective_bits(self) -> float:
+        """Effective precision in bits of the composite cell."""
+        return float(np.log2(1.0 / self.effective_write_accuracy()))
+
+    def program_values(self, values: np.ndarray) -> np.ndarray:
+        """Program normalised values, splitting each equally across devices.
+
+        Returns the achieved composite conductance (sum over the parallel
+        devices).
+        """
+        values = np.asarray(values, dtype=float)
+        total = np.zeros_like(values, dtype=float)
+        for _ in range(self.count):
+            total = total + self.memristor.program_values(values)
+        return total
+
+    def value_to_conductance(self, values: np.ndarray) -> np.ndarray:
+        """Ideal composite conductance for normalised values."""
+        return self.count * self.memristor.value_to_conductance(values)
+
+    def conductance_to_value(self, conductances: np.ndarray) -> np.ndarray:
+        """Recover normalised values from composite conductances."""
+        conductances = np.asarray(conductances, dtype=float) / self.count
+        return self.memristor.conductance_to_value(conductances)
+
+    def write_energy(self) -> float:
+        """Total write energy of the composite cell (all parallel devices)."""
+        return self.count * self.memristor.write_energy()

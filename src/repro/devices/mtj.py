@@ -1,0 +1,113 @@
+"""Magnetic tunnel junction (MTJ) read stack of the domain-wall neuron.
+
+Section 3 of the paper: "A magnetic tunnel junction (MTJ), formed between a
+fixed polarity magnet m1 and d2 is used to read the state of d2.  The
+effective resistance of the MTJ is smaller when m1 and d2 have the same
+spin-polarity and vice-versa (R_parallel ≈ 5 kΩ and R_anti-parallel ≈
+15 kΩ)."  A *reference* MTJ whose resistance is midway between the two is
+used as the second load branch of the dynamic sense latch.
+
+The model is deliberately simple — two resistance states plus device-to-
+device variation — because only the read margin (resistance contrast seen
+by the latch) matters at the system level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_in_range, check_positive
+
+#: Default parallel-state resistance from the paper (ohm).
+DEFAULT_R_PARALLEL_OHM = 5.0e3
+#: Default anti-parallel-state resistance from the paper (ohm).
+DEFAULT_R_ANTIPARALLEL_OHM = 15.0e3
+
+
+@dataclass
+class MagneticTunnelJunction:
+    """Two-state MTJ with optional device-to-device resistance variation.
+
+    Parameters
+    ----------
+    r_parallel_ohm:
+        Resistance when the free and pinned layers are parallel.
+    r_antiparallel_ohm:
+        Resistance when the layers are anti-parallel.
+    variation:
+        One-sigma relative device-to-device variation applied once at
+        construction to both resistance states (correlated, as both scale
+        with the junction area and oxide thickness).
+    seed:
+        Seed or generator for the variation draw.
+    """
+
+    r_parallel_ohm: float = DEFAULT_R_PARALLEL_OHM
+    r_antiparallel_ohm: float = DEFAULT_R_ANTIPARALLEL_OHM
+    variation: float = 0.0
+    seed: RandomState = None
+    _scale: float = field(init=False, repr=False, default=1.0)
+
+    def __post_init__(self) -> None:
+        check_positive("r_parallel_ohm", self.r_parallel_ohm)
+        check_positive("r_antiparallel_ohm", self.r_antiparallel_ohm)
+        if self.r_antiparallel_ohm <= self.r_parallel_ohm:
+            raise ValueError(
+                "r_antiparallel_ohm must exceed r_parallel_ohm "
+                f"({self.r_antiparallel_ohm} <= {self.r_parallel_ohm})"
+            )
+        check_in_range("variation", self.variation, 0.0, 0.5)
+        rng = ensure_rng(self.seed)
+        if self.variation > 0.0:
+            self._scale = float(max(0.1, 1.0 + rng.normal(0.0, self.variation)))
+        else:
+            self._scale = 1.0
+
+    def resistance(self, parallel: bool) -> float:
+        """Return the junction resistance (ohm) for the given free-layer state."""
+        base = self.r_parallel_ohm if parallel else self.r_antiparallel_ohm
+        return base * self._scale
+
+    @property
+    def tunnel_magnetoresistance(self) -> float:
+        """TMR ratio ``(R_AP - R_P) / R_P`` (2.0 for the paper's 5 kΩ/15 kΩ)."""
+        return (self.r_antiparallel_ohm - self.r_parallel_ohm) / self.r_parallel_ohm
+
+    def reference_resistance(self) -> float:
+        """Resistance of a reference MTJ "midway between" the two states.
+
+        The paper biases the second latch branch with a reference junction
+        whose resistance sits between R_P and R_AP; the arithmetic mean is
+        used here (10 kΩ for the default values).
+        """
+        return 0.5 * (self.resistance(True) + self.resistance(False))
+
+    def read_margin(self) -> float:
+        """Smaller of the two resistance gaps to the reference, normalised.
+
+        This is the quantity that determines how much latch offset can be
+        tolerated before a sensing error occurs.
+        """
+        reference = self.reference_resistance()
+        low_gap = reference - self.resistance(True)
+        high_gap = self.resistance(False) - reference
+        return min(low_gap, high_gap) / reference
+
+
+def make_reference_mtj(device: MagneticTunnelJunction) -> MagneticTunnelJunction:
+    """Construct the reference MTJ paired with ``device`` in the sense latch.
+
+    The reference junction is modelled as a fixed resistor whose parallel
+    and anti-parallel states coincide at the midpoint resistance; it is
+    represented with a degenerate two-state MTJ so the latch code can treat
+    both branches uniformly.
+    """
+    midpoint = device.reference_resistance()
+    return MagneticTunnelJunction(
+        r_parallel_ohm=midpoint,
+        r_antiparallel_ohm=midpoint * (1.0 + 1e-9),
+        variation=0.0,
+    )

@@ -1,0 +1,255 @@
+"""Analytical 45 nm MOS transistor model.
+
+The paper evaluates all designs with 45 nm CMOS technology models and
+repeatedly refers to two transistor-level quantities:
+
+* the *deep-triode* conductance of the DTCS-DAC devices, which behave as
+  voltage-controlled resistors when their drain-source voltage is only
+  ≈30 mV;
+* the *threshold-voltage mismatch* σVT of minimum-sized devices (5 mV is
+  quoted as a near-ideal case; Fig. 13b sweeps it), which limits the
+  resolution of analog CMOS current mirrors and must be countered by
+  up-sizing following Pelgrom's law, σVT = A_VT / sqrt(W·L).
+
+The model here is a long-channel square-law device with a Pelgrom mismatch
+term — deliberately simple, because only bias currents, conductances,
+capacitances and mismatch statistics enter the architecture-level power and
+accuracy analyses (the same level of abstraction the paper uses when it
+argues about current-mirror resolution in Section 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_in_range, check_positive
+
+
+class MosPolarity(enum.Enum):
+    """Transistor polarity."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Constants of the (predictive) 45 nm CMOS node used throughout.
+
+    Values follow the 45 nm predictive-technology-model ballpark; they are
+    the calibration knobs of the analytical power model, not fitted SPICE
+    parameters.
+
+    Parameters
+    ----------
+    supply_voltage:
+        Nominal Vdd (V).
+    threshold_voltage:
+        Magnitude of the nominal threshold voltage (V), same for both
+        polarities at this level of abstraction.
+    nmos_process_transconductance, pmos_process_transconductance:
+        µCox in A/V² (per unit W/L).
+    min_length_nm, min_width_nm:
+        Minimum drawn channel length and width.
+    gate_capacitance_per_area:
+        Gate-oxide capacitance per area (F/m²).
+    junction_capacitance_per_width:
+        Source/drain parasitic capacitance per device width (F/m).
+    pelgrom_avt:
+        Pelgrom threshold-mismatch coefficient (V·m); ≈ 3.5 mV·µm at 45 nm.
+    leakage_current_per_width:
+        Sub-threshold leakage per device width at Vdd (A/m).
+    """
+
+    supply_voltage: float = 1.0
+    threshold_voltage: float = 0.4
+    nmos_process_transconductance: float = 400.0e-6
+    pmos_process_transconductance: float = 200.0e-6
+    min_length_nm: float = 45.0
+    min_width_nm: float = 90.0
+    gate_capacitance_per_area: float = 8.5e-3
+    junction_capacitance_per_width: float = 0.6e-9
+    pelgrom_avt: float = 3.5e-9
+    leakage_current_per_width: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive("supply_voltage", self.supply_voltage)
+        check_in_range("threshold_voltage", self.threshold_voltage, 0.05, self.supply_voltage)
+        check_positive("nmos_process_transconductance", self.nmos_process_transconductance)
+        check_positive("pmos_process_transconductance", self.pmos_process_transconductance)
+        check_positive("min_length_nm", self.min_length_nm)
+        check_positive("min_width_nm", self.min_width_nm)
+        check_positive("gate_capacitance_per_area", self.gate_capacitance_per_area)
+        check_positive("junction_capacitance_per_width", self.junction_capacitance_per_width)
+        check_positive("pelgrom_avt", self.pelgrom_avt)
+        check_positive("leakage_current_per_width", self.leakage_current_per_width)
+
+    def process_transconductance(self, polarity: MosPolarity) -> float:
+        """µCox for the given polarity (A/V²)."""
+        if polarity is MosPolarity.NMOS:
+            return self.nmos_process_transconductance
+        return self.pmos_process_transconductance
+
+    def sigma_vt(self, width_nm: float, length_nm: float) -> float:
+        """Pelgrom threshold-voltage mismatch σVT (V) for a W x L device."""
+        check_positive("width_nm", width_nm)
+        check_positive("length_nm", length_nm)
+        area_m2 = (width_nm * 1e-9) * (length_nm * 1e-9)
+        return self.pelgrom_avt / np.sqrt(area_m2)
+
+    def sigma_vt_minimum_device(self) -> float:
+        """σVT (V) of a minimum-sized device; ≈ 55 mV at this node."""
+        return self.sigma_vt(self.min_width_nm, self.min_length_nm)
+
+    def area_for_sigma_vt(self, sigma_vt: float) -> float:
+        """Gate area (m²) required to reach a target σVT.
+
+        Inverting Pelgrom's law: ``W·L = (A_VT / σVT)²``.  This is what
+        forces analog current-mirror transistors to grow as the required
+        resolution (hence the tolerable mismatch) tightens — the mechanism
+        behind Fig. 13b.
+        """
+        check_positive("sigma_vt", sigma_vt)
+        return (self.pelgrom_avt / sigma_vt) ** 2
+
+    def gate_capacitance(self, width_nm: float, length_nm: float) -> float:
+        """Gate capacitance (F) of a W x L device including overlap margin."""
+        area_m2 = (width_nm * 1e-9) * (length_nm * 1e-9)
+        return self.gate_capacitance_per_area * area_m2
+
+    def minimum_gate_capacitance(self) -> float:
+        """Gate capacitance of a minimum device (F)."""
+        return self.gate_capacitance(self.min_width_nm, self.min_length_nm)
+
+    def inverter_switching_energy(self, fanout: float = 1.0) -> float:
+        """Energy of one output transition of a minimum inverter (J).
+
+        Used as the unit of dynamic energy for the digital logic
+        (registers, AND gates, multiplexers) in the power models.
+        """
+        check_positive("fanout", fanout)
+        load = 2.0 * self.minimum_gate_capacitance() * (1.0 + fanout)
+        return load * self.supply_voltage**2
+
+    def leakage_power(self, total_width_nm: float) -> float:
+        """Static leakage power (W) of logic totalling ``total_width_nm`` of width."""
+        check_positive("total_width_nm", total_width_nm)
+        return (
+            self.leakage_current_per_width
+            * (total_width_nm * 1e-9)
+            * self.supply_voltage
+        )
+
+
+@dataclass
+class MosTransistor:
+    """Square-law MOS transistor with optional sampled VT mismatch.
+
+    Parameters
+    ----------
+    technology:
+        Node constants.
+    polarity:
+        NMOS or PMOS.
+    width_nm, length_nm:
+        Drawn dimensions.
+    seed:
+        When provided, a threshold-voltage mismatch is drawn once from the
+        device's Pelgrom sigma and applied to all subsequent evaluations.
+    """
+
+    technology: TechnologyParameters = field(default_factory=TechnologyParameters)
+    polarity: MosPolarity = MosPolarity.NMOS
+    width_nm: float = 90.0
+    length_nm: float = 45.0
+    seed: RandomState = None
+    _vt_offset: float = field(init=False, default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("width_nm", self.width_nm)
+        check_positive("length_nm", self.length_nm)
+        if self.seed is not None:
+            rng = ensure_rng(self.seed)
+            sigma = self.technology.sigma_vt(self.width_nm, self.length_nm)
+            self._vt_offset = float(rng.normal(0.0, sigma))
+
+    # ------------------------------------------------------------------ #
+    # Derived parameters
+    # ------------------------------------------------------------------ #
+    @property
+    def aspect_ratio(self) -> float:
+        """W/L of the device."""
+        return self.width_nm / self.length_nm
+
+    @property
+    def threshold_voltage(self) -> float:
+        """Effective threshold magnitude including the sampled mismatch (V)."""
+        return self.technology.threshold_voltage + self._vt_offset
+
+    @property
+    def vt_offset(self) -> float:
+        """Sampled threshold-voltage mismatch (V); 0 when seed was None."""
+        return self._vt_offset
+
+    @property
+    def beta(self) -> float:
+        """Device transconductance factor µCox·W/L (A/V²)."""
+        return self.technology.process_transconductance(self.polarity) * self.aspect_ratio
+
+    def gate_capacitance(self) -> float:
+        """Gate capacitance of this device (F)."""
+        return self.technology.gate_capacitance(self.width_nm, self.length_nm)
+
+    def sigma_vt(self) -> float:
+        """Pelgrom σVT of this device (V)."""
+        return self.technology.sigma_vt(self.width_nm, self.length_nm)
+
+    # ------------------------------------------------------------------ #
+    # I-V behaviour
+    # ------------------------------------------------------------------ #
+    def overdrive(self, vgs: float) -> float:
+        """Gate overdrive ``|Vgs| - VT`` (V), clipped at zero below threshold."""
+        return max(0.0, abs(vgs) - self.threshold_voltage)
+
+    def drain_current(self, vgs: float, vds: float) -> float:
+        """Square-law drain current (A) for the given bias magnitudes.
+
+        ``vgs`` and ``vds`` are interpreted as magnitudes (source-referred),
+        so the same expression serves both polarities.
+        """
+        vov = self.overdrive(vgs)
+        if vov <= 0.0:
+            return 0.0
+        vds = abs(vds)
+        if vds < vov:
+            return self.beta * (vov - 0.5 * vds) * vds
+        return 0.5 * self.beta * vov**2
+
+    def triode_conductance(self, vgs: float) -> float:
+        """Deep-triode channel conductance (S) at small Vds.
+
+        ``g = µCox (W/L) (|Vgs| - VT)``; this is the conductance the
+        DTCS-DAC relies on when it operates across ΔV ≈ 30 mV.
+        """
+        return self.beta * self.overdrive(vgs)
+
+    def saturation_current(self, vgs: float) -> float:
+        """Saturation drain current (A) at the given gate overdrive."""
+        vov = self.overdrive(vgs)
+        return 0.5 * self.beta * vov**2
+
+    def transconductance(self, vgs: float) -> float:
+        """Small-signal gm (A/V) in saturation."""
+        return self.beta * self.overdrive(vgs)
+
+    def required_vgs_for_current(self, current: float) -> float:
+        """Gate-source magnitude needed to conduct ``current`` in saturation."""
+        check_positive("current", current, allow_zero=True)
+        if current == 0.0:
+            return self.threshold_voltage
+        return self.threshold_voltage + np.sqrt(2.0 * current / self.beta)

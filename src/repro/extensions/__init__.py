@@ -1,0 +1,28 @@
+"""Architectural extensions sketched in Section 5 of the paper.
+
+The paper closes by noting that the basic associative module "can be
+extended to a more generic architecture": very large template sets can be
+clustered hierarchically across multiple RCM modules, large patterns can
+be partitioned across modular RCM blocks, and the same spin-RCM
+correlation fabric can serve convolutional neural networks.  This package
+implements those three extensions on top of the core library so that they
+can be evaluated quantitatively (see ``benchmarks/test_extensions_ablation.py``).
+
+* :class:`~repro.extensions.hierarchical.HierarchicalAssociativeMemory` —
+  two-level cluster-then-member recall.
+* :class:`~repro.extensions.partitioned.PartitionedAssociativeMemory` —
+  feature-dimension partitioning across modular crossbars with digital
+  aggregation of the partial degrees of match.
+* :class:`~repro.extensions.convolution.CrossbarConvolutionEngine` —
+  kernel bank stored in a crossbar, evaluated patch-by-patch.
+"""
+
+from repro.extensions.convolution import CrossbarConvolutionEngine
+from repro.extensions.hierarchical import HierarchicalAssociativeMemory
+from repro.extensions.partitioned import PartitionedAssociativeMemory
+
+__all__ = [
+    "CrossbarConvolutionEngine",
+    "HierarchicalAssociativeMemory",
+    "PartitionedAssociativeMemory",
+]

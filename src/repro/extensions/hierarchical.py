@@ -1,0 +1,278 @@
+"""Hierarchical (clustered) associative memory.
+
+Section 5: "very large number of images can be grouped into smaller
+clusters [25], that can be hierarchically stored in the multiple RCM
+modules."  The idea: instead of one wide crossbar holding every template,
+templates are grouped into clusters; a small first-level module stores the
+cluster centroids and routes each query to the single second-level module
+holding that cluster's members.  Only two small modules are active per
+recognition, so both the evaluation energy and the worst-case module width
+stay bounded as the template count grows.
+
+The implementation clusters templates with a plain k-means (numpy only),
+builds one :class:`~repro.core.amm.AssociativeMemoryModule` for the
+centroid level and one per cluster, and exposes the same ``recognise``
+interface as the flat module plus energy/size accounting for the
+comparison bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.amm import AssociativeMemoryModule, RecognitionResult
+from repro.core.config import DesignParameters, default_parameters
+from repro.core.power import SpinAmmPowerModel
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_integer
+
+
+def _kmeans_plus_plus_init(
+    vectors: np.ndarray, clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread the initial centroids across the data."""
+    samples = vectors.shape[0]
+    centroids = [vectors[int(rng.integers(samples))]]
+    for _ in range(1, clusters):
+        distances = np.min(
+            np.linalg.norm(vectors[:, None, :] - np.asarray(centroids)[None, :, :], axis=2) ** 2,
+            axis=1,
+        )
+        total = distances.sum()
+        if total <= 0:
+            centroids.append(vectors[int(rng.integers(samples))])
+            continue
+        probabilities = distances / total
+        centroids.append(vectors[int(rng.choice(samples, p=probabilities))])
+    return np.asarray(centroids, dtype=float)
+
+
+def kmeans_cluster(
+    vectors: np.ndarray,
+    clusters: int,
+    iterations: int = 25,
+    restarts: int = 4,
+    seed: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """k-means with k-means++ seeding and multiple restarts.
+
+    Returns ``(assignments, centroids)`` where ``assignments`` has one
+    cluster index per input row and ``centroids`` has shape
+    ``(clusters, features)``.  Empty clusters are re-seeded from the point
+    farthest from its centroid, so every cluster ends non-empty; the best
+    of ``restarts`` runs (lowest within-cluster sum of squares) is
+    returned.
+    """
+    check_integer("clusters", clusters, minimum=1)
+    check_integer("restarts", restarts, minimum=1)
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.ndim != 2:
+        raise ValueError("vectors must be 2-D (samples x features)")
+    samples = vectors.shape[0]
+    if clusters > samples:
+        raise ValueError(f"cannot form {clusters} clusters from {samples} samples")
+    rng = ensure_rng(seed)
+
+    best_inertia = np.inf
+    best: Tuple[np.ndarray, np.ndarray] = None
+    for _ in range(restarts):
+        centroids = _kmeans_plus_plus_init(vectors, clusters, rng)
+        assignments = np.zeros(samples, dtype=np.int64)
+        for _ in range(iterations):
+            distances = np.linalg.norm(vectors[:, None, :] - centroids[None, :, :], axis=2)
+            new_assignments = np.argmin(distances, axis=1)
+            for cluster in range(clusters):
+                members = vectors[new_assignments == cluster]
+                if members.size == 0:
+                    farthest = int(np.argmax(distances[np.arange(samples), new_assignments]))
+                    centroids[cluster] = vectors[farthest]
+                    new_assignments[farthest] = cluster
+                else:
+                    centroids[cluster] = members.mean(axis=0)
+            if np.array_equal(new_assignments, assignments):
+                assignments = new_assignments
+                break
+            assignments = new_assignments
+        inertia = float(
+            np.sum((vectors - centroids[assignments]) ** 2)
+        )
+        if inertia < best_inertia:
+            best_inertia = inertia
+            best = (assignments.copy(), centroids.copy())
+    return best
+
+
+@dataclass(frozen=True)
+class HierarchicalRecognition:
+    """Result of a two-level recall.
+
+    Attributes
+    ----------
+    cluster:
+        Index of the cluster selected by the first level.
+    winner:
+        Class label selected by the second level.
+    first_level:
+        Recognition result of the centroid module.
+    second_level:
+        Recognition result of the selected cluster's module.
+    """
+
+    cluster: int
+    winner: int
+    first_level: RecognitionResult
+    second_level: RecognitionResult
+
+    @property
+    def accepted(self) -> bool:
+        """Accepted only when both levels clear their DOM thresholds."""
+        return self.first_level.accepted and self.second_level.accepted
+
+
+class HierarchicalAssociativeMemory:
+    """Two-level clustered associative memory built from spin-CMOS modules.
+
+    Parameters
+    ----------
+    template_codes:
+        Integer template matrix, shape ``(features, templates)``.
+    labels:
+        Class label of each template column.
+    clusters:
+        Number of first-level clusters (second-level modules).
+    parameters:
+        Design parameters shared by every module (the per-module
+        ``num_templates`` is adapted automatically).
+    include_parasitics:
+        Forwarded to every module.
+    seed:
+        Master seed for clustering and module construction.
+    """
+
+    def __init__(
+        self,
+        template_codes: np.ndarray,
+        labels: Optional[Sequence[int]] = None,
+        clusters: int = 4,
+        parameters: Optional[DesignParameters] = None,
+        include_parasitics: bool = True,
+        seed: RandomState = None,
+    ) -> None:
+        template_codes = np.asarray(template_codes)
+        if template_codes.ndim != 2:
+            raise ValueError("template_codes must be 2-D (features x templates)")
+        features, templates = template_codes.shape
+        check_integer("clusters", clusters, minimum=1)
+        if clusters >= templates:
+            raise ValueError("clusters must be smaller than the number of templates")
+        self.parameters = parameters or default_parameters()
+        if labels is None:
+            labels = list(range(templates))
+        if len(labels) != templates:
+            raise ValueError("labels must have one entry per template column")
+        rng = ensure_rng(seed)
+
+        assignments, centroids = kmeans_cluster(
+            template_codes.T.astype(float), clusters, seed=rng
+        )
+        max_code = 2**self.parameters.template_bits - 1
+        centroid_codes = np.clip(np.rint(centroids.T), 0, max_code).astype(np.int64)
+
+        #: Cluster index of each template column.
+        self.assignments = assignments
+        #: Class label of each template column.
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.clusters = clusters
+
+        self.first_level = AssociativeMemoryModule.from_templates(
+            centroid_codes,
+            parameters=self.parameters,
+            column_labels=list(range(clusters)),
+            include_parasitics=include_parasitics,
+            seed=rng,
+        )
+        self.second_level: List[AssociativeMemoryModule] = []
+        self._cluster_members: Dict[int, np.ndarray] = {}
+        for cluster in range(clusters):
+            member_columns = np.flatnonzero(assignments == cluster)
+            self._cluster_members[cluster] = member_columns
+            module = AssociativeMemoryModule.from_templates(
+                template_codes[:, member_columns],
+                parameters=self.parameters,
+                column_labels=self.labels[member_columns],
+                include_parasitics=include_parasitics,
+                seed=rng,
+            )
+            self.second_level.append(module)
+
+    # ------------------------------------------------------------------ #
+    # Recall
+    # ------------------------------------------------------------------ #
+    def recognise(self, input_codes: np.ndarray) -> HierarchicalRecognition:
+        """Two-level recall: route by centroid, then match within the cluster."""
+        first = self.first_level.recognise(input_codes)
+        cluster = int(first.winner)
+        second = self.second_level[cluster].recognise(input_codes)
+        return HierarchicalRecognition(
+            cluster=cluster,
+            winner=int(second.winner),
+            first_level=first,
+            second_level=second,
+        )
+
+    def evaluate(self, input_codes_batch: np.ndarray, labels: Sequence[int]) -> Dict[str, float]:
+        """Classification accuracy and routing accuracy over a batch."""
+        input_codes_batch = np.asarray(input_codes_batch)
+        labels = np.asarray(labels)
+        correct = 0
+        routing_correct = 0
+        for codes, label in zip(input_codes_batch, labels):
+            result = self.recognise(codes)
+            if result.winner == label:
+                correct += 1
+            true_columns = np.flatnonzero(self.labels == label)
+            if true_columns.size and self.assignments[true_columns[0]] == result.cluster:
+                routing_correct += 1
+        count = len(labels)
+        return {
+            "accuracy": correct / count,
+            "routing_accuracy": routing_correct / count,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Cost accounting
+    # ------------------------------------------------------------------ #
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of templates stored in each second-level module."""
+        return np.array([members.size for members in self._cluster_members.values()])
+
+    def active_columns_per_recognition(self) -> float:
+        """Average number of crossbar columns evaluated per recall.
+
+        The flat module evaluates every stored template; the hierarchy
+        evaluates the centroid module plus one cluster module.
+        """
+        return self.clusters + float(self.cluster_sizes().mean())
+
+    def energy_per_recognition(self) -> float:
+        """Analytic energy (J) of one two-level recall.
+
+        Scales the equivalent flat module's analytic energy by the
+        active-column fraction; both levels run at the same resolution and
+        threshold.
+        """
+        flat_energy = self.flat_energy_per_recognition()
+        total_columns = self.labels.size
+        return flat_energy * self.active_columns_per_recognition() / total_columns
+
+    def flat_energy_per_recognition(self) -> float:
+        """Analytic energy (J) of a single flat module storing every template."""
+        import dataclasses
+
+        flat_parameters = dataclasses.replace(
+            self.parameters, num_templates=int(self.labels.size)
+        )
+        return SpinAmmPowerModel(flat_parameters).energy_per_recognition()

@@ -1,0 +1,47 @@
+"""Shared utilities: SI units, quantisation helpers, RNG management and
+argument validation used across the device, crossbar and analysis layers."""
+
+from repro.utils.quantize import UniformQuantizer, quantize_to_levels, requantize_bits
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.units import (
+    BOLTZMANN_CONSTANT,
+    ROOM_TEMPERATURE_K,
+    THERMAL_ENERGY_300K,
+    femto,
+    giga,
+    kilo,
+    mega,
+    micro,
+    milli,
+    nano,
+    pico,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "UniformQuantizer",
+    "quantize_to_levels",
+    "requantize_bits",
+    "RandomState",
+    "ensure_rng",
+    "BOLTZMANN_CONSTANT",
+    "ROOM_TEMPERATURE_K",
+    "THERMAL_ENERGY_300K",
+    "femto",
+    "giga",
+    "kilo",
+    "mega",
+    "micro",
+    "milli",
+    "nano",
+    "pico",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

@@ -1,0 +1,50 @@
+"""Random-number-generator management.
+
+Every stochastic element in the reproduction (memristor write error,
+transistor σVT mismatch, thermal fluctuations in the domain-wall neuron,
+input-source variation, dataset synthesis) draws from a ``numpy`` Generator
+so that complete experiments are reproducible from a single integer seed.
+
+``ensure_rng`` accepts ``None`` (fresh entropy), an integer seed, or an
+existing Generator and always returns a Generator, which keeps model
+constructors terse::
+
+    self._rng = ensure_rng(seed)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: The type accepted wherever a seed or generator may be supplied.
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for the given seed specification.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, or an existing Generator
+        (returned unchanged so that a caller can thread one generator
+        through several sub-models).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_children(rng: np.random.Generator, count: int) -> list:
+    """Derive ``count`` statistically independent child generators.
+
+    Used when a system (e.g. a 40-column WTA) needs one generator per
+    device instance whose streams must not interact even if the devices
+    are evaluated in a different order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

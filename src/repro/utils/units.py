@@ -1,0 +1,89 @@
+"""SI prefixes and physical constants used throughout the device models.
+
+The paper expresses device quantities in mixed engineering units (µA
+thresholds, nm dimensions, kΩ resistances, fF/µm wire capacitance,
+emu/cm³ magnetisation).  All internal computation in this package uses
+base SI units (ampere, metre, ohm, farad, joule); the helpers below make
+the conversion explicit and readable at call sites, e.g. ``micro(1.0)``
+for the 1 µA domain-wall-neuron threshold of Table 2.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant in J/K.
+BOLTZMANN_CONSTANT = 1.380649e-23
+
+#: Room temperature assumed by the paper's thermal-stability figures (kelvin).
+ROOM_TEMPERATURE_K = 300.0
+
+#: kT at room temperature in joules.  The paper's anisotropy barrier is
+#: expressed as multiples of this value (Eb = 20 kT).
+THERMAL_ENERGY_300K = BOLTZMANN_CONSTANT * ROOM_TEMPERATURE_K
+
+#: Elementary charge in coulombs (used in spin-torque efficiency factors).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Bohr magneton in J/T (used to convert magnetisation to spin count).
+BOHR_MAGNETON = 9.2740100783e-24
+
+#: Reduced Planck constant in J.s.
+HBAR = 1.054571817e-34
+
+
+def tera(value: float) -> float:
+    """Scale ``value`` by 1e12."""
+    return value * 1e12
+
+
+def giga(value: float) -> float:
+    """Scale ``value`` by 1e9."""
+    return value * 1e9
+
+
+def mega(value: float) -> float:
+    """Scale ``value`` by 1e6."""
+    return value * 1e6
+
+
+def kilo(value: float) -> float:
+    """Scale ``value`` by 1e3."""
+    return value * 1e3
+
+
+def milli(value: float) -> float:
+    """Scale ``value`` by 1e-3."""
+    return value * 1e-3
+
+
+def micro(value: float) -> float:
+    """Scale ``value`` by 1e-6."""
+    return value * 1e-6
+
+
+def nano(value: float) -> float:
+    """Scale ``value`` by 1e-9."""
+    return value * 1e-9
+
+
+def pico(value: float) -> float:
+    """Scale ``value`` by 1e-12."""
+    return value * 1e-12
+
+
+def femto(value: float) -> float:
+    """Scale ``value`` by 1e-15."""
+    return value * 1e-15
+
+
+def emu_per_cm3_to_A_per_m(value: float) -> float:
+    """Convert magnetisation from emu/cm³ (CGS) to A/m (SI).
+
+    1 emu/cm³ equals 1e3 A/m.  The paper quotes the NiFe free layer
+    saturation magnetisation as Ms = 800 emu/cm³.
+    """
+    return value * 1.0e3
+
+
+def cubic_nanometres(x_nm: float, y_nm: float, z_nm: float) -> float:
+    """Return the volume in m³ of a rectangular element given nm dimensions."""
+    return (x_nm * 1e-9) * (y_nm * 1e-9) * (z_nm * 1e-9)

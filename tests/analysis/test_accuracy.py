@@ -1,0 +1,88 @@
+"""Tests for the matching-accuracy analyses (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    bit_width_sweep,
+    downsizing_sweep,
+    ideal_matching_accuracy,
+    resolution_sweep,
+)
+
+
+class TestIdealMatchingAccuracy:
+    def test_reasonable_accuracy_on_small_corpus(self, small_dataset):
+        point = ideal_matching_accuracy(small_dataset, feature_shape=(8, 4), bits=5)
+        assert 0.75 <= point.accuracy <= 1.0
+        assert point.tie_rate <= 0.2
+
+    def test_label_describes_configuration(self, small_dataset):
+        point = ideal_matching_accuracy(small_dataset, feature_shape=(8, 4), bits=5)
+        assert "8x4" in point.label
+        assert "5-bit" in point.label
+
+    def test_resolution_limited_accuracy_not_above_ideal(self, small_dataset):
+        ideal = ideal_matching_accuracy(small_dataset, feature_shape=(8, 4), bits=5)
+        coarse = ideal_matching_accuracy(
+            small_dataset, feature_shape=(8, 4), bits=5, resolution_bits=3
+        )
+        assert coarse.accuracy <= ideal.accuracy + 1e-9
+
+
+class TestDownsizingSweep:
+    def test_fig3a_trend_accuracy_drops_with_aggressive_downsizing(self, small_dataset):
+        # Fig. 3a: accuracy degrades as the stored image is shrunk.
+        points = downsizing_sweep(
+            small_dataset, feature_shapes=((32, 24), (16, 12), (8, 4), (4, 2)), bits=5
+        )
+        assert len(points) == 4
+        accuracies = [point.accuracy for point in points]
+        assert accuracies[0] >= accuracies[-1]
+        assert max(accuracies) > 0.8
+
+    def test_indivisible_shapes_skipped(self, small_dataset):
+        points = downsizing_sweep(small_dataset, feature_shapes=((7, 5), (8, 4)), bits=5)
+        assert len(points) == 1
+
+    def test_parameter_field_is_feature_length(self, small_dataset):
+        points = downsizing_sweep(small_dataset, feature_shapes=((8, 4),), bits=5)
+        assert points[0].parameter == 32
+
+
+class TestResolutionSweep:
+    def test_fig3b_trend_accuracy_drops_with_coarser_detection(self, small_dataset):
+        points = resolution_sweep(
+            small_dataset, resolutions=(8, 5, 3, 1), feature_shape=(8, 4), bits=5
+        )
+        assert len(points) == 4
+        accuracies = [point.accuracy for point in points]
+        # Monotonically non-increasing as the detection gets coarser.
+        assert all(a >= b - 0.05 for a, b in zip(accuracies, accuracies[1:]))
+        assert accuracies[0] > accuracies[-1]
+
+    def test_tie_rate_grows_with_coarser_detection(self, small_dataset):
+        points = resolution_sweep(
+            small_dataset, resolutions=(8, 2), feature_shape=(8, 4), bits=5
+        )
+        assert points[-1].tie_rate >= points[0].tie_rate
+
+    def test_five_bit_close_to_ideal(self, small_dataset):
+        # The paper selects 5-bit detection because accuracy stays close to
+        # the ideal-comparison value.
+        ideal = ideal_matching_accuracy(small_dataset, feature_shape=(8, 4), bits=5)
+        five_bit = resolution_sweep(
+            small_dataset, resolutions=(5,), feature_shape=(8, 4), bits=5
+        )[0]
+        assert five_bit.accuracy >= ideal.accuracy - 0.15
+
+
+class TestBitWidthSweep:
+    def test_bit_width_sweep_monotone_tail(self, small_dataset):
+        points = bit_width_sweep(small_dataset, bit_widths=(8, 5, 2), feature_shape=(8, 4))
+        assert len(points) == 3
+        assert points[0].accuracy >= points[-1].accuracy - 0.1
+
+    def test_labels_include_bits(self, small_dataset):
+        points = bit_width_sweep(small_dataset, bit_widths=(5,), feature_shape=(8, 4))
+        assert "5-bit" in points[0].label

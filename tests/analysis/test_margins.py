@@ -1,0 +1,112 @@
+"""Tests for the detection-margin analyses (Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.margins import (
+    conductance_range_sweep,
+    delta_v_sweep,
+    detection_margins,
+    optimal_resistance_range,
+)
+from repro.core.config import DesignParameters
+
+
+@pytest.fixture(scope="module")
+def margin_parameters():
+    """A reduced design (32 features, 5 templates) for fast margin sweeps."""
+    return DesignParameters(template_shape=(8, 4), num_templates=5)
+
+
+@pytest.fixture(scope="module")
+def margin_templates(margin_parameters):
+    rng = np.random.default_rng(17)
+    return rng.integers(
+        0, 2**margin_parameters.template_bits,
+        size=(margin_parameters.feature_length, margin_parameters.num_templates),
+    )
+
+
+class TestDetectionMargins:
+    def test_margins_for_self_inputs_positive(self, small_amm, small_template_codes):
+        columns = small_template_codes.shape[1]
+        margins = detection_margins(
+            small_amm,
+            small_template_codes.T,
+            true_columns=list(range(columns)),
+            include_parasitics=True,
+        )
+        assert margins.shape == (columns,)
+        assert np.mean(margins > 0) >= 0.8
+
+    def test_parasitics_flag_restored(self, small_amm, small_template_codes):
+        original = small_amm.include_parasitics
+        detection_margins(
+            small_amm, small_template_codes.T[:2], true_columns=[0, 1],
+            include_parasitics=not original,
+        )
+        assert small_amm.include_parasitics == original
+
+
+class TestConductanceRangeSweep:
+    def test_sweep_produces_margin_points(self, margin_templates, margin_parameters):
+        points = conductance_range_sweep(
+            margin_templates,
+            r_min_values=(200.0, 1000.0, 4000.0),
+            parameters=margin_parameters,
+            num_inputs=2,
+            seed=3,
+        )
+        assert len(points) == 3
+        for point in points:
+            assert point.parameter in (200.0, 1000.0, 4000.0)
+            assert -1.0 <= point.mean_margin <= 1.0
+            assert point.min_margin <= point.mean_margin + 1e-12
+
+    def test_ideal_margin_reported_alongside(self, margin_templates, margin_parameters):
+        points = conductance_range_sweep(
+            margin_templates, r_min_values=(1000.0,), parameters=margin_parameters,
+            num_inputs=2, seed=3,
+        )
+        assert points[0].mean_margin_ideal >= points[0].mean_margin - 0.05
+
+    def test_invalid_ratio_rejected(self, margin_templates, margin_parameters):
+        with pytest.raises(ValueError):
+            conductance_range_sweep(
+                margin_templates, r_min_values=(1000.0,), resistance_ratio=-1.0,
+                parameters=margin_parameters,
+            )
+
+    def test_optimal_range_selection(self, margin_templates, margin_parameters):
+        points = conductance_range_sweep(
+            margin_templates, r_min_values=(200.0, 1000.0), parameters=margin_parameters,
+            num_inputs=2, seed=3,
+        )
+        best = optimal_resistance_range(points)
+        assert best.mean_margin == max(point.mean_margin for point in points)
+
+    def test_optimal_range_empty_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_resistance_range([])
+
+
+class TestDeltaVSweep:
+    def test_margin_degrades_at_very_low_delta_v(self, margin_templates, margin_parameters):
+        # Fig. 9b: reducing ΔV towards the parasitic-drop scale erodes the
+        # detection margin.
+        points = delta_v_sweep(
+            margin_templates,
+            delta_v_values=(30e-3, 2e-3),
+            parameters=margin_parameters,
+            num_inputs=2,
+            seed=5,
+        )
+        assert len(points) == 2
+        nominal, tiny = points
+        assert tiny.mean_margin <= nominal.mean_margin + 0.02
+
+    def test_invalid_delta_v_rejected(self, margin_templates, margin_parameters):
+        with pytest.raises(ValueError):
+            delta_v_sweep(
+                margin_templates, delta_v_values=(0.0,), parameters=margin_parameters
+            )

@@ -1,0 +1,81 @@
+"""Tests for the Table 1 / Fig. 13a power analyses."""
+
+import pytest
+
+from repro.analysis.power import Table1Row, build_table1, table1_by_design, threshold_power_sweep
+from repro.core.config import default_parameters
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return build_table1()
+
+
+class TestTable1:
+    def test_all_designs_and_resolutions_present(self, table1):
+        designs = {row.design for row in table1}
+        assert len(designs) == 4
+        resolutions = {row.resolution_bits for row in table1}
+        assert resolutions == {3, 4, 5}
+        assert len(table1) == 12
+
+    def test_spin_design_is_energy_reference(self, table1):
+        for row in table1:
+            if row.design == "spin-CMOS PE":
+                assert row.energy_ratio == pytest.approx(1.0)
+
+    def test_mscmos_energy_ratio_order_of_100x(self, table1):
+        # The paper reports 140-220x for the MS-CMOS designs.
+        indexed = table1_by_design(table1)
+        for design in ("[17] binary-tree WTA", "[18] async Min/Max BT-WTA"):
+            for bits in (3, 4, 5):
+                ratio = indexed[design][bits].energy_ratio
+                assert 80 < ratio < 500
+
+    def test_digital_energy_ratio_order_of_1000x(self, table1):
+        indexed = table1_by_design(table1)
+        for bits in (3, 4, 5):
+            ratio = indexed["45nm digital CMOS"][bits].energy_ratio
+            assert 800 < ratio < 6000
+
+    def test_standard_bt_wta_costs_more_than_async(self, table1):
+        indexed = table1_by_design(table1)
+        for bits in (3, 4, 5):
+            assert (
+                indexed["[17] binary-tree WTA"][bits].power
+                > indexed["[18] async Min/Max BT-WTA"][bits].power
+            )
+
+    def test_frequencies_match_paper(self, table1):
+        indexed = table1_by_design(table1)
+        assert indexed["spin-CMOS PE"][5].frequency == pytest.approx(100e6)
+        assert indexed["[17] binary-tree WTA"][5].frequency == pytest.approx(50e6)
+        assert indexed["45nm digital CMOS"][5].frequency == pytest.approx(2.5e6)
+
+    def test_spin_power_values_near_paper(self, table1):
+        indexed = table1_by_design(table1)
+        assert indexed["spin-CMOS PE"][5].power == pytest.approx(65e-6, rel=0.25)
+        assert indexed["spin-CMOS PE"][4].power == pytest.approx(45e-6, rel=0.25)
+        assert indexed["spin-CMOS PE"][3].power == pytest.approx(32e-6, rel=0.3)
+
+    def test_energy_consistent_with_power_and_frequency(self, table1):
+        for row in table1:
+            assert row.energy == pytest.approx(row.power / row.frequency)
+
+
+class TestThresholdSweep:
+    def test_fig13a_static_scales_dynamic_constant(self):
+        thresholds = (0.25e-6, 0.5e-6, 1.0e-6, 2.0e-6)
+        breakdowns = threshold_power_sweep(thresholds)
+        statics = [b.static_total for b in breakdowns]
+        dynamics = [b.dynamic for b in breakdowns]
+        assert statics[0] < statics[-1]
+        assert statics[-1] == pytest.approx(8 * statics[0], rel=1e-6)
+        assert max(dynamics) == pytest.approx(min(dynamics))
+
+    def test_fig13a_dynamic_dominates_at_small_threshold(self):
+        breakdown = threshold_power_sweep([0.2e-6])[0]
+        assert breakdown.dynamic > breakdown.static_total
+
+    def test_sweep_length_matches_input(self):
+        assert len(threshold_power_sweep([1e-6, 2e-6])) == 2

@@ -1,0 +1,74 @@
+"""Tests for the plain-text report formatters."""
+
+import pytest
+
+from repro.analysis.accuracy import AccuracyPoint
+from repro.analysis.margins import MarginPoint
+from repro.analysis.power import build_table1
+from repro.analysis.report import (
+    format_accuracy_points,
+    format_margin_points,
+    format_power_breakdown,
+    format_si,
+    format_table,
+    format_table1,
+    format_table2,
+)
+from repro.core.config import default_parameters
+from repro.core.power import SpinAmmPowerModel
+
+
+class TestFormatSi:
+    def test_microwatts(self):
+        assert format_si(65e-6, "W") == "65uW"
+
+    def test_milliwatts(self):
+        assert format_si(5.5e-3, "W") == "5.5mW"
+
+    def test_megahertz(self):
+        assert format_si(100e6, "Hz") == "100MHz"
+
+    def test_zero(self):
+        assert format_si(0.0, "J") == "0J"
+
+    def test_femtojoule_range(self):
+        assert format_si(650e-15, "J").endswith("fJ")
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) >= len("a    bbbb") - 2 for line in lines)
+
+    def test_format_table1_contains_designs(self):
+        text = format_table1(build_table1(resolutions=(5,)))
+        assert "spin-CMOS PE" in text
+        assert "45nm digital CMOS" in text
+        assert "Energy ratio" in text
+
+    def test_format_power_breakdown(self):
+        model = SpinAmmPowerModel()
+        text = format_power_breakdown({"nominal": model.breakdown()})
+        assert "nominal" in text
+        assert "Dynamic" in text
+
+    def test_format_accuracy_points(self):
+        points = [AccuracyPoint(parameter=128, label="16x8", accuracy=0.97, tie_rate=0.01)]
+        text = format_accuracy_points(points)
+        assert "97.0%" in text
+
+    def test_format_margin_points(self):
+        points = [
+            MarginPoint(parameter=1000.0, mean_margin=0.05, min_margin=0.02, mean_margin_ideal=0.06)
+        ]
+        text = format_margin_points(points, "Ohm")
+        assert "5.00%" in text
+        assert "Ohm" in text
+
+    def test_format_table2_lists_parameters(self):
+        text = format_table2(default_parameters().table2())
+        assert "Template size" in text
+        assert "16x8, 5-bit" in text

@@ -1,0 +1,67 @@
+"""Tests for the array-size scaling analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import (
+    FeatureLengthPoint,
+    TemplateCountPoint,
+    feature_length_sweep,
+    template_count_sweep,
+)
+from repro.core.config import DesignParameters
+
+
+class TestTemplateCountSweep:
+    def test_sweep_length_and_fields(self):
+        points = template_count_sweep((8, 16, 32))
+        assert len(points) == 3
+        for point in points:
+            assert isinstance(point, TemplateCountPoint)
+            assert point.spin_power > 0
+            assert point.mscmos_power > point.spin_power
+            assert point.power_ratio > 1
+
+    def test_spin_power_grows_linearly_with_columns(self):
+        points = template_count_sweep((10, 20, 40))
+        p10, p20, p40 = (point.spin_power for point in points)
+        # Static and per-column dynamic power both scale with the column
+        # count, so doubling the columns roughly doubles the power.
+        assert p20 / p10 == pytest.approx(2.0, rel=0.15)
+        assert p40 / p20 == pytest.approx(2.0, rel=0.15)
+
+    def test_ratio_stays_large_at_every_size(self):
+        points = template_count_sweep((8, 40, 128))
+        assert all(point.power_ratio > 30 for point in points)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            template_count_sweep((1,))
+
+
+class TestFeatureLengthSweep:
+    def test_sweep_produces_points(self):
+        parameters = DesignParameters(template_shape=(16, 1), num_templates=6)
+        points = feature_length_sweep((16, 32, 64), templates=6, parameters=parameters, seed=3)
+        assert len(points) == 3
+        for point in points:
+            assert isinstance(point, FeatureLengthPoint)
+            assert point.static_power > 0
+            assert -1.0 <= point.mean_margin <= 1.0
+
+    def test_margins_positive_for_equal_energy_templates(self):
+        parameters = DesignParameters(template_shape=(16, 1), num_templates=6)
+        points = feature_length_sweep((32,), templates=6, parameters=parameters, seed=5)
+        assert points[0].mean_margin > 0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            feature_length_sweep((2,), templates=4)
+        with pytest.raises(ValueError):
+            feature_length_sweep((16,), templates=1)
+
+    def test_reproducible_with_seed(self):
+        parameters = DesignParameters(template_shape=(16, 1), num_templates=4)
+        a = feature_length_sweep((16,), templates=4, parameters=parameters, seed=9)
+        b = feature_length_sweep((16,), templates=4, parameters=parameters, seed=9)
+        assert a[0].mean_margin == pytest.approx(b[0].mean_margin)

@@ -1,0 +1,66 @@
+"""Tests for the process-variation analyses (Fig. 13b)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variations import (
+    pd_ratio_sweep,
+    spin_pipeline_accuracy_mc,
+    wta_decision_error_rate,
+)
+from repro.cmos.wta_bt import BinaryTreeWta
+
+
+class TestPdRatioSweep:
+    def test_ratio_grows_with_sigma_vt(self):
+        points = pd_ratio_sweep([5e-3, 10e-3, 20e-3])
+        assert len(points) == 3
+        ratios = [point.ratio_bt for point in points]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_reference_point_ratio_large(self):
+        # Even at the near-ideal 5 mV corner the MS-CMOS designs pay a
+        # two-orders-of-magnitude PD-product penalty.
+        point = pd_ratio_sweep([5e-3])[0]
+        assert point.ratio_bt > 50
+        assert point.ratio_async > 30
+
+    def test_async_design_ratio_below_standard_bt(self):
+        point = pd_ratio_sweep([10e-3])[0]
+        assert point.ratio_async < point.ratio_bt
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            pd_ratio_sweep([0.0])
+
+
+class TestWtaDecisionErrors:
+    def test_large_margin_never_misranked(self):
+        wta = BinaryTreeWta(inputs=2, sigma_vt=5e-3)
+        assert wta_decision_error_rate(wta, margin=0.5, trials=100, seed=0) == 0.0
+
+    def test_small_margin_sometimes_misranked_with_large_variation(self):
+        wta = BinaryTreeWta(inputs=2, sigma_vt=40e-3, resolution_bits=5)
+        error = wta_decision_error_rate(wta, margin=0.01, trials=200, seed=1)
+        assert error > 0.0
+
+    def test_error_rate_monotonic_in_margin(self):
+        wta = BinaryTreeWta(inputs=2, sigma_vt=30e-3)
+        small = wta_decision_error_rate(wta, margin=0.005, trials=300, seed=2)
+        large = wta_decision_error_rate(wta, margin=0.2, trials=300, seed=2)
+        assert large <= small
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(ValueError):
+            wta_decision_error_rate(BinaryTreeWta(inputs=2), margin=0.0)
+
+
+class TestSpinPipelineMc:
+    def test_mc_runs_and_summarises(self):
+        def trial(rng: np.random.Generator) -> float:
+            return 0.9 + 0.01 * rng.standard_normal()
+
+        summary = spin_pipeline_accuracy_mc(trial, trials=8, seed=3)
+        assert summary.values.shape == (8,)
+        assert 0.8 < summary.mean < 1.0
+        assert summary.minimum <= summary.mean <= summary.maximum

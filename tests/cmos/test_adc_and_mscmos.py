@@ -1,0 +1,99 @@
+"""Tests for the CMOS SAR ADC model and the mixed-signal AMM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cmos.adc import CmosSarAdc
+from repro.cmos.mscmos_amm import MixedSignalAssociativeMemory
+from repro.cmos.wta_async import AsyncMinMaxWta
+from repro.crossbar.array import ResistiveCrossbar
+from repro.crossbar.programming import TemplateProgrammer
+from repro.devices.memristor import MemristorModel
+
+
+def make_crossbar(rows=32, cols=6, seed=0):
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 32, size=(rows, cols))
+    programmer = TemplateProgrammer(memristor=MemristorModel(write_accuracy=0.0))
+    return ResistiveCrossbar.from_programmed(programmer.program(codes))
+
+
+class TestCmosSarAdc:
+    def test_energy_components_positive(self):
+        adc = CmosSarAdc()
+        assert adc.dac_energy_per_conversion() > 0
+        assert adc.logic_energy_per_conversion() > 0
+        assert adc.comparator_power() > 0
+
+    def test_power_scales_with_channel_count(self):
+        adc = CmosSarAdc()
+        assert adc.power_for_bank(40) == pytest.approx(40 * adc.total_power())
+
+    def test_energy_grows_with_resolution(self):
+        assert CmosSarAdc(bits=8).energy_per_conversion() > CmosSarAdc(bits=4).energy_per_conversion()
+
+    def test_cmos_adc_bank_far_more_power_than_spin_wta(self):
+        # The paper's point: a conventional ADC per column would dwarf the
+        # spin-neuron digitisation. A 40-channel CMOS SAR ADC bank at
+        # 100 MS/s burns hundreds of microwatts to milliwatts, versus tens
+        # of microwatts for the whole proposed module.
+        bank_power = CmosSarAdc(bits=5, sample_rate=100e6).power_for_bank(40)
+        assert bank_power > 200e-6
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CmosSarAdc(bits=0)
+
+
+class TestMixedSignalAmm:
+    def test_total_power_dominated_by_wta(self):
+        crossbar = make_crossbar()
+        amm = MixedSignalAssociativeMemory(crossbar)
+        assert amm.wta.total_power() > 0.3 * amm.total_power()
+
+    def test_total_power_milliwatt_scale(self):
+        crossbar = make_crossbar()
+        amm = MixedSignalAssociativeMemory(crossbar)
+        assert 1e-3 < amm.total_power() < 50e-3
+
+    def test_energy_per_recognition(self):
+        crossbar = make_crossbar()
+        amm = MixedSignalAssociativeMemory(crossbar)
+        assert amm.energy_per_recognition() == pytest.approx(
+            amm.total_power() / amm.wta.frequency
+        )
+
+    def test_rcm_static_power_scales_with_bias_voltage(self):
+        crossbar = make_crossbar()
+        low = MixedSignalAssociativeMemory(crossbar, rcm_bias_voltage=0.15)
+        high = MixedSignalAssociativeMemory(crossbar, rcm_bias_voltage=0.3)
+        assert high.rcm_static_power() == pytest.approx(4 * low.rcm_static_power(), rel=0.01)
+
+    def test_mscmos_total_far_exceeds_spin_design_scale(self):
+        # The whole MS-CMOS module sits in the milliwatt range, two to three
+        # orders of magnitude above the proposed spin-CMOS module (~65 uW).
+        crossbar = make_crossbar()
+        amm = MixedSignalAssociativeMemory(crossbar)
+        assert amm.total_power() > 20 * 65e-6
+
+    def test_functional_recognition_clear_winner(self):
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 32, size=(32, 4))
+        codes[:, 2] = 31  # one very bright template
+        crossbar = ResistiveCrossbar.from_programmed(
+            TemplateProgrammer(memristor=MemristorModel(write_accuracy=0.0)).program(codes)
+        )
+        amm = MixedSignalAssociativeMemory(crossbar, seed=1)
+        winner = amm.recognise(np.full(32, 1.0))
+        assert winner == 2
+
+    def test_custom_wta_must_match_columns(self):
+        crossbar = make_crossbar(cols=6)
+        with pytest.raises(ValueError):
+            MixedSignalAssociativeMemory(crossbar, wta=AsyncMinMaxWta(inputs=8))
+
+    def test_column_current_shape_validation(self):
+        crossbar = make_crossbar()
+        amm = MixedSignalAssociativeMemory(crossbar)
+        with pytest.raises(ValueError):
+            amm.column_currents(np.zeros(crossbar.rows + 1))

@@ -1,0 +1,86 @@
+"""Tests for the regulated current-mirror sizing/mismatch model."""
+
+import numpy as np
+import pytest
+
+from repro.cmos.current_mirror import RegulatedCurrentMirror
+
+
+class TestMismatchSizing:
+    def test_required_accuracy_halves_per_bit(self):
+        coarse = RegulatedCurrentMirror(resolution_bits=4)
+        fine = RegulatedCurrentMirror(resolution_bits=5)
+        assert fine.required_relative_accuracy() == pytest.approx(
+            coarse.required_relative_accuracy() / 2
+        )
+
+    def test_area_upsizing_grows_with_resolution(self):
+        assert (
+            RegulatedCurrentMirror(resolution_bits=6).area_upsizing()
+            > RegulatedCurrentMirror(resolution_bits=4).area_upsizing()
+        )
+
+    def test_area_upsizing_grows_with_sigma_vt(self):
+        nominal = RegulatedCurrentMirror(sigma_vt_minimum=5e-3)
+        noisy = RegulatedCurrentMirror(sigma_vt_minimum=15e-3)
+        assert noisy.area_upsizing() == pytest.approx(9 * nominal.area_upsizing(), rel=0.01)
+
+    def test_area_never_below_minimum(self):
+        easy = RegulatedCurrentMirror(resolution_bits=1, sigma_vt_minimum=1e-3)
+        assert easy.area_upsizing() >= 1.0
+
+    def test_achieved_mismatch_meets_requirement(self):
+        mirror = RegulatedCurrentMirror(resolution_bits=5, sigma_vt_minimum=5e-3)
+        assert mirror.achieved_relative_mismatch() <= mirror.required_relative_accuracy() * 1.01
+
+    def test_node_capacitance_grows_with_upsizing(self):
+        small = RegulatedCurrentMirror(resolution_bits=3)
+        large = RegulatedCurrentMirror(resolution_bits=6)
+        assert large.node_capacitance() > small.node_capacitance()
+
+
+class TestSpeedPower:
+    def test_settling_time_inverse_in_bias_current(self):
+        mirror = RegulatedCurrentMirror()
+        assert mirror.settling_time(10e-6) == pytest.approx(2 * mirror.settling_time(20e-6))
+
+    def test_minimum_bias_current_inverts_settling_time(self):
+        mirror = RegulatedCurrentMirror()
+        bias = mirror.minimum_bias_current(5e-9)
+        assert mirror.settling_time(bias) == pytest.approx(5e-9, rel=1e-6)
+
+    def test_static_power_linear_in_current_and_branches(self):
+        mirror = RegulatedCurrentMirror()
+        assert mirror.static_power(10e-6, branches=4) == pytest.approx(
+            2 * mirror.static_power(10e-6, branches=2)
+        )
+
+    def test_invalid_inputs_rejected(self):
+        mirror = RegulatedCurrentMirror()
+        with pytest.raises(ValueError):
+            mirror.settling_time(0.0)
+        with pytest.raises(ValueError):
+            mirror.static_power(-1e-6)
+
+
+class TestFunctionalCopy:
+    def test_copy_without_rng_is_exact(self):
+        mirror = RegulatedCurrentMirror()
+        assert mirror.copy(10e-6) == pytest.approx(10e-6)
+
+    def test_copy_error_statistics(self):
+        mirror = RegulatedCurrentMirror(resolution_bits=5, sigma_vt_minimum=5e-3)
+        rng = np.random.default_rng(0)
+        copies = np.array([mirror.copy(10e-6, rng) for _ in range(5000)])
+        relative = copies / 10e-6 - 1.0
+        assert abs(np.mean(relative)) < 0.005
+        assert np.std(relative) == pytest.approx(mirror.achieved_relative_mismatch(), rel=0.1)
+
+    def test_copy_never_negative(self):
+        mirror = RegulatedCurrentMirror(sigma_vt_minimum=50e-3, resolution_bits=1)
+        rng = np.random.default_rng(1)
+        assert all(mirror.copy(1e-7, rng) >= 0 for _ in range(100))
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ValueError):
+            RegulatedCurrentMirror().copy(-1e-6)

@@ -1,0 +1,107 @@
+"""Tests for the 45 nm digital MAC correlation ASIC baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cmos.digital_mac import DigitalCorrelatorAsic
+
+
+@pytest.fixture(scope="module")
+def asic():
+    return DigitalCorrelatorAsic()
+
+
+class TestThroughput:
+    def test_macs_per_recognition(self, asic):
+        assert asic.macs_per_recognition == 128 * 40
+
+    def test_default_recognition_rate_is_2p5MHz(self, asic):
+        # 128 parallel MACs at 100 MHz over 5120 MACs -> 2.5 MHz input rate,
+        # matching Table 1's frequency for the digital design.
+        assert asic.recognition_rate == pytest.approx(2.5e6)
+
+    def test_more_parallelism_raises_rate(self):
+        fast = DigitalCorrelatorAsic(parallel_macs=256)
+        assert fast.recognition_rate == pytest.approx(5e6)
+
+    def test_cycles_per_recognition_ceil(self):
+        odd = DigitalCorrelatorAsic(parallel_macs=100)
+        assert odd.cycles_per_recognition == 52
+
+
+class TestEnergyPower:
+    def test_power_near_4mW_at_5bit(self, asic):
+        # Table 1: 4 mW for the 5-bit digital design.
+        assert asic.total_power() == pytest.approx(4e-3, rel=0.25)
+
+    def test_energy_per_recognition_about_1p6nJ(self, asic):
+        assert asic.energy_per_recognition() == pytest.approx(1.6e-9, rel=0.3)
+
+    def test_power_decreases_with_bit_width(self):
+        powers = [DigitalCorrelatorAsic(bits=b).total_power() for b in (3, 4, 5)]
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_mac_energy_grows_superlinearly_in_bits(self):
+        # The multiplier array scales with bits^2 while the accumulator adds
+        # a linear term; the 5-bit MAC must cost clearly more than the
+        # 3-bit one (the paper's digital column shrinks even faster because
+        # its accumulator width also shrinks with the operand width).
+        e3 = DigitalCorrelatorAsic(bits=3).mac_energy()
+        e5 = DigitalCorrelatorAsic(bits=5).mac_energy()
+        assert 1.4 < e5 / e3 < 2.5
+
+    def test_leakage_much_smaller_than_dynamic(self, asic):
+        assert asic.leakage_power() < 0.2 * asic.total_power()
+
+    def test_power_delay_product(self, asic):
+        assert asic.power_delay_product() == pytest.approx(
+            asic.total_power() / asic.recognition_rate
+        )
+
+
+class TestFunctionalGoldenModel:
+    def _templates_and_input(self, asic, seed=0):
+        rng = np.random.default_rng(seed)
+        templates = rng.integers(0, 32, size=(asic.feature_length, asic.templates))
+        input_codes = rng.integers(0, 32, size=asic.feature_length)
+        return templates, input_codes
+
+    def test_correlate_matches_numpy_dot(self, asic):
+        templates, input_codes = self._templates_and_input(asic)
+        correlations = asic.correlate(templates, input_codes)
+        assert np.array_equal(correlations, input_codes @ templates)
+
+    def test_find_winner_is_argmax(self, asic):
+        templates, input_codes = self._templates_and_input(asic, seed=1)
+        winner, score = asic.find_winner(templates, input_codes)
+        expected = input_codes @ templates
+        assert winner == int(np.argmax(expected))
+        assert score == int(expected.max())
+
+    def test_self_correlation_wins(self, asic):
+        rng = np.random.default_rng(2)
+        templates = rng.integers(0, 32, size=(asic.feature_length, asic.templates))
+        winner, _ = asic.find_winner(templates, templates[:, 7])
+        assert winner == 7
+
+    def test_shape_validation(self, asic):
+        templates, input_codes = self._templates_and_input(asic)
+        with pytest.raises(ValueError):
+            asic.correlate(templates[:-1], input_codes)
+        with pytest.raises(ValueError):
+            asic.correlate(templates, input_codes[:-1])
+
+    def test_code_range_validation(self, asic):
+        templates, input_codes = self._templates_and_input(asic)
+        bad = templates.copy()
+        bad[0, 0] = 99
+        with pytest.raises(ValueError):
+            asic.correlate(bad, input_codes)
+
+
+class TestValidation:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DigitalCorrelatorAsic(bits=0)
+        with pytest.raises(ValueError):
+            DigitalCorrelatorAsic(core_clock=-1.0)

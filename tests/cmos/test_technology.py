@@ -1,0 +1,69 @@
+"""Tests for the digital CMOS energy primitives."""
+
+import pytest
+
+from repro.cmos.technology import CmosEnergyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CmosEnergyModel()
+
+
+class TestPrimitives:
+    def test_inverter_energy_sub_femtojoule(self, model):
+        assert 1e-17 < model.inverter_energy() < 1e-15
+
+    def test_gate_energy_scales_with_complexity(self, model):
+        assert model.gate_energy(3.0) == pytest.approx(2 * model.gate_energy(1.5))
+
+    def test_flipflop_more_expensive_than_gate(self, model):
+        assert model.flipflop_energy() > model.gate_energy()
+
+    def test_invalid_gate_equivalents(self, model):
+        with pytest.raises(ValueError):
+            model.gate_energy(0.0)
+
+
+class TestComposites:
+    def test_adder_energy_linear_in_width(self, model):
+        assert model.adder_energy(16) == pytest.approx(2 * model.adder_energy(8))
+
+    def test_multiplier_energy_quadratic_in_width(self, model):
+        assert model.multiplier_energy(8, 8) == pytest.approx(4 * model.multiplier_energy(4, 4))
+
+    def test_mac_includes_multiplier_adder_register(self, model):
+        mac = model.mac_energy(5)
+        assert mac > model.multiplier_energy(5, 5)
+        assert mac == pytest.approx(
+            model.multiplier_energy(5, 5) + model.adder_energy(18) + model.register_energy(18)
+        )
+
+    def test_mac_energy_with_explicit_accumulator(self, model):
+        assert model.mac_energy(5, accumulator_bits=20) > model.mac_energy(5, accumulator_bits=12)
+
+    def test_comparator_energy_positive(self, model):
+        assert model.comparator_energy(12) > 0
+
+    def test_five_bit_mac_energy_plausible_for_45nm(self, model):
+        # A 5-bit MAC datapath (before architecture overheads) should cost
+        # tens of femtojoules at 45 nm.
+        assert 5e-15 < model.mac_energy(5) < 2e-13
+
+
+class TestLeakage:
+    def test_leakage_scales_with_gate_count(self, model):
+        assert model.leakage_power(2000) == pytest.approx(2 * model.leakage_power(1000))
+
+    def test_leakage_positive(self, model):
+        assert model.leakage_power(100) > 0
+
+
+class TestValidation:
+    def test_invalid_activity_rejected(self):
+        with pytest.raises(ValueError):
+            CmosEnergyModel(activity_factor=0.0)
+
+    def test_invalid_wiring_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            CmosEnergyModel(wiring_overhead=0.0)

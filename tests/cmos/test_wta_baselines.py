@@ -1,0 +1,126 @@
+"""Tests for the analog WTA baselines ([17], [18], current-conveyor)."""
+
+import numpy as np
+import pytest
+
+from repro.cmos.wta_async import AsyncMinMaxWta
+from repro.cmos.wta_bt import BinaryTreeWta
+from repro.cmos.wta_cc import CurrentConveyorWta
+
+
+class TestStructure:
+    def test_tree_node_count(self):
+        wta = BinaryTreeWta(inputs=40)
+        assert wta.comparison_nodes == 39
+        assert wta.tree_depth == 6
+
+    def test_total_branches(self):
+        wta = BinaryTreeWta(inputs=40, branches_per_input=3, branches_per_node=3)
+        assert wta.total_branches == 40 * 3 + 39 * 3
+
+    def test_signal_path_stages(self):
+        assert BinaryTreeWta(inputs=40).signal_path_stages() == 7
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryTreeWta(inputs=1)
+
+
+class TestPowerCalibration:
+    def test_bt_wta_power_near_8mW_at_5bit(self):
+        # Table 1, [17]: 8 mW at 5-bit, 40 inputs, 50 MHz, sigma_vt = 5 mV.
+        wta = BinaryTreeWta(inputs=40, resolution_bits=5)
+        assert wta.total_power() == pytest.approx(8e-3, rel=0.2)
+
+    def test_bt_wta_power_near_5mW_at_4bit(self):
+        wta = BinaryTreeWta(inputs=40, resolution_bits=4)
+        assert wta.total_power() == pytest.approx(5e-3, rel=0.2)
+
+    def test_bt_wta_power_near_3mW_at_3bit(self):
+        wta = BinaryTreeWta(inputs=40, resolution_bits=3)
+        assert wta.total_power() == pytest.approx(3.2e-3, rel=0.25)
+
+    def test_async_wta_power_near_5p5mW_at_5bit(self):
+        # Table 1, [18]: 5.5 mW at 5-bit.
+        wta = AsyncMinMaxWta(inputs=40, resolution_bits=5)
+        assert wta.total_power() == pytest.approx(5.5e-3, rel=0.2)
+
+    def test_async_wta_cheaper_than_standard_bt(self):
+        for bits in (3, 4, 5):
+            assert (
+                AsyncMinMaxWta(inputs=40, resolution_bits=bits).total_power()
+                < BinaryTreeWta(inputs=40, resolution_bits=bits).total_power()
+            )
+
+    def test_power_increases_with_resolution(self):
+        powers = [BinaryTreeWta(inputs=40, resolution_bits=b).total_power() for b in (3, 4, 5)]
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_power_increases_with_sigma_vt(self):
+        nominal = BinaryTreeWta(inputs=40, sigma_vt=5e-3).total_power()
+        noisy = BinaryTreeWta(inputs=40, sigma_vt=20e-3).total_power()
+        assert noisy > 3 * nominal
+
+    def test_energy_per_decision(self):
+        wta = BinaryTreeWta(inputs=40, resolution_bits=5)
+        assert wta.energy_per_decision() == pytest.approx(wta.total_power() / 50e6)
+
+    def test_power_delay_product_grows_with_variation(self):
+        nominal = BinaryTreeWta(inputs=40, sigma_vt=5e-3).power_delay_product()
+        noisy = BinaryTreeWta(inputs=40, sigma_vt=25e-3).power_delay_product()
+        assert noisy > 10 * nominal
+
+    def test_evaluation_delay_positive_and_subperiod_at_reference(self):
+        wta = BinaryTreeWta(inputs=40, resolution_bits=5, sigma_vt=5e-3)
+        assert wta.evaluation_delay() > 0
+        assert wta.max_frequency() > 0
+
+
+class TestFunctionalWinner:
+    def test_clear_winner_found_without_noise_effects(self):
+        wta = BinaryTreeWta(inputs=8, sigma_vt=1e-3)
+        currents = np.array([1, 2, 3, 10, 4, 5, 6, 7], dtype=float) * 1e-5
+        assert wta.find_winner(currents, seed=0) == 3
+
+    def test_non_power_of_two_inputs_handled(self):
+        wta = BinaryTreeWta(inputs=5, sigma_vt=1e-3)
+        currents = np.array([1, 2, 3, 4, 50], dtype=float) * 1e-6
+        assert wta.find_winner(currents, seed=1) == 4
+
+    def test_marginal_inputs_sometimes_misranked_at_high_sigma(self):
+        wta = BinaryTreeWta(inputs=2, resolution_bits=5, sigma_vt=40e-3)
+        currents = np.array([10.0e-6, 9.9e-6])
+        rng = np.random.default_rng(2)
+        winners = {wta.find_winner(currents, seed=rng) for _ in range(100)}
+        assert winners == {0, 1}
+
+    def test_invalid_currents_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryTreeWta(inputs=4).find_winner(np.zeros((2, 2)))
+
+
+class TestCurrentConveyor:
+    def test_power_grows_with_fanin(self):
+        small = CurrentConveyorWta(inputs=8)
+        large = CurrentConveyorWta(inputs=64)
+        assert large.total_power() > small.total_power()
+
+    def test_power_grows_with_resolution(self):
+        assert (
+            CurrentConveyorWta(resolution_bits=6).total_power()
+            > CurrentConveyorWta(resolution_bits=4).total_power()
+        )
+
+    def test_energy_per_decision_positive(self):
+        assert CurrentConveyorWta().energy_per_decision() > 0
+
+    def test_functional_winner_clear_case(self):
+        wta = CurrentConveyorWta(inputs=5, sigma_vt=1e-3)
+        currents = np.array([1, 2, 3, 4, 50], dtype=float) * 1e-6
+        assert wta.find_winner(currents, seed=0) == 4
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            CurrentConveyorWta(inputs=1)
+        with pytest.raises(ValueError):
+            CurrentConveyorWta().find_winner(np.array([]))

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+All hardware-level fixtures use reduced geometries (small crossbars, few
+templates, small synthetic images) so the full suite runs in seconds; the
+full 128x40 reference design is exercised by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.amm import AssociativeMemoryModule
+from repro.core.config import DesignParameters
+from repro.datasets.attlike import FaceDataset, load_default_dataset
+from repro.datasets.features import FeatureExtractor
+
+
+SMALL_IMAGE_SHAPE = (64, 48)
+SMALL_TEMPLATE_SHAPE = (8, 4)
+SMALL_TEMPLATES = 6
+
+
+@pytest.fixture(scope="session")
+def small_parameters() -> DesignParameters:
+    """Reduced design parameters: 32-element features, 6 templates."""
+    return DesignParameters(
+        template_shape=SMALL_TEMPLATE_SHAPE,
+        num_templates=SMALL_TEMPLATES,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> FaceDataset:
+    """A 6-subject, 4-image synthetic corpus with 64x48 images."""
+    return load_default_dataset(
+        subjects=SMALL_TEMPLATES,
+        images_per_subject=4,
+        image_shape=SMALL_IMAGE_SHAPE,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_extractor(small_parameters) -> FeatureExtractor:
+    """Feature extractor matching the reduced template geometry."""
+    return FeatureExtractor(
+        feature_shape=small_parameters.template_shape,
+        bits=small_parameters.template_bits,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_template_codes(small_parameters) -> np.ndarray:
+    """A deterministic random template matrix for the reduced design."""
+    rng = np.random.default_rng(5)
+    features = small_parameters.feature_length
+    return rng.integers(
+        0, 2**small_parameters.template_bits, size=(features, SMALL_TEMPLATES)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_amm(small_template_codes, small_parameters) -> AssociativeMemoryModule:
+    """A programmed reduced AMM with parasitics enabled."""
+    return AssociativeMemoryModule.from_templates(
+        small_template_codes,
+        parameters=small_parameters,
+        include_parasitics=True,
+        seed=21,
+    )

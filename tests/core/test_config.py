@@ -1,0 +1,117 @@
+"""Tests for the design parameters (Table 2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import DesignParameters, default_parameters
+
+
+class TestDefaults:
+    def test_reference_design_matches_table2(self):
+        parameters = default_parameters()
+        assert parameters.template_shape == (16, 8)
+        assert parameters.feature_length == 128
+        assert parameters.num_templates == 40
+        assert parameters.template_bits == 5
+        assert parameters.wta_resolution_bits == 5
+        assert parameters.clock_frequency_hz == pytest.approx(100e6)
+        assert parameters.delta_v == pytest.approx(30e-3)
+        assert parameters.dwn_threshold_current == pytest.approx(1e-6)
+        assert parameters.dwn_switching_time == pytest.approx(1.5e-9)
+        assert parameters.memristor_r_min_ohm == pytest.approx(1e3)
+        assert parameters.memristor_r_max_ohm == pytest.approx(32e3)
+        assert parameters.free_layer_nm == (3.0, 22.0, 60.0)
+        assert parameters.saturation_magnetisation_emu == pytest.approx(800.0)
+        assert parameters.dwn_barrier_kt == pytest.approx(20.0)
+
+    def test_derived_quantities(self):
+        parameters = default_parameters()
+        assert parameters.wta_levels == 32
+        # Full-scale column current: 32 levels x 1 uA threshold = 32 uA.
+        assert parameters.wta_full_scale_current == pytest.approx(32e-6)
+        assert parameters.clock_period == pytest.approx(10e-9)
+        assert parameters.wta_relative_resolution == pytest.approx(1 / 32)
+
+    def test_table2_rendering_contains_key_entries(self):
+        table = default_parameters().table2()
+        assert table["Template size"] == "16x8, 5-bit"
+        assert table["# template"] == "40"
+        assert table["Ic"] == "1uA"
+        assert table["Tswitch"] == "1.5ns"
+        assert "1kOhm to 32kOhm" in table["Resistance range"]
+        assert table["Input data rate"] == "100MHz"
+
+
+class TestValidation:
+    def test_invalid_resistance_ordering(self):
+        with pytest.raises(ValueError):
+            DesignParameters(memristor_r_min_ohm=32e3, memristor_r_max_ohm=1e3)
+
+    def test_invalid_dom_threshold(self):
+        with pytest.raises(ValueError):
+            DesignParameters(dom_threshold_fraction=1.0)
+
+    def test_invalid_template_count(self):
+        with pytest.raises(ValueError):
+            DesignParameters(num_templates=1)
+
+    def test_frozen(self):
+        parameters = default_parameters()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            parameters.delta_v = 0.1
+
+
+class TestFactories:
+    def test_memristor_model_reflects_range(self):
+        parameters = default_parameters()
+        memristor = parameters.memristor_model()
+        assert memristor.g_max == pytest.approx(1e-3)
+        assert memristor.g_min == pytest.approx(1 / 32e3)
+        assert memristor.levels == 32
+
+    def test_wire_parasitics_reflect_table2(self):
+        parasitics = default_parameters().wire_parasitics()
+        assert parasitics.resistance_per_um == pytest.approx(1.0)
+        assert parasitics.capacitance_per_um == pytest.approx(0.4e-15)
+
+    def test_dwn_config_threshold_and_window(self):
+        parameters = default_parameters()
+        config = parameters.dwn_config()
+        assert config.threshold_current == pytest.approx(1e-6)
+        assert config.evaluation_time == pytest.approx(5e-9)
+        # The evaluation window must exceed the switching time.
+        assert config.evaluation_time > parameters.dwn_switching_time
+
+    def test_domain_wall_magnet_dimensions(self):
+        magnet = default_parameters().domain_wall_magnet()
+        assert magnet.width_nm == pytest.approx(22.0)
+
+    def test_mtj_resistances(self):
+        mtj = default_parameters().mtj()
+        assert mtj.resistance(True) == pytest.approx(5e3)
+        assert mtj.resistance(False) == pytest.approx(15e3)
+
+
+class TestSweepHelpers:
+    def test_with_resolution(self):
+        parameters = default_parameters().with_resolution(3)
+        assert parameters.wta_resolution_bits == 3
+        assert parameters.wta_full_scale_current == pytest.approx(8e-6)
+
+    def test_with_threshold(self):
+        parameters = default_parameters().with_threshold(0.5e-6)
+        assert parameters.dwn_threshold_current == pytest.approx(0.5e-6)
+
+    def test_with_delta_v(self):
+        assert default_parameters().with_delta_v(10e-3).delta_v == pytest.approx(10e-3)
+
+    def test_with_resistance_range(self):
+        parameters = default_parameters().with_resistance_range(200.0, 6400.0)
+        assert parameters.memristor_r_min_ohm == pytest.approx(200.0)
+        assert parameters.memristor_r_max_ohm == pytest.approx(6400.0)
+
+    def test_sweep_helpers_do_not_mutate_original(self):
+        original = default_parameters()
+        original.with_resolution(3)
+        assert original.wta_resolution_bits == 5

@@ -1,0 +1,71 @@
+"""Tests for the end-to-end face-recognition pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DesignParameters
+from repro.core.pipeline import FaceRecognitionPipeline, build_default_amm, build_pipeline
+from repro.datasets.features import FeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_dataset, small_parameters):
+    return build_pipeline(small_dataset, parameters=small_parameters, seed=13)
+
+
+class TestBuild:
+    def test_pipeline_geometry_matches_dataset(self, pipeline, small_dataset, small_parameters):
+        assert pipeline.amm.crossbar.columns == small_dataset.num_classes
+        assert pipeline.amm.crossbar.rows == small_parameters.feature_length
+
+    def test_column_labels_cover_dataset_classes(self, pipeline, small_dataset):
+        assert set(pipeline.amm.column_labels.tolist()) == set(
+            small_dataset.classes.tolist()
+        )
+
+    def test_build_default_amm_returns_module(self, small_dataset, small_parameters):
+        amm = build_default_amm(small_dataset, parameters=small_parameters, seed=1)
+        assert amm.crossbar.columns == small_dataset.num_classes
+
+    def test_mismatched_extractor_rejected(self, small_dataset, small_parameters):
+        amm = build_default_amm(small_dataset, parameters=small_parameters, seed=1)
+        wrong_extractor = FeatureExtractor(feature_shape=(16, 8), bits=5)
+        with pytest.raises(ValueError):
+            FaceRecognitionPipeline(amm, wrong_extractor)
+
+    def test_build_reproducible_with_seed(self, small_dataset, small_parameters):
+        a = build_pipeline(small_dataset, parameters=small_parameters, seed=7)
+        b = build_pipeline(small_dataset, parameters=small_parameters, seed=7)
+        assert np.allclose(a.amm.crossbar.conductances, b.amm.crossbar.conductances)
+
+
+class TestClassification:
+    def test_classify_image_returns_result(self, pipeline, small_dataset):
+        result = pipeline.classify_image(small_dataset.images[0])
+        assert result.winner in small_dataset.classes
+        assert 0 <= result.dom_code < pipeline.amm.wta.levels
+
+    def test_classify_codes_equivalent_to_classify_image(self, pipeline, small_dataset):
+        image = small_dataset.images[3]
+        codes = pipeline.extractor.extract_codes(image)
+        a = pipeline.classify_image(image)
+        b = pipeline.classify_codes(codes)
+        assert a.winner_column == b.winner_column
+
+    def test_evaluation_accuracy_reasonable(self, pipeline, small_dataset):
+        evaluation = pipeline.evaluate(small_dataset)
+        # The reduced corpus is easy; the hardware pipeline must get a clear
+        # majority right and accept most inputs.
+        assert evaluation.accuracy >= 0.7
+        assert evaluation.acceptance_rate >= 0.7
+        assert evaluation.count == small_dataset.size
+        assert evaluation.mean_static_power > 0
+
+    def test_limit_subsamples_evaluation(self, pipeline, small_dataset):
+        evaluation = pipeline.evaluate(small_dataset, limit=5)
+        assert evaluation.count == 5
+
+    def test_per_class_accuracy_keys(self, pipeline, small_dataset):
+        evaluation = pipeline.evaluate(small_dataset, limit=12)
+        for label in evaluation.per_class_accuracy:
+            assert label in small_dataset.classes

@@ -1,0 +1,118 @@
+"""Tests for the spin-CMOS AMM power model (Fig. 13a, Table 1 column 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import default_parameters
+from repro.core.power import PowerBreakdown, SpinAmmPowerModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SpinAmmPowerModel(default_parameters())
+
+
+class TestBreakdownStructure:
+    def test_breakdown_components_positive(self, model):
+        breakdown = model.breakdown()
+        assert breakdown.static_rcm > 0
+        assert breakdown.static_sar_dac > 0
+        assert breakdown.dynamic > 0
+        assert breakdown.total == pytest.approx(
+            breakdown.static_rcm + breakdown.static_sar_dac + breakdown.dynamic
+        )
+
+    def test_energy_per_recognition(self, model):
+        breakdown = model.breakdown()
+        assert breakdown.energy_per_recognition == pytest.approx(
+            breakdown.total / 100e6
+        )
+
+    def test_as_dict_keys(self, model):
+        data = model.breakdown().as_dict()
+        for key in ("static_rcm", "static_sar_dac", "dynamic", "total", "energy_per_recognition"):
+            assert key in data
+
+
+class TestCalibrationAgainstPaper:
+    def test_total_power_5bit_near_65uW(self, model):
+        # Table 1: 65 uW for the 5-bit design at 100 MHz.
+        assert model.total_power(resolution_bits=5) == pytest.approx(65e-6, rel=0.25)
+
+    def test_total_power_4bit_near_45uW(self, model):
+        assert model.total_power(resolution_bits=4) == pytest.approx(45e-6, rel=0.25)
+
+    def test_total_power_3bit_near_32uW(self, model):
+        assert model.total_power(resolution_bits=3) == pytest.approx(32e-6, rel=0.3)
+
+    def test_power_decreases_with_resolution(self, model):
+        assert (
+            model.total_power(resolution_bits=5)
+            > model.total_power(resolution_bits=4)
+            > model.total_power(resolution_bits=3)
+        )
+
+    def test_energy_per_recognition_sub_picojoule(self, model):
+        assert model.energy_per_recognition(resolution_bits=5) < 1e-12
+
+
+class TestThresholdScaling:
+    def test_static_power_proportional_to_threshold(self, model):
+        # Fig. 13a: static power scales with the DWN threshold.
+        low = model.breakdown(threshold_current=0.5e-6)
+        high = model.breakdown(threshold_current=1.0e-6)
+        assert high.static_total == pytest.approx(2 * low.static_total, rel=1e-6)
+
+    def test_dynamic_power_independent_of_threshold(self, model):
+        low = model.breakdown(threshold_current=0.25e-6)
+        high = model.breakdown(threshold_current=2.0e-6)
+        assert low.dynamic == pytest.approx(high.dynamic)
+
+    def test_dynamic_dominates_at_low_threshold(self, model):
+        breakdown = model.breakdown(threshold_current=0.25e-6)
+        assert breakdown.dynamic > breakdown.static_total
+
+    def test_static_comparable_to_dynamic_at_nominal_threshold(self, model):
+        # Fig. 13a shows the two components of comparable magnitude at the
+        # 1 uA design point.
+        breakdown = model.breakdown(threshold_current=1.0e-6)
+        ratio = breakdown.static_total / breakdown.dynamic
+        assert 0.4 < ratio < 2.5
+
+
+class TestMeasuredActivityPath:
+    def test_dynamic_energy_from_events_positive(self, model):
+        events = {
+            "latch_senses": 200,
+            "sar_bit_writes": 300,
+            "dac_transitions": 250,
+            "tracking_writes": 4,
+            "detection_precharges": 5,
+        }
+        assert model.dynamic_energy_from_events(events) > 0
+
+    def test_more_activity_more_energy(self, model):
+        low = model.dynamic_energy_from_events({"latch_senses": 100})
+        high = model.dynamic_energy_from_events({"latch_senses": 300})
+        assert high == pytest.approx(3 * low)
+
+    def test_power_from_measurement_combines_terms(self, model):
+        breakdown = model.power_from_measurement(
+            static_power=30e-6, events={"latch_senses": 200, "detection_precharges": 5}
+        )
+        assert breakdown.static_rcm == pytest.approx(30e-6)
+        assert breakdown.total > 30e-6
+
+    def test_invalid_static_power_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.power_from_measurement(-1.0, {})
+
+
+class TestValidation:
+    def test_invalid_utilisation_rejected(self):
+        with pytest.raises(ValueError):
+            SpinAmmPowerModel(column_utilization=1.5)
+
+    def test_invalid_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            SpinAmmPowerModel(latch_capacitance=0.0)

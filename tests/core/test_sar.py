@@ -1,0 +1,107 @@
+"""Tests for the successive-approximation register logic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sar import SuccessiveApproximationRegister
+
+
+class TestBasicOperation:
+    def test_begin_sets_msb(self):
+        sar = SuccessiveApproximationRegister(5)
+        assert sar.begin() == 16
+        assert sar.current_bit == 4
+        assert not sar.done
+
+    def test_conversion_converges_to_value(self):
+        # Digitise the value 21 with a 5-bit SAR and an exact comparator.
+        sar = SuccessiveApproximationRegister(5)
+        sar.begin()
+        target = 21
+        while not sar.done:
+            sar.resolve_bit(target >= sar.trial_code)
+        assert sar.code == 21
+
+    def test_all_values_roundtrip(self):
+        for target in range(32):
+            sar = SuccessiveApproximationRegister(5)
+            sar.begin()
+            while not sar.done:
+                sar.resolve_bit(target >= sar.trial_code)
+            assert sar.code == target
+
+    def test_decisions_recorded_msb_first(self):
+        sar = SuccessiveApproximationRegister(3)
+        sar.begin()
+        while not sar.done:
+            sar.resolve_bit(5 >= sar.trial_code)
+        assert sar.code == 5
+        assert sar.decisions == [True, False, True]
+
+    def test_requires_begin_before_resolve(self):
+        sar = SuccessiveApproximationRegister(4)
+        with pytest.raises(RuntimeError):
+            sar.resolve_bit(True)
+        with pytest.raises(RuntimeError):
+            _ = sar.trial_code
+
+    def test_resolve_after_done_rejected(self):
+        sar = SuccessiveApproximationRegister(2)
+        sar.begin()
+        sar.resolve_bit(True)
+        sar.resolve_bit(True)
+        assert sar.done
+        with pytest.raises(RuntimeError):
+            sar.resolve_bit(True)
+
+    def test_bit_value_accessor(self):
+        sar = SuccessiveApproximationRegister(4)
+        sar.begin()
+        while not sar.done:
+            sar.resolve_bit(10 >= sar.trial_code)
+        assert [sar.bit_value(k) for k in range(4)] == [0, 1, 0, 1]
+        with pytest.raises(ValueError):
+            sar.bit_value(4)
+
+    def test_max_code(self):
+        assert SuccessiveApproximationRegister(5).max_code == 31
+
+
+class TestReferenceConversion:
+    def test_convert_value_matches_floor_quantisation(self):
+        full_scale = 32e-6
+        for value in np.linspace(0, full_scale * 0.999, 64):
+            code = SuccessiveApproximationRegister.convert_value(value, full_scale, 5)
+            assert code == int(value / (full_scale / 32))
+
+    def test_convert_value_clamps_at_max(self):
+        code = SuccessiveApproximationRegister.convert_value(1.0, 32e-6, 5)
+        assert code == 31
+
+    def test_convert_value_invalid_full_scale(self):
+        with pytest.raises(ValueError):
+            SuccessiveApproximationRegister.convert_value(1.0, 0.0, 5)
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        bits=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_conversion_equals_floor(self, value, bits):
+        full_scale = 1.0
+        code = SuccessiveApproximationRegister.convert_value(value, full_scale, bits)
+        levels = 2**bits
+        expected = min(levels - 1, int(value / (full_scale / levels)))
+        assert code == expected
+
+    @given(bits=st.integers(min_value=1, max_value=8), target=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=80, deadline=None)
+    def test_property_integer_targets_recovered_exactly(self, bits, target):
+        target = target % (2**bits)
+        sar = SuccessiveApproximationRegister(bits)
+        sar.begin()
+        while not sar.done:
+            sar.resolve_bit(target >= sar.trial_code)
+        assert sar.code == target

@@ -1,0 +1,152 @@
+"""Tests for the resistive crossbar array model."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import ResistiveCrossbar
+from repro.crossbar.parasitics import WireParasitics
+from repro.crossbar.programming import TemplateProgrammer
+from repro.devices.memristor import MemristorModel
+
+
+def make_crossbar(rows=16, cols=5, seed=0, write_accuracy=0.0):
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 32, size=(rows, cols))
+    programmer = TemplateProgrammer(memristor=MemristorModel(write_accuracy=write_accuracy, seed=seed))
+    return ResistiveCrossbar.from_programmed(programmer.program(codes)), codes
+
+
+class TestConstruction:
+    def test_from_template_codes(self):
+        codes = np.random.default_rng(1).integers(0, 32, size=(8, 3))
+        crossbar = ResistiveCrossbar.from_template_codes(codes)
+        assert crossbar.rows == 8
+        assert crossbar.columns == 3
+
+    def test_rejects_non_positive_conductance(self):
+        with pytest.raises(ValueError):
+            ResistiveCrossbar(np.array([[1e-4, 0.0], [1e-4, 1e-4]]))
+
+    def test_rejects_negative_dummies(self):
+        with pytest.raises(ValueError):
+            ResistiveCrossbar(np.full((2, 2), 1e-4), dummy_conductances=np.array([-1e-5, 0.0]))
+
+    def test_rejects_wrong_dummy_shape(self):
+        with pytest.raises(ValueError):
+            ResistiveCrossbar(np.full((2, 2), 1e-4), dummy_conductances=np.zeros(3))
+
+    def test_conductances_returned_as_copy(self):
+        crossbar, _ = make_crossbar()
+        matrix = crossbar.conductances
+        matrix[0, 0] = 99.0
+        assert crossbar.conductances[0, 0] != 99.0
+
+
+class TestRowTotals:
+    def test_row_totals_equalised_after_programming(self):
+        crossbar, _ = make_crossbar()
+        totals = crossbar.row_total_conductances()
+        assert np.allclose(totals, crossbar.nominal_row_conductance())
+
+    def test_column_totals_positive(self):
+        crossbar, _ = make_crossbar()
+        assert np.all(crossbar.column_total_conductances() > 0)
+
+
+class TestIdealEvaluation:
+    def test_row_voltage_current_divider(self):
+        crossbar, _ = make_crossbar()
+        dac = np.full(crossbar.rows, 1e-5)
+        delta_v = 30e-3
+        voltages = crossbar.row_voltages(dac, delta_v)
+        totals = crossbar.row_total_conductances()
+        expected = delta_v * dac / (dac + totals)
+        assert np.allclose(voltages, expected)
+
+    def test_column_currents_match_paper_formula(self):
+        crossbar, _ = make_crossbar()
+        rng = np.random.default_rng(2)
+        dac = rng.uniform(0, 2e-5, crossbar.rows)
+        delta_v = 30e-3
+        currents = crossbar.column_currents(dac, delta_v)
+        conductances = crossbar.conductances
+        totals = crossbar.row_total_conductances()
+        expected = np.zeros(crossbar.columns)
+        for j in range(crossbar.columns):
+            expected[j] = np.sum(
+                delta_v * dac * conductances[:, j] / (dac + totals)
+            )
+        assert np.allclose(currents, expected)
+
+    def test_zero_input_gives_zero_current(self):
+        crossbar, _ = make_crossbar()
+        currents = crossbar.column_currents(np.zeros(crossbar.rows), 30e-3)
+        assert np.allclose(currents, 0.0)
+
+    def test_currents_scale_linearly_with_delta_v(self):
+        crossbar, _ = make_crossbar()
+        dac = np.full(crossbar.rows, 1e-5)
+        a = crossbar.column_currents(dac, 30e-3)
+        b = crossbar.column_currents(dac, 60e-3)
+        assert np.allclose(b, 2 * a)
+
+    def test_ideal_dot_product_matches_matrix_product(self):
+        crossbar, _ = make_crossbar()
+        values = np.random.default_rng(3).uniform(0, 1, crossbar.rows)
+        assert np.allclose(
+            crossbar.ideal_dot_product(values), values @ crossbar.conductances
+        )
+
+    def test_row_current_distribution_sums_to_input(self):
+        crossbar, _ = make_crossbar()
+        row_currents = np.random.default_rng(4).uniform(0, 1e-5, crossbar.rows)
+        column_currents = crossbar.column_currents_from_row_currents(row_currents)
+        # The columns receive the input current minus the share into the dummies.
+        dummy_share = np.sum(
+            row_currents * crossbar.dummy_conductances / crossbar.row_total_conductances()
+        )
+        assert np.sum(column_currents) + dummy_share == pytest.approx(np.sum(row_currents))
+
+    def test_wrong_shapes_rejected(self):
+        crossbar, _ = make_crossbar()
+        with pytest.raises(ValueError):
+            crossbar.column_currents(np.zeros(crossbar.rows + 1), 30e-3)
+        with pytest.raises(ValueError):
+            crossbar.row_voltages(-np.ones(crossbar.rows), 30e-3)
+
+
+class TestHigherTemplateValuesGiveHigherCorrelation:
+    def test_matched_template_wins(self):
+        # Store two orthogonal-ish patterns; driving with a pattern must
+        # produce the largest current on its own column.
+        codes = np.zeros((16, 2), dtype=int)
+        codes[:8, 0] = 31
+        codes[8:, 1] = 31
+        memristor = MemristorModel(write_accuracy=0.0)
+        crossbar = ResistiveCrossbar.from_programmed(
+            TemplateProgrammer(memristor=memristor).program(codes)
+        )
+        dac = np.zeros(16)
+        dac[:8] = 1e-5
+        currents = crossbar.column_currents(dac, 30e-3)
+        assert currents[0] > currents[1]
+
+
+class TestPowerBookkeeping:
+    def test_static_power_is_current_times_delta_v(self):
+        crossbar, _ = make_crossbar()
+        dac = np.full(crossbar.rows, 1e-5)
+        delta_v = 30e-3
+        assert crossbar.static_power(dac, delta_v) == pytest.approx(
+            crossbar.static_current(dac, delta_v) * delta_v
+        )
+
+    def test_static_current_increases_with_input(self):
+        crossbar, _ = make_crossbar()
+        low = crossbar.static_current(np.full(crossbar.rows, 1e-6), 30e-3)
+        high = crossbar.static_current(np.full(crossbar.rows, 1e-5), 30e-3)
+        assert high > low
+
+    def test_total_wire_capacitance_positive(self):
+        crossbar, _ = make_crossbar()
+        assert crossbar.total_wire_capacitance() > 0

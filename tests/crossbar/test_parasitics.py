@@ -1,0 +1,57 @@
+"""Tests for the crossbar wire-parasitics model."""
+
+import pytest
+
+from repro.crossbar.parasitics import WireParasitics, ideal_parasitics
+
+
+class TestSegments:
+    def test_table2_defaults(self):
+        parasitics = WireParasitics()
+        assert parasitics.resistance_per_um == pytest.approx(1.0)
+        assert parasitics.capacitance_per_um == pytest.approx(0.4e-15)
+
+    def test_segment_values_scale_with_pitch(self):
+        parasitics = WireParasitics(cell_pitch_um=0.5)
+        assert parasitics.segment_resistance == pytest.approx(0.5)
+        assert parasitics.segment_capacitance == pytest.approx(0.2e-15)
+
+    def test_invalid_pitch_rejected(self):
+        with pytest.raises(ValueError):
+            WireParasitics(cell_pitch_um=0.0)
+
+
+class TestLineTotals:
+    def test_row_and_column_resistance(self):
+        parasitics = WireParasitics(cell_pitch_um=1.0)
+        assert parasitics.row_resistance(40) == pytest.approx(40.0)
+        assert parasitics.column_resistance(128) == pytest.approx(128.0)
+
+    def test_row_and_column_capacitance(self):
+        parasitics = WireParasitics(cell_pitch_um=1.0)
+        assert parasitics.row_capacitance(40) == pytest.approx(16e-15)
+        assert parasitics.column_capacitance(128) == pytest.approx(51.2e-15)
+
+    def test_array_capacitance_sums_all_bars(self):
+        parasitics = WireParasitics(cell_pitch_um=1.0)
+        expected = 128 * parasitics.row_capacitance(40) + 40 * parasitics.column_capacitance(128)
+        assert parasitics.array_capacitance(128, 40) == pytest.approx(expected)
+
+    def test_invalid_counts_rejected(self):
+        parasitics = WireParasitics()
+        with pytest.raises(ValueError):
+            parasitics.row_resistance(0)
+        with pytest.raises(ValueError):
+            parasitics.column_capacitance(0)
+
+
+class TestVariants:
+    def test_scaled_pitch(self):
+        parasitics = WireParasitics(cell_pitch_um=1.0)
+        half = parasitics.scaled(0.5)
+        assert half.segment_resistance == pytest.approx(0.5)
+
+    def test_ideal_parasitics_have_zero_resistance(self):
+        ideal = ideal_parasitics()
+        assert ideal.segment_resistance == 0.0
+        assert ideal.row_resistance(100) == 0.0

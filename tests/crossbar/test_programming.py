@@ -1,0 +1,119 @@
+"""Tests for template programming and row equalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crossbar.programming import TemplateProgrammer
+from repro.devices.memristor import MemristorModel
+
+
+def make_codes(rows=16, cols=5, bits=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**bits, size=(rows, cols))
+
+
+class TestCodeMapping:
+    def test_codes_to_values_range(self):
+        programmer = TemplateProgrammer(bits=5)
+        values = programmer.codes_to_values(np.array([0, 31]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(1.0)
+
+    def test_out_of_range_codes_rejected(self):
+        programmer = TemplateProgrammer(bits=5)
+        with pytest.raises(ValueError):
+            programmer.codes_to_values(np.array([32]))
+
+    def test_target_conductances_within_device_range(self):
+        programmer = TemplateProgrammer()
+        targets = programmer.values_to_target_conductances(np.linspace(0, 1, 11))
+        assert targets.min() >= programmer.memristor.g_min - 1e-15
+        assert targets.max() <= programmer.memristor.g_max + 1e-15
+
+
+class TestProgramming:
+    def test_programmed_shape_matches_input(self):
+        codes = make_codes()
+        programmed = TemplateProgrammer().program(codes)
+        assert programmed.conductances.shape == codes.shape
+        assert programmed.rows == codes.shape[0]
+        assert programmed.columns == codes.shape[1]
+
+    def test_row_totals_equalised(self):
+        codes = make_codes(rows=32, cols=8)
+        programmed = TemplateProgrammer().program(codes)
+        totals = programmed.conductances.sum(axis=1) + programmed.dummy_conductances
+        assert np.allclose(totals, programmed.row_total_conductance)
+
+    def test_dummy_conductances_non_negative(self):
+        codes = make_codes(rows=32, cols=8, seed=3)
+        programmed = TemplateProgrammer().program(codes)
+        assert np.all(programmed.dummy_conductances >= 0)
+
+    def test_headroom_gives_strictly_positive_dummies(self):
+        codes = make_codes(rows=32, cols=8, seed=4)
+        programmed = TemplateProgrammer(dummy_headroom=0.05).program(codes)
+        assert np.all(programmed.dummy_conductances > 0)
+
+    def test_exact_write_when_accuracy_zero(self):
+        codes = make_codes()
+        memristor = MemristorModel(write_accuracy=0.0)
+        programmed = TemplateProgrammer(memristor=memristor).program(codes)
+        assert np.allclose(programmed.conductances, programmed.target_conductances)
+
+    def test_write_error_within_expected_band(self):
+        codes = make_codes(rows=64, cols=16, seed=6)
+        memristor = MemristorModel(write_accuracy=0.03, seed=1)
+        programmed = TemplateProgrammer(memristor=memristor).program(codes)
+        errors = programmed.write_error()
+        assert np.std(errors) < 0.05
+        assert np.max(np.abs(errors)) < 0.2
+
+    def test_non_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateProgrammer().program(np.array([1, 2, 3]))
+
+    def test_program_values_quantises(self):
+        values = np.random.default_rng(0).uniform(0, 1, size=(16, 4))
+        memristor = MemristorModel(write_accuracy=0.0)
+        programmer = TemplateProgrammer(memristor=memristor, bits=5)
+        programmed = programmer.program_values(values)
+        # Targets must lie on the 32-level conductance grid.
+        levels = programmer.values_to_target_conductances(np.arange(32) / 31.0)
+        for target in programmed.target_conductances.ravel():
+            assert np.min(np.abs(levels - target)) < 1e-12
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_row_equalisation_invariant(self, seed):
+        codes = make_codes(rows=12, cols=6, seed=seed)
+        programmed = TemplateProgrammer().program(codes)
+        totals = programmed.conductances.sum(axis=1) + programmed.dummy_conductances
+        assert np.allclose(totals, totals[0])
+
+
+class TestParallelCellsAndCost:
+    def test_parallel_cells_increase_conductance_scale(self):
+        codes = make_codes()
+        single = TemplateProgrammer(parallel_cells=1, memristor=MemristorModel(write_accuracy=0)).program(codes)
+        double = TemplateProgrammer(parallel_cells=2, memristor=MemristorModel(write_accuracy=0)).program(codes)
+        assert np.allclose(double.conductances, 2 * single.conductances)
+
+    def test_parallel_cells_improve_precision(self):
+        single = TemplateProgrammer(parallel_cells=1)
+        quad = TemplateProgrammer(parallel_cells=4)
+        assert quad.effective_precision_bits() > single.effective_precision_bits()
+
+    def test_write_energy_scales_with_array_and_cells(self):
+        programmer = TemplateProgrammer(parallel_cells=2)
+        assert programmer.write_energy(10, 10) == pytest.approx(
+            100 * 2 * programmer.memristor.write_energy()
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TemplateProgrammer(parallel_cells=0)
+        with pytest.raises(ValueError):
+            TemplateProgrammer(dummy_headroom=-0.1)

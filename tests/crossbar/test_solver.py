@@ -1,0 +1,178 @@
+"""Tests for the crossbar DC solvers (ideal and MNA with parasitics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crossbar.array import ResistiveCrossbar
+from repro.crossbar.parasitics import WireParasitics, ideal_parasitics
+from repro.crossbar.programming import TemplateProgrammer
+from repro.crossbar.solver import CrossbarSolver
+from repro.devices.dac import DtcsDac
+from repro.devices.memristor import MemristorModel
+
+
+def make_crossbar(rows=12, cols=4, seed=0, pitch_um=0.25, write_accuracy=0.0):
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 32, size=(rows, cols))
+    programmer = TemplateProgrammer(
+        memristor=MemristorModel(write_accuracy=write_accuracy, seed=seed)
+    )
+    parasitics = WireParasitics(cell_pitch_um=pitch_um)
+    return ResistiveCrossbar.from_programmed(programmer.program(codes), parasitics=parasitics)
+
+
+class TestIdealSolve:
+    def test_ideal_matches_array_formula(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar, delta_v=30e-3)
+        dac = np.random.default_rng(1).uniform(0, 2e-5, crossbar.rows)
+        solution = solver.solve_ideal(dac)
+        assert np.allclose(
+            solution.column_currents, crossbar.column_currents(dac, 30e-3)
+        )
+
+    def test_supply_current_covers_column_and_dummy_currents(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar, delta_v=30e-3)
+        dac = np.full(crossbar.rows, 1e-5)
+        solution = solver.solve_ideal(dac)
+        dummy_current = np.sum(
+            crossbar.dummy_conductances * solution.row_voltages[:, 0]
+        )
+        assert solution.supply_current == pytest.approx(
+            np.sum(solution.column_currents) + dummy_current, rel=1e-9
+        )
+
+    def test_static_power_property(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar, delta_v=30e-3)
+        solution = solver.solve_ideal(np.full(crossbar.rows, 1e-5))
+        assert solution.static_power == pytest.approx(solution.supply_current * 30e-3)
+
+    def test_winner_and_margin(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar)
+        solution = solver.solve_ideal(np.full(crossbar.rows, 1e-5))
+        winner = solution.winner()
+        assert winner == int(np.argmax(solution.column_currents))
+        assert 0.0 <= solution.detection_margin() <= 1.0
+
+
+class TestMnaSolve:
+    def test_zero_wire_resistance_matches_ideal(self):
+        crossbar = make_crossbar()
+        # Replace parasitics with ideal wires.
+        crossbar.parasitics = ideal_parasitics()
+        solver = CrossbarSolver(crossbar, termination_resistance=0.0)
+        dac = np.random.default_rng(2).uniform(0, 2e-5, crossbar.rows)
+        mna = solver.solve(dac, include_parasitics=True)
+        ideal = solver.solve_ideal(dac)
+        assert np.allclose(mna.column_currents, ideal.column_currents)
+
+    def test_small_parasitics_converge_to_ideal(self):
+        crossbar = make_crossbar(pitch_um=1e-4)
+        solver = CrossbarSolver(crossbar, termination_resistance=1e-3)
+        dac = np.random.default_rng(3).uniform(0, 2e-5, crossbar.rows)
+        mna = solver.solve(dac)
+        ideal = solver.solve_ideal(dac)
+        assert np.allclose(mna.column_currents, ideal.column_currents, rtol=1e-3)
+
+    def test_parasitics_reduce_column_currents(self):
+        crossbar = make_crossbar(pitch_um=1.0)
+        solver = CrossbarSolver(crossbar, termination_resistance=50.0)
+        dac = np.full(crossbar.rows, 2e-5)
+        with_parasitics = solver.solve(dac).column_currents
+        without = solver.solve_ideal(dac).column_currents
+        assert np.all(with_parasitics < without)
+
+    def test_larger_pitch_means_more_degradation(self):
+        dac_value = 2e-5
+        small = make_crossbar(pitch_um=0.1)
+        large = make_crossbar(pitch_um=2.0)
+        current_small = CrossbarSolver(small).solve(np.full(small.rows, dac_value)).column_currents
+        current_large = CrossbarSolver(large).solve(np.full(large.rows, dac_value)).column_currents
+        assert np.sum(current_large) < np.sum(current_small)
+
+    def test_kcl_supply_balances_output_plus_losses(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar, termination_resistance=20.0)
+        dac = np.full(crossbar.rows, 1e-5)
+        solution = solver.solve(dac)
+        # All supply current must leave through the column terminations or
+        # the dummy conductances (both tied to the clamp rail).
+        dummy_current = np.sum(crossbar.dummy_conductances * solution.row_voltages[:, 0])
+        total_out = np.sum(solution.column_currents) + dummy_current
+        assert solution.supply_current == pytest.approx(total_out, rel=1e-6)
+
+    def test_row_voltages_bounded_by_delta_v(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar, delta_v=30e-3)
+        solution = solver.solve(np.full(crossbar.rows, 5e-5))
+        assert np.all(solution.row_voltages >= -1e-12)
+        assert np.all(solution.row_voltages <= 30e-3 + 1e-12)
+
+    def test_column_voltages_below_row_voltages_on_average(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar)
+        solution = solver.solve(np.full(crossbar.rows, 1e-5))
+        assert solution.column_voltages.mean() < solution.row_voltages.mean()
+
+    def test_include_parasitics_false_uses_ideal(self):
+        crossbar = make_crossbar(pitch_um=1.0)
+        solver = CrossbarSolver(crossbar)
+        dac = np.full(crossbar.rows, 1e-5)
+        assert np.allclose(
+            solver.solve(dac, include_parasitics=False).column_currents,
+            solver.solve_ideal(dac).column_currents,
+        )
+
+    def test_negative_dac_rejected(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar)
+        with pytest.raises(ValueError):
+            solver.solve(-np.ones(crossbar.rows))
+
+    def test_wrong_shape_rejected(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar)
+        with pytest.raises(ValueError):
+            solver.solve(np.ones(crossbar.rows + 1))
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_property_mna_currents_never_exceed_ideal_total(self, seed):
+        crossbar = make_crossbar(seed=seed, pitch_um=0.5)
+        solver = CrossbarSolver(crossbar)
+        dac = np.random.default_rng(seed).uniform(0, 2e-5, crossbar.rows)
+        mna_total = np.sum(solver.solve(dac).column_currents)
+        ideal_total = np.sum(solver.solve_ideal(dac).column_currents)
+        assert mna_total <= ideal_total * (1.0 + 1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_property_all_output_currents_non_negative(self, seed):
+        crossbar = make_crossbar(seed=seed)
+        solver = CrossbarSolver(crossbar)
+        dac = np.random.default_rng(seed + 1).uniform(0, 3e-5, crossbar.rows)
+        solution = solver.solve(dac)
+        assert np.all(solution.column_currents >= -1e-12)
+
+
+class TestSolveForCodes:
+    def test_codes_drive_through_dac(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar)
+        dac = DtcsDac(bits=5, unit_conductance=5e-7)
+        codes = np.random.default_rng(4).integers(0, 32, crossbar.rows)
+        solution = solver.solve_for_codes(codes, dac)
+        manual = solver.solve(dac.conductance_array(codes))
+        assert np.allclose(solution.column_currents, manual.column_currents)
+
+    def test_zero_codes_give_zero_output(self):
+        crossbar = make_crossbar()
+        solver = CrossbarSolver(crossbar)
+        dac = DtcsDac(bits=5, unit_conductance=5e-7)
+        solution = solver.solve_for_codes(np.zeros(crossbar.rows, dtype=int), dac)
+        assert np.allclose(solution.column_currents, 0.0, atol=1e-15)

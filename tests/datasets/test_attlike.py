@@ -1,0 +1,71 @@
+"""Tests for the dataset container and default loader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.attlike import FaceDataset, load_default_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_default_dataset(subjects=4, images_per_subject=5, image_shape=(64, 48), seed=2)
+
+
+class TestContainer:
+    def test_basic_properties(self, dataset):
+        assert dataset.size == 20
+        assert dataset.image_shape == (64, 48)
+        assert dataset.num_classes == 4
+        assert dataset.images_per_class() == 5
+
+    def test_test_views_cover_everything(self, dataset):
+        assert dataset.test_images.shape[0] == dataset.size
+        assert np.array_equal(dataset.test_labels, dataset.labels)
+
+    def test_class_images_filtered(self, dataset):
+        images = dataset.class_images(2)
+        assert images.shape[0] == 5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            FaceDataset(images=np.zeros((3, 4)), labels=np.zeros(3))
+        with pytest.raises(ValueError):
+            FaceDataset(images=np.zeros((3, 4, 4)), labels=np.zeros(2))
+
+
+class TestSplits:
+    def test_split_is_per_class_and_disjoint(self, dataset):
+        train, test = dataset.split(train_fraction=0.6, seed=1)
+        assert train.size + test.size == dataset.size
+        assert train.num_classes == dataset.num_classes
+        assert test.num_classes == dataset.num_classes
+
+    def test_split_reproducible(self, dataset):
+        a_train, _ = dataset.split(seed=5)
+        b_train, _ = dataset.split(seed=5)
+        assert np.array_equal(a_train.images, b_train.images)
+
+    def test_invalid_fraction_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split(train_fraction=1.0)
+
+    def test_subset_limits_classes(self, dataset):
+        subset = dataset.subset(2)
+        assert subset.num_classes == 2
+        assert subset.size == 10
+
+
+class TestDefaultLoader:
+    def test_default_dimensions_match_paper(self):
+        dataset = load_default_dataset(subjects=2, images_per_subject=2)
+        assert dataset.image_shape == (128, 96)
+
+    def test_loader_deterministic_for_seed(self):
+        a = load_default_dataset(subjects=2, images_per_subject=2, image_shape=(64, 48), seed=3)
+        b = load_default_dataset(subjects=2, images_per_subject=2, image_shape=(64, 48), seed=3)
+        assert np.array_equal(a.images, b.images)
+
+    def test_loader_differs_across_seeds(self):
+        a = load_default_dataset(subjects=2, images_per_subject=2, image_shape=(64, 48), seed=3)
+        b = load_default_dataset(subjects=2, images_per_subject=2, image_shape=(64, 48), seed=4)
+        assert not np.array_equal(a.images, b.images)

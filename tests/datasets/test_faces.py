@@ -1,0 +1,89 @@
+"""Tests for the synthetic face-image generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.faces import SyntheticFaceGenerator
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return SyntheticFaceGenerator(subjects=5, images_per_subject=3, image_shape=(64, 48), seed=1)
+
+
+class TestPrototypes:
+    def test_prototype_shape_and_range(self, generator):
+        prototype = generator.subject_prototype(0)
+        assert prototype.shape == (64, 48)
+        assert prototype.min() >= 0.0
+        assert prototype.max() <= 1.0
+
+    def test_prototypes_differ_between_subjects(self, generator):
+        a = generator.subject_prototype(0)
+        b = generator.subject_prototype(1)
+        assert np.mean(np.abs(a - b)) > 0.02
+
+    def test_prototype_deterministic(self):
+        a = SyntheticFaceGenerator(subjects=3, seed=9, image_shape=(64, 48)).subject_prototype(2)
+        b = SyntheticFaceGenerator(subjects=3, seed=9, image_shape=(64, 48)).subject_prototype(2)
+        assert np.allclose(a, b)
+
+    def test_invalid_subject_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.subject_prototype(99)
+
+
+class TestSamples:
+    def test_sample_is_uint8_image(self, generator):
+        sample = generator.sample(0, 0)
+        assert sample.dtype == np.uint8
+        assert sample.shape == (64, 48)
+
+    def test_samples_of_same_subject_differ(self, generator):
+        a = generator.sample(0, 0)
+        b = generator.sample(0, 1)
+        assert not np.array_equal(a, b)
+
+    def test_sample_deterministic_for_same_index(self, generator):
+        a = generator.sample(1, 2)
+        b = generator.sample(1, 2)
+        assert np.array_equal(a, b)
+
+    def test_within_class_variation_smaller_than_between_class(self, generator):
+        same_a = generator.sample(0, 0).astype(float)
+        same_b = generator.sample(0, 1).astype(float)
+        other = generator.sample(1, 0).astype(float)
+        within = np.mean(np.abs(same_a - same_b))
+        between = np.mean(np.abs(same_a - other))
+        assert between > within
+
+    def test_invalid_sample_index_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.sample(0, -1)
+
+
+class TestCorpus:
+    def test_generate_shapes_and_labels(self, generator):
+        images, labels = generator.generate()
+        assert images.shape == (15, 64, 48)
+        assert labels.shape == (15,)
+        assert set(labels.tolist()) == {0, 1, 2, 3, 4}
+        assert np.all(np.bincount(labels) == 3)
+
+    def test_generate_deterministic(self):
+        gen_a = SyntheticFaceGenerator(subjects=2, images_per_subject=2, image_shape=(64, 48), seed=4)
+        gen_b = SyntheticFaceGenerator(subjects=2, images_per_subject=2, image_shape=(64, 48), seed=4)
+        images_a, _ = gen_a.generate()
+        images_b, _ = gen_b.generate()
+        assert np.array_equal(images_a, images_b)
+
+    def test_default_shape_matches_paper(self):
+        generator = SyntheticFaceGenerator(subjects=1, images_per_subject=1, seed=0)
+        images, _ = generator.generate()
+        assert images.shape == (1, 128, 96)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticFaceGenerator(subjects=0)
+        with pytest.raises(ValueError):
+            SyntheticFaceGenerator(noise_sigma=-0.1)

@@ -1,0 +1,148 @@
+"""Tests for the Fig. 2 feature-reduction flow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.features import (
+    FeatureExtractor,
+    build_templates,
+    downsample_image,
+    normalize_image,
+    quantize_feature,
+    templates_to_matrix,
+)
+
+
+class TestNormalize:
+    def test_output_mean_matches_target(self):
+        image = np.random.default_rng(0).uniform(20, 200, (32, 24))
+        normalised = normalize_image(image, target_mean=0.5)
+        assert normalised.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_uint8_input_supported(self):
+        image = (np.random.default_rng(1).uniform(0, 255, (32, 24))).astype(np.uint8)
+        normalised = normalize_image(image)
+        assert 0.0 <= normalised.min() and normalised.max() <= 1.0
+
+    def test_illumination_invariance(self):
+        # Global illumination scaling (without clipping) is removed by the
+        # mean normalisation.
+        image = np.random.default_rng(2).uniform(0.1, 0.7, (32, 24))
+        bright = image * 1.3
+        assert np.allclose(normalize_image(image), normalize_image(bright), atol=1e-9)
+
+    def test_zero_image_maps_to_zero(self):
+        assert np.all(normalize_image(np.zeros((8, 8))) == 0.0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_image(np.zeros((2, 2, 2)))
+
+
+class TestDownsample:
+    def test_shape_reduction(self):
+        image = np.random.default_rng(3).uniform(0, 1, (128, 96))
+        reduced = downsample_image(image, (16, 8))
+        assert reduced.shape == (16, 8)
+
+    def test_block_average_of_constant_blocks(self):
+        image = np.zeros((4, 4))
+        image[:2, :2] = 1.0
+        reduced = downsample_image(image, (2, 2))
+        assert reduced[0, 0] == pytest.approx(1.0)
+        assert reduced[1, 1] == pytest.approx(0.0)
+
+    def test_mean_preserved(self):
+        image = np.random.default_rng(4).uniform(0, 1, (64, 48))
+        reduced = downsample_image(image, (16, 8))
+        assert reduced.mean() == pytest.approx(image.mean())
+
+    def test_indivisible_shape_rejected(self):
+        with pytest.raises(ValueError):
+            downsample_image(np.zeros((10, 10)), (3, 3))
+
+
+class TestQuantize:
+    def test_codes_in_range(self):
+        codes = quantize_feature(np.linspace(0, 1, 100), 5)
+        assert codes.min() == 0
+        assert codes.max() == 31
+
+
+class TestFeatureExtractor:
+    def test_feature_length_128_for_paper_shape(self):
+        extractor = FeatureExtractor(feature_shape=(16, 8), bits=5)
+        assert extractor.feature_length == 128
+        assert extractor.max_code == 31
+
+    def test_extract_codes_shape_and_range(self):
+        extractor = FeatureExtractor(feature_shape=(16, 8), bits=5)
+        image = np.random.default_rng(5).integers(0, 256, (128, 96)).astype(np.uint8)
+        codes = extractor.extract_codes(image)
+        assert codes.shape == (128,)
+        assert codes.min() >= 0 and codes.max() <= 31
+
+    def test_extract_many_stacks(self):
+        extractor = FeatureExtractor(feature_shape=(8, 4), bits=5)
+        images = np.random.default_rng(6).integers(0, 256, (3, 64, 48)).astype(np.uint8)
+        codes = extractor.extract_many(images)
+        assert codes.shape == (3, 32)
+
+    def test_invalid_inputs_rejected(self):
+        extractor = FeatureExtractor()
+        with pytest.raises(ValueError):
+            extractor.extract_many(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            FeatureExtractor(target_mean=0.0)
+
+    @given(bits=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_property_codes_bounded_by_bits(self, bits):
+        extractor = FeatureExtractor(feature_shape=(8, 4), bits=bits)
+        image = np.random.default_rng(bits).integers(0, 256, (64, 48)).astype(np.uint8)
+        codes = extractor.extract_codes(image)
+        assert codes.max() <= 2**bits - 1
+
+
+class TestTemplates:
+    def _corpus(self):
+        rng = np.random.default_rng(7)
+        images = rng.integers(0, 256, (12, 64, 48)).astype(np.uint8)
+        labels = np.repeat(np.arange(3), 4)
+        return images, labels
+
+    def test_one_template_per_class(self):
+        images, labels = self._corpus()
+        extractor = FeatureExtractor(feature_shape=(8, 4), bits=5)
+        templates = build_templates(images, labels, extractor)
+        assert set(templates.keys()) == {0, 1, 2}
+        for template in templates.values():
+            assert template.shape == (32,)
+            assert template.min() >= 0 and template.max() <= 31
+
+    def test_template_is_average_of_class(self):
+        # Build a corpus where a class has identical images; its template
+        # must equal that image's reduced codes.
+        rng = np.random.default_rng(8)
+        base = rng.integers(0, 256, (64, 48)).astype(np.uint8)
+        images = np.stack([base, base, base])
+        labels = np.zeros(3, dtype=int)
+        extractor = FeatureExtractor(feature_shape=(8, 4), bits=5)
+        templates = build_templates(images, labels, extractor)
+        assert np.array_equal(templates[0], extractor.extract_codes(base))
+
+    def test_templates_to_matrix_orientation(self):
+        images, labels = self._corpus()
+        extractor = FeatureExtractor(feature_shape=(8, 4), bits=5)
+        templates = build_templates(images, labels, extractor)
+        matrix, matrix_labels = templates_to_matrix(templates)
+        assert matrix.shape == (32, 3)
+        assert list(matrix_labels) == [0, 1, 2]
+        assert np.array_equal(matrix[:, 1], templates[1])
+
+    def test_mismatched_labels_rejected(self):
+        images, labels = self._corpus()
+        with pytest.raises(ValueError):
+            build_templates(images, labels[:-1])

@@ -1,0 +1,172 @@
+"""Tests for the binary-weighted deep-triode current-source DAC (Fig. 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.dac import DtcsDac
+
+
+class TestCodeToConductance:
+    def test_zero_code_zero_conductance(self):
+        dac = DtcsDac(bits=5, unit_conductance=1e-5)
+        assert dac.conductance(0) == 0.0
+
+    def test_full_code_sums_all_bits(self):
+        dac = DtcsDac(bits=5, unit_conductance=1e-5)
+        assert dac.conductance(31) == pytest.approx(31e-5)
+
+    def test_binary_weighting(self):
+        dac = DtcsDac(bits=4, unit_conductance=2e-6)
+        assert dac.conductance(1) == pytest.approx(2e-6)
+        assert dac.conductance(2) == pytest.approx(4e-6)
+        assert dac.conductance(4) == pytest.approx(8e-6)
+        assert dac.conductance(8) == pytest.approx(16e-6)
+
+    def test_conductance_array_matches_scalar(self):
+        dac = DtcsDac(bits=5, unit_conductance=3e-6, mismatch_sigma=0.05, seed=1)
+        codes = np.arange(32)
+        array = dac.conductance_array(codes)
+        scalars = np.array([dac.conductance(int(code)) for code in codes])
+        assert np.allclose(array, scalars)
+
+    def test_out_of_range_code_rejected(self):
+        dac = DtcsDac(bits=3)
+        with pytest.raises(ValueError):
+            dac.conductance(8)
+        with pytest.raises(ValueError):
+            dac.conductance_array(np.array([-1]))
+
+    @given(
+        code_a=st.integers(min_value=0, max_value=31),
+        code_b=st.integers(min_value=0, max_value=31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_conductance_monotonic_in_code(self, code_a, code_b):
+        dac = DtcsDac(bits=5, unit_conductance=1e-5)
+        if code_a <= code_b:
+            assert dac.conductance(code_a) <= dac.conductance(code_b) + 1e-18
+
+
+class TestLoadedOutput:
+    def test_large_load_recovers_linear_characteristic(self):
+        dac = DtcsDac(bits=5, unit_conductance=1e-5, delta_v=30e-3)
+        current = dac.output_current(31, load_conductance=1.0)
+        assert current == pytest.approx(dac.unloaded_full_scale_current(), rel=1e-3)
+
+    def test_small_load_compresses_output(self):
+        dac = DtcsDac(bits=5, unit_conductance=1e-5, delta_v=30e-3)
+        weak_load = dac.output_current(31, load_conductance=1e-4)
+        strong_load = dac.output_current(31, load_conductance=1.0)
+        assert weak_load < strong_load
+
+    def test_current_divider_formula(self):
+        dac = DtcsDac(bits=4, unit_conductance=1e-5, delta_v=30e-3)
+        g_t = dac.conductance(15)
+        g_l = 2e-4
+        expected = 30e-3 * g_t * g_l / (g_t + g_l)
+        assert dac.output_current(15, g_l) == pytest.approx(expected)
+
+    def test_output_array_matches_scalar(self):
+        dac = DtcsDac(bits=5, unit_conductance=1e-5)
+        codes = np.arange(32)
+        array = dac.output_current_array(codes, 5e-4)
+        scalars = [dac.output_current(int(c), 5e-4) for c in codes]
+        assert np.allclose(array, scalars)
+
+    def test_invalid_load_rejected(self):
+        dac = DtcsDac()
+        with pytest.raises(ValueError):
+            dac.output_current(1, 0.0)
+
+
+class TestNonlinearity:
+    def test_ideal_load_has_negligible_inl(self):
+        dac = DtcsDac(bits=5, unit_conductance=1e-5)
+        characteristics = dac.characteristics(load_conductance=10.0)
+        assert characteristics.max_integral_nonlinearity() < 0.01
+
+    def test_weak_load_increases_nonlinearity(self):
+        # Fig. 8b: a low G_TS (high memristor resistance) bends the DAC
+        # characteristic.
+        dac = DtcsDac(bits=5, unit_conductance=1e-5)
+        strong = dac.characteristics(load_conductance=1e-2)
+        weak = dac.characteristics(load_conductance=5e-4)
+        assert weak.max_integral_nonlinearity() > strong.max_integral_nonlinearity()
+        assert weak.relative_nonlinearity() > strong.relative_nonlinearity()
+
+    def test_nonlinearity_monotonic_in_load(self):
+        dac = DtcsDac(bits=5, unit_conductance=1e-5)
+        loads = [3e-4, 1e-3, 3e-3, 1e-2, 1e-1]
+        inl = [dac.characteristics(g).max_integral_nonlinearity() for g in loads]
+        assert all(a >= b - 1e-9 for a, b in zip(inl, inl[1:]))
+
+    def test_characteristics_full_scale_at_top_code(self):
+        dac = DtcsDac(bits=4, unit_conductance=1e-5)
+        characteristics = dac.characteristics(load_conductance=1e-3)
+        assert characteristics.currents[-1] == characteristics.full_scale_current
+        assert characteristics.codes[-1] == 15
+
+    def test_dnl_bounded_for_ideal_dac(self):
+        dac = DtcsDac(bits=5, unit_conductance=1e-5)
+        characteristics = dac.characteristics(load_conductance=10.0)
+        assert np.max(np.abs(characteristics.differential_nonlinearity())) < 0.01
+
+
+class TestSizing:
+    def test_for_full_scale_current_unloaded(self):
+        dac = DtcsDac.for_full_scale_current(10e-6, bits=5, delta_v=30e-3)
+        assert dac.unloaded_full_scale_current() == pytest.approx(10e-6, rel=1e-6)
+
+    def test_for_full_scale_current_with_load(self):
+        load = 1e-3
+        dac = DtcsDac.for_full_scale_current(10e-6, bits=5, delta_v=30e-3, load_conductance=load)
+        assert dac.output_current(dac.max_code, load) == pytest.approx(10e-6, rel=1e-6)
+
+    def test_unreachable_full_scale_rejected(self):
+        with pytest.raises(ValueError):
+            DtcsDac.for_full_scale_current(
+                1e-3, bits=5, delta_v=30e-3, load_conductance=1e-3
+            )
+
+    def test_unit_device_width_reasonable(self):
+        dac = DtcsDac(bits=5, unit_conductance=12.5e-6)
+        device = dac.unit_device()
+        assert device.width_nm >= device.technology.min_width_nm
+        # Deep-triode conductance of the sized device matches the request.
+        overdrive = device.technology.supply_voltage - device.technology.threshold_voltage
+        assert device.triode_conductance(device.technology.supply_voltage) == pytest.approx(
+            12.5e-6, rel=0.05
+        )
+
+    def test_switching_energy_positive_and_tiny(self):
+        dac = DtcsDac(bits=5, unit_conductance=12.5e-6)
+        energy = dac.switching_energy()
+        assert 0 < energy < 1e-13
+
+    def test_expected_mismatch_single_step_small(self):
+        # The paper notes DTCS variation enters only as a "single step";
+        # the deep-triode conversion keeps it below ~10 %.
+        dac = DtcsDac(bits=5, unit_conductance=12.5e-6)
+        assert dac.expected_mismatch_sigma() < 0.15
+
+
+class TestMismatch:
+    def test_mismatch_reproducible_with_seed(self):
+        a = DtcsDac(bits=5, mismatch_sigma=0.05, seed=3).bit_conductances
+        b = DtcsDac(bits=5, mismatch_sigma=0.05, seed=3).bit_conductances
+        assert np.allclose(a, b)
+
+    def test_mismatch_changes_with_seed(self):
+        a = DtcsDac(bits=5, mismatch_sigma=0.05, seed=3).bit_conductances
+        b = DtcsDac(bits=5, mismatch_sigma=0.05, seed=4).bit_conductances
+        assert not np.allclose(a, b)
+
+    def test_zero_mismatch_exact_weights(self):
+        dac = DtcsDac(bits=4, unit_conductance=1e-6, mismatch_sigma=0.0)
+        assert np.allclose(dac.bit_conductances, 1e-6 * np.array([1, 2, 4, 8]))
+
+    def test_invalid_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DtcsDac(mismatch_sigma=0.9)

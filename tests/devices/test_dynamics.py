@@ -1,0 +1,115 @@
+"""Tests for the transient domain-wall motion model."""
+
+import numpy as np
+import pytest
+
+from repro.devices.dwm import DomainWallMagnet
+from repro.devices.dynamics import DomainWallTransientModel
+
+
+def make_model(temperature_factor=0.0, seed=0):
+    return DomainWallTransientModel(
+        magnet=DomainWallMagnet(), temperature_factor=temperature_factor, seed=seed
+    )
+
+
+class TestDeterministicMotion:
+    def test_no_motion_below_threshold(self):
+        model = make_model()
+        result = model.simulate(0.5 * model.magnet.critical_current, duration=5e-9)
+        assert not result.switched
+        assert result.positions[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_switching_time_matches_quasistatic_model(self):
+        model = make_model()
+        current = 2.0 * model.magnet.critical_current
+        result = model.simulate(current, duration=5e-9)
+        assert result.switched
+        assert result.switching_time == pytest.approx(
+            model.magnet.switching_time(current), rel=0.05
+        )
+
+    def test_larger_current_switches_faster(self):
+        model = make_model()
+        slow = model.simulate(1.5 * model.magnet.critical_current, duration=10e-9)
+        fast = model.simulate(4.0 * model.magnet.critical_current, duration=10e-9)
+        assert fast.switching_time < slow.switching_time
+
+    def test_negative_current_drives_backwards(self):
+        model = make_model()
+        result = model.simulate(
+            -2.0 * model.magnet.critical_current, duration=2e-9, initial_position=0.8
+        )
+        assert result.positions[-1] < 0.8
+        assert not result.switched
+
+    def test_positions_bounded(self):
+        model = make_model()
+        result = model.simulate(3.0 * model.magnet.critical_current, duration=10e-9)
+        assert np.all(result.positions >= 0.0)
+        assert np.all(result.positions <= 1.0)
+
+    def test_trajectory_shapes_consistent(self):
+        model = make_model()
+        result = model.simulate(2.0 * model.magnet.critical_current, duration=2e-9)
+        assert result.times.shape == result.positions.shape
+        assert result.times[0] == 0.0
+
+    def test_invalid_arguments_rejected(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.simulate(1e-6, duration=0.0)
+        with pytest.raises(ValueError):
+            model.simulate(1e-6, initial_position=1.5)
+
+
+class TestThermalMotion:
+    def test_reproducible_with_seed(self):
+        a = make_model(temperature_factor=1.0, seed=5).simulate(1.5e-6)
+        b = make_model(temperature_factor=1.0, seed=5).simulate(1.5e-6)
+        assert np.allclose(a.positions, b.positions)
+
+    def test_thermal_noise_spreads_switching_times(self):
+        model = make_model(temperature_factor=1.0, seed=3)
+        current = 2.0 * model.magnet.critical_current
+        times = model.switching_time_distribution(current, trials=30)
+        finite = times[np.isfinite(times)]
+        assert finite.size >= 25
+        assert np.std(finite) > 0
+
+    def test_mean_switching_time_near_deterministic(self):
+        model = make_model(temperature_factor=1.0, seed=7)
+        current = 2.5 * model.magnet.critical_current
+        times = model.switching_time_distribution(current, trials=40)
+        finite = times[np.isfinite(times)]
+        deterministic = model.magnet.switching_time(current)
+        assert np.mean(finite) == pytest.approx(deterministic, rel=0.35)
+
+    def test_switching_probability_monotonic_in_current(self):
+        model = make_model(temperature_factor=1.0, seed=9)
+        ic = model.magnet.critical_current
+        low = model.switching_probability(1.02 * ic, trials=30)
+        high = model.switching_probability(3.0 * ic, trials=30)
+        assert high >= low
+        assert high == 1.0
+
+    def test_strong_overdrive_always_switches_within_window(self):
+        model = make_model(temperature_factor=1.0, seed=11)
+        assert model.switching_probability(4.0 * model.magnet.critical_current, trials=20) == 1.0
+
+
+class TestTimingMargin:
+    def test_nominal_device_has_positive_margin_at_100MHz(self):
+        model = make_model()
+        current = 2.0 * model.magnet.critical_current
+        # 1.5 ns switching inside a 5 ns evaluate phase leaves healthy slack.
+        assert model.timing_margin(current, clock_period=10e-9) > 2e-9
+
+    def test_margin_negative_when_underdriven(self):
+        model = make_model()
+        current = 1.01 * model.magnet.critical_current
+        assert model.timing_margin(current, clock_period=10e-9) < 0
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            make_model().timing_margin(2e-6, clock_period=0.0)

@@ -1,0 +1,61 @@
+"""Tests for the dynamic CMOS sense latch."""
+
+import numpy as np
+import pytest
+
+from repro.devices.latch import DynamicCmosLatch
+
+
+class TestSense:
+    def test_lower_device_resistance_reads_true(self):
+        latch = DynamicCmosLatch(offset_sigma_ohm=0.0)
+        assert latch.sense(5e3, 10e3) is True
+
+    def test_higher_device_resistance_reads_false(self):
+        latch = DynamicCmosLatch(offset_sigma_ohm=0.0)
+        assert latch.sense(15e3, 10e3) is False
+
+    def test_offset_can_flip_marginal_decision(self):
+        latch = DynamicCmosLatch(offset_sigma_ohm=500.0)
+        rng = np.random.default_rng(0)
+        outcomes = {latch.sense(10e3 - 100.0, 10e3, rng) for _ in range(200)}
+        assert outcomes == {True, False}
+
+    def test_large_margin_immune_to_offset(self):
+        latch = DynamicCmosLatch(offset_sigma_ohm=200.0)
+        rng = np.random.default_rng(1)
+        assert all(latch.sense(5e3, 10e3, rng) for _ in range(200))
+
+    def test_invalid_resistances_rejected(self):
+        latch = DynamicCmosLatch()
+        with pytest.raises(ValueError):
+            latch.sense(-1.0, 10e3)
+
+
+class TestEnergyAndTiming:
+    def test_sense_energy_is_cv2(self):
+        latch = DynamicCmosLatch(supply_voltage=1.0, node_capacitance=2e-15)
+        assert latch.sense_energy() == pytest.approx(2e-15)
+
+    def test_sense_energy_scales_with_vdd_squared(self):
+        low = DynamicCmosLatch(supply_voltage=0.8)
+        high = DynamicCmosLatch(supply_voltage=1.0)
+        assert high.sense_energy() / low.sense_energy() == pytest.approx(1.0 / 0.64)
+
+    def test_discharge_time_scales_with_resistance(self):
+        latch = DynamicCmosLatch()
+        assert latch.discharge_time(15e3) == pytest.approx(3 * latch.discharge_time(5e3))
+
+    def test_error_probability_decreases_with_margin(self):
+        latch = DynamicCmosLatch(offset_sigma_ohm=200.0)
+        assert latch.error_probability(5e3) < latch.error_probability(500.0)
+        assert latch.error_probability(5e3) < 1e-10
+
+    def test_error_probability_zero_for_ideal_latch(self):
+        latch = DynamicCmosLatch(offset_sigma_ohm=0.0)
+        assert latch.error_probability(100.0) == 0.0
+
+    def test_error_probability_matches_gaussian_tail(self):
+        latch = DynamicCmosLatch(offset_sigma_ohm=1000.0)
+        # One-sigma margin -> ~15.9 % error probability.
+        assert latch.error_probability(1000.0) == pytest.approx(0.1587, abs=0.01)

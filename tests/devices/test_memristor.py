@@ -1,0 +1,168 @@
+"""Tests for the Ag-Si multi-level memristor model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.memristor import (
+    DEFAULT_WRITE_ACCURACY,
+    MemristorModel,
+    ParallelMemristorCell,
+)
+
+
+class TestConductanceRange:
+    def test_table2_default_range(self):
+        device = MemristorModel()
+        assert device.g_min == pytest.approx(1.0 / 32.0e3)
+        assert device.g_max == pytest.approx(1.0 / 1.0e3)
+        assert device.conductance_ratio == pytest.approx(32.0)
+
+    def test_level_conductances_span_range(self):
+        device = MemristorModel(levels=32)
+        levels = device.level_conductances()
+        assert levels.shape == (32,)
+        assert levels[0] == pytest.approx(device.g_min)
+        assert levels[-1] == pytest.approx(device.g_max)
+        assert np.all(np.diff(levels) > 0)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            MemristorModel(r_min_ohm=10e3, r_max_ohm=1e3)
+
+    def test_invalid_write_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            MemristorModel(write_accuracy=0.9)
+
+
+class TestValueMapping:
+    def test_value_zero_maps_to_gmin(self):
+        device = MemristorModel()
+        assert device.value_to_conductance(np.array([0.0]))[0] == pytest.approx(device.g_min)
+
+    def test_value_one_maps_to_gmax(self):
+        device = MemristorModel()
+        assert device.value_to_conductance(np.array([1.0]))[0] == pytest.approx(device.g_max)
+
+    def test_mapping_roundtrip(self):
+        device = MemristorModel()
+        values = np.linspace(0, 1, 33)
+        back = device.conductance_to_value(device.value_to_conductance(values))
+        assert np.allclose(back, values)
+
+    def test_out_of_range_value_rejected(self):
+        device = MemristorModel()
+        with pytest.raises(ValueError):
+            device.value_to_conductance(np.array([1.5]))
+
+
+class TestProgramming:
+    def test_zero_accuracy_is_exact(self):
+        device = MemristorModel(write_accuracy=0.0, seed=1)
+        targets = device.level_conductances()
+        assert np.allclose(device.program(targets), targets)
+
+    def test_programmed_values_stay_in_range(self):
+        device = MemristorModel(write_accuracy=0.03, seed=2)
+        values = np.random.default_rng(0).uniform(0, 1, 500)
+        programmed = device.program_values(values)
+        assert np.all(programmed >= device.g_min - 1e-15)
+        assert np.all(programmed <= device.g_max + 1e-15)
+
+    def test_write_error_statistics_match_accuracy(self):
+        device = MemristorModel(write_accuracy=0.03, seed=3)
+        target = np.full(20000, 0.5 * (device.g_min + device.g_max))
+        programmed = device.program(target)
+        relative_error = (programmed - target) / target
+        assert np.std(relative_error) == pytest.approx(0.03, rel=0.1)
+        assert abs(np.mean(relative_error)) < 0.002
+
+    def test_target_outside_range_rejected(self):
+        device = MemristorModel()
+        with pytest.raises(ValueError):
+            device.program(np.array([device.g_max * 2]))
+
+    def test_programming_reproducible_with_seed(self):
+        values = np.linspace(0, 1, 10)
+        a = MemristorModel(seed=9).program_values(values)
+        b = MemristorModel(seed=9).program_values(values)
+        assert np.allclose(a, b)
+
+    def test_read_noise_zero_returns_copy(self):
+        device = MemristorModel(read_noise=0.0)
+        conductances = device.level_conductances()
+        read = device.read(conductances)
+        assert np.allclose(read, conductances)
+        read[0] = 0.0
+        assert conductances[0] > 0.0
+
+    def test_read_noise_perturbs(self):
+        device = MemristorModel(read_noise=0.05, seed=4)
+        conductances = np.full(1000, 1e-4)
+        read = device.read(conductances)
+        assert np.std(read / conductances - 1.0) == pytest.approx(0.05, rel=0.15)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_programming_bounded(self, seed):
+        device = MemristorModel(write_accuracy=0.1, seed=seed)
+        values = np.random.default_rng(seed).uniform(0, 1, 64)
+        programmed = device.program_values(values)
+        assert np.all(programmed >= device.g_min - 1e-15)
+        assert np.all(programmed <= device.g_max + 1e-15)
+
+
+class TestWriteCostModel:
+    def test_default_write_energy_is_baseline(self):
+        device = MemristorModel()
+        assert device.write_energy() == pytest.approx(1.0e-12)
+
+    def test_higher_precision_costs_more_energy(self):
+        device = MemristorModel()
+        assert device.write_energy(0.003) > device.write_energy(0.03)
+        assert device.write_energy(0.003) == pytest.approx(10 * device.write_energy(0.03))
+
+    def test_equivalent_bits_for_3_percent(self):
+        # 3 % accuracy is "equivalent to 5 bits" in the paper.
+        device = MemristorModel(write_accuracy=DEFAULT_WRITE_ACCURACY)
+        assert device.equivalent_bits() == pytest.approx(5.06, abs=0.1)
+
+
+class TestParallelMemristorCell:
+    def test_composite_range_scales_with_count(self):
+        base = MemristorModel()
+        cell = ParallelMemristorCell(base, count=4)
+        assert cell.g_min == pytest.approx(4 * base.g_min)
+        assert cell.g_max == pytest.approx(4 * base.g_max)
+
+    def test_effective_accuracy_improves_with_sqrt_count(self):
+        base = MemristorModel(write_accuracy=0.03)
+        cell = ParallelMemristorCell(base, count=4)
+        assert cell.effective_write_accuracy() == pytest.approx(0.015)
+        assert cell.effective_bits() > base.equivalent_bits()
+
+    def test_programmed_composite_error_shrinks(self):
+        base = MemristorModel(write_accuracy=0.05, seed=8)
+        cell = ParallelMemristorCell(base, count=8)
+        values = np.full(2000, 0.5)
+        programmed = cell.program_values(values)
+        ideal = cell.value_to_conductance(values)
+        relative_error = np.std((programmed - ideal) / ideal)
+        assert relative_error < 0.05 / np.sqrt(8) * 1.3
+
+    def test_value_roundtrip(self):
+        base = MemristorModel()
+        cell = ParallelMemristorCell(base, count=3)
+        values = np.linspace(0, 1, 9)
+        back = cell.conductance_to_value(cell.value_to_conductance(values))
+        assert np.allclose(back, values)
+
+    def test_write_energy_scales_with_count(self):
+        base = MemristorModel()
+        cell = ParallelMemristorCell(base, count=5)
+        assert cell.write_energy() == pytest.approx(5 * base.write_energy())
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            ParallelMemristorCell(MemristorModel(), count=0)

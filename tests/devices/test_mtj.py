@@ -1,0 +1,61 @@
+"""Tests for the magnetic tunnel junction read-stack model."""
+
+import pytest
+
+from repro.devices.mtj import MagneticTunnelJunction, make_reference_mtj
+
+
+class TestResistanceStates:
+    def test_paper_default_resistances(self):
+        mtj = MagneticTunnelJunction()
+        assert mtj.resistance(parallel=True) == pytest.approx(5.0e3)
+        assert mtj.resistance(parallel=False) == pytest.approx(15.0e3)
+
+    def test_tmr_is_200_percent(self):
+        mtj = MagneticTunnelJunction()
+        assert mtj.tunnel_magnetoresistance == pytest.approx(2.0)
+
+    def test_reference_is_midway(self):
+        mtj = MagneticTunnelJunction()
+        assert mtj.reference_resistance() == pytest.approx(10.0e3)
+
+    def test_read_margin_positive_and_normalised(self):
+        mtj = MagneticTunnelJunction()
+        margin = mtj.read_margin()
+        assert margin == pytest.approx(0.5)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            MagneticTunnelJunction(r_parallel_ohm=15e3, r_antiparallel_ohm=5e3)
+
+
+class TestVariation:
+    def test_variation_scales_both_states_together(self):
+        mtj = MagneticTunnelJunction(variation=0.1, seed=3)
+        ratio = mtj.resistance(False) / mtj.resistance(True)
+        assert ratio == pytest.approx(3.0)
+
+    def test_variation_reproducible(self):
+        a = MagneticTunnelJunction(variation=0.1, seed=5).resistance(True)
+        b = MagneticTunnelJunction(variation=0.1, seed=5).resistance(True)
+        assert a == pytest.approx(b)
+
+    def test_zero_variation_nominal(self):
+        mtj = MagneticTunnelJunction(variation=0.0, seed=1)
+        assert mtj.resistance(True) == pytest.approx(5.0e3)
+
+    def test_excessive_variation_rejected(self):
+        with pytest.raises(ValueError):
+            MagneticTunnelJunction(variation=0.9)
+
+
+class TestReferenceDevice:
+    def test_make_reference_sits_between_states(self):
+        device = MagneticTunnelJunction()
+        reference = make_reference_mtj(device)
+        value = reference.resistance(True)
+        assert device.resistance(True) < value < device.resistance(False)
+
+    def test_reference_states_nearly_equal(self):
+        reference = make_reference_mtj(MagneticTunnelJunction())
+        assert reference.resistance(True) == pytest.approx(reference.resistance(False), rel=1e-6)

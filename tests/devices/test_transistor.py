@@ -1,0 +1,121 @@
+"""Tests for the analytical 45 nm transistor model."""
+
+import numpy as np
+import pytest
+
+from repro.devices.transistor import MosPolarity, MosTransistor, TechnologyParameters
+
+
+class TestTechnologyParameters:
+    def test_defaults_are_45nm_like(self):
+        tech = TechnologyParameters()
+        assert tech.supply_voltage == pytest.approx(1.0)
+        assert tech.min_length_nm == pytest.approx(45.0)
+
+    def test_sigma_vt_follows_pelgrom(self):
+        tech = TechnologyParameters()
+        small = tech.sigma_vt(90.0, 45.0)
+        large = tech.sigma_vt(360.0, 180.0)  # 16x the area
+        assert small / large == pytest.approx(4.0)
+
+    def test_sigma_vt_minimum_device_tens_of_mv(self):
+        tech = TechnologyParameters()
+        sigma = tech.sigma_vt_minimum_device()
+        assert 0.02 < sigma < 0.12
+
+    def test_area_for_sigma_vt_inverts_pelgrom(self):
+        tech = TechnologyParameters()
+        area = tech.area_for_sigma_vt(5.0e-3)
+        width_nm = np.sqrt(area) * 1e9
+        assert tech.sigma_vt(width_nm, width_nm) == pytest.approx(5.0e-3)
+
+    def test_gate_capacitance_scales_with_area(self):
+        tech = TechnologyParameters()
+        assert tech.gate_capacitance(180, 45) == pytest.approx(
+            2 * tech.gate_capacitance(90, 45)
+        )
+
+    def test_minimum_gate_capacitance_sub_femtofarad(self):
+        tech = TechnologyParameters()
+        assert 1e-18 < tech.minimum_gate_capacitance() < 1e-15
+
+    def test_inverter_energy_sub_femtojoule(self):
+        tech = TechnologyParameters()
+        assert 1e-17 < tech.inverter_switching_energy() < 1e-15
+
+    def test_leakage_power_scales_with_width(self):
+        tech = TechnologyParameters()
+        assert tech.leakage_power(2000.0) == pytest.approx(2 * tech.leakage_power(1000.0))
+
+    def test_process_transconductance_by_polarity(self):
+        tech = TechnologyParameters()
+        assert tech.process_transconductance(MosPolarity.NMOS) > tech.process_transconductance(
+            MosPolarity.PMOS
+        )
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(threshold_voltage=2.0)
+
+
+class TestMosTransistor:
+    def test_cutoff_below_threshold(self):
+        device = MosTransistor()
+        assert device.drain_current(vgs=0.2, vds=0.5) == 0.0
+
+    def test_triode_vs_saturation_boundary(self):
+        device = MosTransistor()
+        vgs = 0.8
+        vov = device.overdrive(vgs)
+        triode = device.drain_current(vgs, vov * 0.99)
+        saturation = device.drain_current(vgs, vov * 2.0)
+        assert triode < saturation * 1.01
+        assert saturation == pytest.approx(device.saturation_current(vgs))
+
+    def test_deep_triode_conductance_linear_in_overdrive(self):
+        device = MosTransistor()
+        g1 = device.triode_conductance(0.6)
+        g2 = device.triode_conductance(0.8)
+        assert g2 / g1 == pytest.approx((0.8 - 0.4) / (0.6 - 0.4))
+
+    def test_deep_triode_current_matches_conductance_times_vds(self):
+        device = MosTransistor()
+        vgs, vds = 1.0, 0.01
+        expected = device.triode_conductance(vgs) * vds
+        assert device.drain_current(vgs, vds) == pytest.approx(expected, rel=0.01)
+
+    def test_saturation_current_quadratic_in_overdrive(self):
+        device = MosTransistor()
+        i1 = device.saturation_current(0.6)
+        i2 = device.saturation_current(0.8)
+        assert i2 / i1 == pytest.approx(4.0)
+
+    def test_required_vgs_for_current_roundtrip(self):
+        device = MosTransistor()
+        target = 10e-6
+        vgs = device.required_vgs_for_current(target)
+        assert device.saturation_current(vgs) == pytest.approx(target, rel=1e-6)
+
+    def test_mismatch_sampled_with_seed(self):
+        tech = TechnologyParameters()
+        a = MosTransistor(technology=tech, seed=1)
+        b = MosTransistor(technology=tech, seed=1)
+        c = MosTransistor(technology=tech, seed=2)
+        assert a.vt_offset == b.vt_offset
+        assert a.vt_offset != c.vt_offset
+        assert abs(a.vt_offset) < 5 * a.sigma_vt()
+
+    def test_no_seed_means_no_mismatch(self):
+        device = MosTransistor()
+        assert device.vt_offset == 0.0
+
+    def test_wider_device_has_more_current(self):
+        narrow = MosTransistor(width_nm=90)
+        wide = MosTransistor(width_nm=900)
+        assert wide.saturation_current(0.8) == pytest.approx(
+            10 * narrow.saturation_current(0.8)
+        )
+
+    def test_transconductance_linear_in_overdrive(self):
+        device = MosTransistor()
+        assert device.transconductance(0.8) == pytest.approx(2 * device.transconductance(0.6))

@@ -1,0 +1,99 @@
+"""Tests for the crossbar convolution engine extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.convolution import CrossbarConvolutionEngine
+
+
+def make_kernels():
+    """Four distinct non-negative 4x4 kernels (edge/blob detectors)."""
+    horizontal = np.zeros((4, 4))
+    horizontal[:2, :] = 1.0
+    vertical = horizontal.T.copy()
+    centre = np.zeros((4, 4))
+    centre[1:3, 1:3] = 1.0
+    uniform = np.full((4, 4), 0.5)
+    return np.stack([horizontal, vertical, centre, uniform])
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CrossbarConvolutionEngine(make_kernels(), bits=5, stride=2, seed=3)
+
+
+class TestConstruction:
+    def test_output_shape(self, engine):
+        assert engine.output_shape((16, 16)) == (7, 7)
+        assert engine.output_shape((8, 12)) == (3, 5)
+
+    def test_image_smaller_than_kernel_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.output_shape((2, 2))
+
+    def test_invalid_kernels_rejected(self):
+        with pytest.raises(ValueError):
+            CrossbarConvolutionEngine(np.zeros((1, 3, 3)) + 1.0)  # single kernel
+        with pytest.raises(ValueError):
+            CrossbarConvolutionEngine(-np.ones((2, 3, 3)))
+        with pytest.raises(ValueError):
+            CrossbarConvolutionEngine(np.ones((2, 3, 4)))
+        with pytest.raises(ValueError):
+            CrossbarConvolutionEngine(np.zeros((2, 3, 3)))
+
+
+class TestConvolution:
+    def test_feature_map_shapes_and_range(self, engine):
+        rng = np.random.default_rng(0)
+        image = rng.uniform(0, 1, (12, 12))
+        result = engine.convolve(image)
+        assert result.feature_maps.shape == (4, 5, 5)
+        assert result.patches_evaluated == 25
+        assert result.feature_maps.min() >= 0
+        assert result.feature_maps.max() <= 31
+
+    def test_oriented_kernels_respond_to_matching_edges(self, engine):
+        # A horizontal bright band excites the horizontal kernel more than
+        # the vertical one, and vice versa.
+        image = np.zeros((12, 12))
+        image[4:6, :] = 1.0
+        result = engine.convolve(image)
+        horizontal_response = result.feature_maps[0].max()
+        vertical_response = result.feature_maps[1].max()
+        assert horizontal_response >= vertical_response
+
+        image_v = image.T.copy()
+        result_v = engine.convolve(image_v)
+        assert result_v.feature_maps[1].max() >= result_v.feature_maps[0].max()
+
+    def test_agreement_with_reference_convolution_argmax(self, engine):
+        rng = np.random.default_rng(1)
+        image = rng.uniform(0, 1, (10, 10))
+        hardware = engine.convolve(image).feature_maps
+        reference = engine.reference_convolution(image)
+        # Per output pixel, the kernel with the largest hardware DOM should
+        # usually be the kernel with the largest exact correlation.
+        hardware_argmax = hardware.argmax(axis=0)
+        reference_argmax = reference.argmax(axis=0)
+        agreement = np.mean(hardware_argmax == reference_argmax)
+        assert agreement >= 0.6
+
+    def test_uint8_image_supported(self, engine):
+        image = (np.random.default_rng(2).uniform(0, 255, (8, 8))).astype(np.uint8)
+        result = engine.convolve(image)
+        assert result.feature_maps.shape[0] == 4
+
+
+class TestEnergy:
+    def test_energy_accounting_positive(self, engine):
+        image = np.random.default_rng(3).uniform(0, 1, (8, 8))
+        result = engine.convolve(image)
+        assert result.energy > 0
+        assert result.digital_energy > 0
+
+    def test_spin_engine_beats_digital_baseline(self, engine):
+        image = np.random.default_rng(4).uniform(0, 1, (8, 8))
+        result = engine.convolve(image)
+        # The paper's motivation for the CNN extension: the correlation
+        # fabric is far more energy efficient than a digital MAC datapath.
+        assert result.energy_ratio > 10

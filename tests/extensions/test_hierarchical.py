@@ -1,0 +1,119 @@
+"""Tests for the hierarchical (clustered) associative memory extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DesignParameters
+from repro.extensions.hierarchical import HierarchicalAssociativeMemory, kmeans_cluster
+
+
+@pytest.fixture(scope="module")
+def clustered_templates():
+    """Templates forming four well-separated clusters of distinct members.
+
+    Each cluster shares a dominant "block" of high-valued features (so the
+    clusters are far apart and k-means recovers them), while the detailed
+    values inside and outside the block differ from member to member (so
+    the second-level module can still tell the members apart).
+    """
+    rng = np.random.default_rng(3)
+    features, per_cluster, clusters = 32, 4, 4
+    block = features // clusters
+    # Fixed value multisets give every template exactly the same energy, so
+    # the dot-product classifier is not biased towards brighter templates.
+    block_values = np.arange(24, 32)
+    off_values = np.tile(np.arange(0, 12), 2)
+    columns = []
+    for cluster in range(clusters):
+        for _ in range(per_cluster):
+            column = np.empty(features, dtype=np.int64)
+            inside = slice(cluster * block, (cluster + 1) * block)
+            column[inside] = rng.permutation(block_values)
+            outside = np.ones(features, dtype=bool)
+            outside[inside] = False
+            column[outside] = rng.permutation(off_values)
+            columns.append(column)
+    matrix = np.stack(columns, axis=1)
+    labels = list(range(matrix.shape[1]))
+    return matrix, labels
+
+
+@pytest.fixture(scope="module")
+def hierarchy(clustered_templates):
+    matrix, labels = clustered_templates
+    parameters = DesignParameters(template_shape=(8, 4), num_templates=len(labels))
+    return HierarchicalAssociativeMemory(
+        matrix, labels=labels, clusters=4, parameters=parameters, seed=5
+    )
+
+
+class TestKmeans:
+    def test_assignment_shapes(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(20, 8))
+        assignments, centroids = kmeans_cluster(vectors, 4, seed=1)
+        assert assignments.shape == (20,)
+        assert centroids.shape == (4, 8)
+        assert set(np.unique(assignments)) <= set(range(4))
+
+    def test_every_cluster_non_empty(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.normal(size=(12, 4))
+        assignments, _ = kmeans_cluster(vectors, 4, seed=2)
+        assert len(np.unique(assignments)) == 4
+
+    def test_well_separated_clusters_recovered(self):
+        rng = np.random.default_rng(2)
+        centres = np.array([[0.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+        points = np.vstack([c + 0.1 * rng.normal(size=(10, 2)) for c in centres])
+        assignments, _ = kmeans_cluster(points, 3, seed=3)
+        groups = [set(assignments[i * 10 : (i + 1) * 10]) for i in range(3)]
+        assert all(len(group) == 1 for group in groups)
+        assert len(set.union(*groups)) == 3
+
+    def test_too_many_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans_cluster(np.zeros((3, 2)), 5)
+
+
+class TestHierarchicalRecall:
+    def test_recalls_own_templates(self, hierarchy, clustered_templates):
+        matrix, labels = clustered_templates
+        correct = 0
+        for column in range(matrix.shape[1]):
+            result = hierarchy.recognise(matrix[:, column])
+            correct += result.winner == labels[column]
+        assert correct >= matrix.shape[1] - 3
+
+    def test_routing_matches_assignment(self, hierarchy, clustered_templates):
+        matrix, labels = clustered_templates
+        stats = hierarchy.evaluate(matrix.T, labels)
+        assert stats["routing_accuracy"] >= 0.9
+        assert stats["accuracy"] >= 0.75
+
+    def test_result_exposes_both_levels(self, hierarchy, clustered_templates):
+        matrix, _ = clustered_templates
+        result = hierarchy.recognise(matrix[:, 0])
+        assert 0 <= result.cluster < hierarchy.clusters
+        assert result.first_level.codes.shape == (hierarchy.clusters,)
+        assert isinstance(result.accepted, (bool, np.bool_))
+
+    def test_cluster_sizes_sum_to_templates(self, hierarchy, clustered_templates):
+        matrix, _ = clustered_templates
+        assert hierarchy.cluster_sizes().sum() == matrix.shape[1]
+
+
+class TestHierarchicalCost:
+    def test_active_columns_fewer_than_flat(self, hierarchy, clustered_templates):
+        matrix, _ = clustered_templates
+        assert hierarchy.active_columns_per_recognition() < matrix.shape[1]
+
+    def test_energy_saving_vs_flat(self, hierarchy):
+        assert hierarchy.energy_per_recognition() < hierarchy.flat_energy_per_recognition()
+
+    def test_invalid_construction(self, clustered_templates):
+        matrix, labels = clustered_templates
+        with pytest.raises(ValueError):
+            HierarchicalAssociativeMemory(matrix, labels=labels, clusters=matrix.shape[1])
+        with pytest.raises(ValueError):
+            HierarchicalAssociativeMemory(matrix, labels=labels[:-1], clusters=2)

@@ -1,0 +1,98 @@
+"""Tests for the partitioned associative memory extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DesignParameters
+from repro.extensions.partitioned import PartitionedAssociativeMemory
+
+
+@pytest.fixture(scope="module")
+def templates():
+    """Six equal-energy templates (permutations of the same value multiset).
+
+    Equal column norms guarantee that the self-correlation of each template
+    exceeds its cross-correlations (rearrangement inequality), so the flat
+    module classifies them perfectly and the fixture isolates the effects
+    of partitioning.
+    """
+    rng = np.random.default_rng(11)
+    base = np.repeat(np.arange(32), 1)
+    return np.stack([rng.permutation(base) for _ in range(6)], axis=1)
+
+
+@pytest.fixture(scope="module")
+def partitioned(templates):
+    parameters = DesignParameters(template_shape=(8, 4), num_templates=templates.shape[1])
+    return PartitionedAssociativeMemory(
+        templates, partitions=2, parameters=parameters, seed=7
+    )
+
+
+class TestStructure:
+    def test_partition_slices_cover_features(self, partitioned, templates):
+        assert sum(partitioned.rows_per_module()) == templates.shape[0]
+        assert len(partitioned.modules) == 2
+
+    def test_each_module_sees_all_columns(self, partitioned, templates):
+        for module in partitioned.modules:
+            assert module.crossbar.columns == templates.shape[1]
+
+    def test_invalid_construction(self, templates):
+        with pytest.raises(ValueError):
+            PartitionedAssociativeMemory(templates, partitions=100)
+        with pytest.raises(ValueError):
+            PartitionedAssociativeMemory(templates, labels=[1, 2], partitions=2)
+        with pytest.raises(ValueError):
+            PartitionedAssociativeMemory(np.zeros(5, dtype=int), partitions=1)
+
+
+class TestRecall:
+    def test_recalls_own_templates(self, partitioned, templates):
+        correct = 0
+        for column in range(templates.shape[1]):
+            result = partitioned.recognise(templates[:, column])
+            correct += result.winner == column
+        assert correct >= templates.shape[1] - 1
+
+    def test_partition_codes_shape(self, partitioned, templates):
+        result = partitioned.recognise(templates[:, 0])
+        assert result.partition_codes.shape == (2, templates.shape[1])
+        assert np.array_equal(
+            result.aggregate_codes, result.partition_codes.sum(axis=0)
+        )
+
+    def test_wrong_input_length_rejected(self, partitioned):
+        with pytest.raises(ValueError):
+            partitioned.recognise(np.zeros(10, dtype=int))
+
+    def test_evaluate_statistics(self, partitioned, templates):
+        stats = partitioned.evaluate(templates.T, list(range(templates.shape[1])))
+        assert stats["accuracy"] >= 0.8
+        assert 0.0 <= stats["tie_rate"] <= 1.0
+
+    def test_agrees_with_flat_module_on_clear_inputs(self, templates):
+        from repro.core.amm import AssociativeMemoryModule
+
+        parameters = DesignParameters(template_shape=(8, 4), num_templates=templates.shape[1])
+        flat = AssociativeMemoryModule.from_templates(templates, parameters=parameters, seed=7)
+        split = PartitionedAssociativeMemory(
+            templates, partitions=2, parameters=parameters, seed=7
+        )
+        agreements = 0
+        for column in range(templates.shape[1]):
+            flat_result = flat.recognise(templates[:, column])
+            split_result = split.recognise(templates[:, column])
+            agreements += flat_result.winner == split_result.winner
+        assert agreements >= templates.shape[1] - 1
+
+
+class TestCost:
+    def test_energy_grows_with_partitions(self, templates):
+        parameters = DesignParameters(template_shape=(8, 4), num_templates=templates.shape[1])
+        two = PartitionedAssociativeMemory(templates, partitions=2, parameters=parameters, seed=1)
+        four = PartitionedAssociativeMemory(templates, partitions=4, parameters=parameters, seed=1)
+        assert four.energy_per_recognition() > two.energy_per_recognition()
+
+    def test_longest_row_unchanged(self, partitioned, templates):
+        assert partitioned.longest_row_length() == templates.shape[1]

@@ -1,0 +1,37 @@
+"""Smoke tests for the shipped example scripts.
+
+The examples are exercised end-to-end by running them manually (and the
+heavier ones mirror the benchmarks), so these tests only verify that each
+script imports cleanly and exposes a ``main`` entry point — catching broken
+imports or signature drift without paying the full runtime.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contains_expected_scripts():
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert "quickstart" in names
+    assert "face_recognition_full" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_and_exposes_main(path):
+    module = _load(path)
+    assert hasattr(module, "main")
+    assert callable(module.main)
+    assert module.__doc__, "every example must carry a usage docstring"

@@ -1,0 +1,71 @@
+"""Tests of the package-level public API and the command-line interface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_top_level_convenience_names(self):
+        assert repro.DesignParameters is not None
+        assert repro.AssociativeMemoryModule is not None
+        assert callable(repro.load_default_dataset)
+        assert callable(repro.build_pipeline)
+
+    def test_default_parameters_factory(self):
+        parameters = repro.default_parameters()
+        assert parameters.num_templates == 40
+
+    def test_subpackage_all_exports(self):
+        from repro import analysis, cmos, crossbar, datasets, devices, extensions, utils
+
+        for module in (analysis, cmos, crossbar, datasets, devices, extensions, utils):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_table2_command(self, capsys):
+        exit_code = main(["table2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Template size" in captured
+        assert "16x8, 5-bit" in captured
+
+    def test_table1_command_with_custom_bits(self, capsys):
+        exit_code = main(["table1", "--bits", "5"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "spin-CMOS PE" in captured
+        assert "45nm digital CMOS" in captured
+        assert "4-bit" not in captured
+
+    def test_fig13a_command(self, capsys):
+        exit_code = main(["fig13a", "--thresholds", "1.0", "0.5"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "threshold 1uA" in captured
+        assert "Dynamic" in captured
+
+    def test_accuracy_command_small_corpus(self, capsys):
+        exit_code = main(["accuracy", "--subjects", "6", "--seed", "3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Fig. 3a" in captured
+        assert "Fig. 3b" in captured
+        assert "%" in captured

@@ -1,0 +1,144 @@
+"""Tests for repro.utils.quantize, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.quantize import (
+    UniformQuantizer,
+    bits_for_relative_resolution,
+    quantize_to_levels,
+    requantize_bits,
+)
+
+
+class TestUniformQuantizer:
+    def test_levels_and_step(self):
+        quantizer = UniformQuantizer(bits=5, minimum=0.0, maximum=1.0)
+        assert quantizer.levels == 32
+        assert quantizer.step == pytest.approx(1.0 / 31.0)
+
+    def test_codes_cover_full_range(self):
+        quantizer = UniformQuantizer(bits=3, minimum=0.0, maximum=1.0)
+        codes = quantizer.to_codes(np.array([0.0, 1.0]))
+        assert codes[0] == 0
+        assert codes[1] == 7
+
+    def test_out_of_range_values_clip(self):
+        quantizer = UniformQuantizer(bits=4, minimum=0.0, maximum=1.0)
+        codes = quantizer.to_codes(np.array([-5.0, 5.0]))
+        assert codes[0] == 0
+        assert codes[1] == 15
+
+    def test_roundtrip_error_bounded_by_half_step(self):
+        quantizer = UniformQuantizer(bits=5)
+        values = np.linspace(0.0, 1.0, 101)
+        reconstructed = quantizer.quantize(values)
+        assert np.all(np.abs(reconstructed - values) <= quantizer.step / 2 + 1e-12)
+
+    def test_relative_resolution_matches_paper_5bit_4pct(self):
+        # 5 bits -> 1/31 = 3.2 %, which the paper rounds to its 4 % figure.
+        quantizer = UniformQuantizer(bits=5)
+        assert quantizer.relative_resolution() == pytest.approx(1 / 31)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=4, minimum=1.0, maximum=0.0)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=50
+        ),
+        bits=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_codes_within_range(self, values, bits):
+        quantizer = UniformQuantizer(bits=bits)
+        codes = quantizer.to_codes(np.array(values))
+        assert np.all(codes >= 0)
+        assert np.all(codes <= quantizer.levels - 1)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=50
+        ),
+        bits=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_quantization_idempotent(self, values, bits):
+        quantizer = UniformQuantizer(bits=bits)
+        once = quantizer.quantize(np.array(values))
+        twice = quantizer.quantize(once)
+        assert np.allclose(once, twice)
+
+    @given(bits=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_property_monotonic_codes(self, bits):
+        quantizer = UniformQuantizer(bits=bits)
+        values = np.linspace(0.0, 1.0, 257)
+        codes = quantizer.to_codes(values)
+        assert np.all(np.diff(codes) >= 0)
+
+
+class TestQuantizeToLevels:
+    def test_two_levels_is_threshold(self):
+        out = quantize_to_levels(np.array([0.1, 0.9]), 2, 0.0, 1.0)
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_values_land_on_grid(self):
+        out = quantize_to_levels(np.linspace(0, 1, 11), 5, 0.0, 1.0)
+        grid = np.linspace(0.0, 1.0, 5)
+        for value in out:
+            assert np.min(np.abs(grid - value)) < 1e-12
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            quantize_to_levels(np.array([0.5]), 1, 0.0, 1.0)
+
+
+class TestRequantizeBits:
+    def test_reduce_bits_shifts_right(self):
+        codes = np.array([255, 128, 0])
+        out = requantize_bits(codes, 8, 5)
+        assert list(out) == [31, 16, 0]
+
+    def test_increase_bits_shifts_left(self):
+        codes = np.array([31, 1])
+        out = requantize_bits(codes, 5, 8)
+        assert list(out) == [248, 8]
+
+    def test_same_bits_identity(self):
+        codes = np.array([3, 7])
+        assert list(requantize_bits(codes, 5, 5)) == [3, 7]
+
+    @given(
+        codes=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=20),
+        to_bits=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_reduction_preserves_ordering(self, codes, to_bits):
+        array = np.array(sorted(codes))
+        out = requantize_bits(array, 8, to_bits)
+        assert np.all(np.diff(out) >= 0)
+
+
+class TestBitsForRelativeResolution:
+    def test_four_percent_needs_five_bits(self):
+        # The paper equates 4 % detection resolution with 5 bits.
+        assert bits_for_relative_resolution(0.04) == 5
+
+    def test_fifty_percent_needs_one_bit(self):
+        assert bits_for_relative_resolution(1.0) == 1
+
+    def test_finer_resolution_needs_more_bits(self):
+        assert bits_for_relative_resolution(0.003) > bits_for_relative_resolution(0.03)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            bits_for_relative_resolution(0.0)

@@ -1,0 +1,47 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_children
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(42).random(5)
+    b = ensure_rng(42).random(5)
+    assert np.allclose(a, b)
+
+
+def test_ensure_rng_passthrough_generator():
+    generator = np.random.default_rng(1)
+    assert ensure_rng(generator) is generator
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_children_count_and_independence():
+    parent = ensure_rng(7)
+    children = spawn_children(parent, 4)
+    assert len(children) == 4
+    draws = [child.random(3) for child in children]
+    # All child streams must differ from one another.
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.allclose(draws[i], draws[j])
+
+
+def test_spawn_children_deterministic_given_parent_seed():
+    first = [g.random() for g in spawn_children(ensure_rng(3), 3)]
+    second = [g.random() for g in spawn_children(ensure_rng(3), 3)]
+    assert first == second
+
+
+def test_spawn_children_negative_count_rejected():
+    with pytest.raises(ValueError):
+        spawn_children(ensure_rng(0), -1)
+
+
+def test_spawn_children_zero_count():
+    assert spawn_children(ensure_rng(0), 0) == []

@@ -1,0 +1,47 @@
+"""Tests for repro.utils.units."""
+
+import numpy as np
+import pytest
+
+from repro.utils import units
+
+
+def test_si_prefixes_scale_correctly():
+    assert units.kilo(2.0) == pytest.approx(2000.0)
+    assert units.mega(1.5) == pytest.approx(1.5e6)
+    assert units.giga(1.0) == pytest.approx(1e9)
+    assert units.tera(1.0) == pytest.approx(1e12)
+    assert units.milli(3.0) == pytest.approx(3e-3)
+    assert units.micro(1.0) == pytest.approx(1e-6)
+    assert units.nano(4.0) == pytest.approx(4e-9)
+    assert units.pico(1.0) == pytest.approx(1e-12)
+    assert units.femto(0.4) == pytest.approx(0.4e-15)
+
+
+def test_prefixes_compose_to_identity():
+    assert units.micro(units.mega(7.0)) == pytest.approx(7.0)
+    assert units.nano(units.giga(3.0)) == pytest.approx(3.0)
+    assert units.milli(units.kilo(9.0)) == pytest.approx(9.0)
+
+
+def test_thermal_energy_matches_kT_at_300K():
+    assert units.THERMAL_ENERGY_300K == pytest.approx(
+        units.BOLTZMANN_CONSTANT * units.ROOM_TEMPERATURE_K
+    )
+    # kT at room temperature is about 4.14e-21 J (26 meV).
+    assert units.THERMAL_ENERGY_300K == pytest.approx(4.14e-21, rel=0.01)
+
+
+def test_emu_conversion():
+    # The paper's 800 emu/cm^3 equals 8e5 A/m.
+    assert units.emu_per_cm3_to_A_per_m(800.0) == pytest.approx(8.0e5)
+
+
+def test_cubic_nanometres_volume():
+    # Table 2 free layer: 3x22x60 nm^3 = 3960 nm^3 = 3.96e-24 m^3.
+    volume = units.cubic_nanometres(3.0, 22.0, 60.0)
+    assert volume == pytest.approx(3.96e-24)
+
+
+def test_boltzmann_constant_value():
+    assert units.BOLTZMANN_CONSTANT == pytest.approx(1.380649e-23)

@@ -1,0 +1,112 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_monotonic,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_allows_zero_when_requested(self):
+        assert check_positive("x", 0.0, allow_zero=True) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, allow_zero=True)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+        with pytest.raises(ValueError):
+            check_positive("x", float("inf"))
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        assert check_in_range("x", 0.5, 0.0, 1.0) == 0.5
+
+    def test_accepts_bounds_when_inclusive(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_bounds_when_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 2.0, 0.0, 1.0)
+
+
+class TestCheckProbability:
+    def test_accepts_probability(self):
+        assert check_probability("p", 0.3) == 0.3
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+
+class TestCheckShape:
+    def test_accepts_exact_shape(self):
+        array = np.zeros((3, 4))
+        out = check_shape("a", array, (3, 4))
+        assert out.shape == (3, 4)
+
+    def test_wildcard_dimension(self):
+        array = np.zeros((3, 4))
+        check_shape("a", array, (-1, 4))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("a", np.zeros(3), (3, 1))
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="axis"):
+            check_shape("a", np.zeros((3, 4)), (3, 5))
+
+
+class TestCheckInteger:
+    def test_accepts_int_valued_float(self):
+        assert check_integer("n", 4.0) == 4
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            check_integer("n", 4.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            check_integer("n", True)
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            check_integer("n", 1, minimum=2)
+
+
+class TestCheckMonotonic:
+    def test_accepts_increasing(self):
+        out = check_monotonic("x", [1, 2, 3])
+        assert list(out) == [1, 2, 3]
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            check_monotonic("x", [1, 1, 2])
+
+    def test_decreasing_mode(self):
+        check_monotonic("x", [3, 2, 1], increasing=False)
+        with pytest.raises(ValueError):
+            check_monotonic("x", [1, 2], increasing=False)
