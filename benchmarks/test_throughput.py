@@ -1,0 +1,135 @@
+"""Recall-throughput benchmark: per-sample loop versus batched engine.
+
+Times associative recall of the ATT-like test corpus through the
+reference 128x40 pipeline two ways:
+
+* the legacy per-sample path (``AssociativeMemoryModule.recognise`` in a
+  loop: one sparse-MNA assembly + factorisation + SAR conversion per
+  image), and
+* the batched engine (``recognise_batch``: one factorisation of the
+  static network amortised over the corpus, per-sample Woodbury updates
+  and a vectorised SAR winner-take-all), swept over batch sizes.
+
+The measured trajectory (images/second, speedup, engine setup cost) is
+written to ``BENCH_throughput.json`` at the repository root so the
+headline can be tracked across commits.  The benchmark also re-asserts
+the engine contract on the timed inputs: identical winners, DOM codes
+and tie flags between the two paths.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+#: Where the throughput trajectory is persisted.
+OUTPUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+#: Images timed through the (slow) per-sample loop.
+PER_SAMPLE_IMAGES = 24
+
+#: Batch sizes swept through the batched engine.
+BATCH_SIZES = (16, 64, 256, None)
+
+#: The PR's headline requirement: batched recall at least this many times
+#: faster than the per-sample loop.
+REQUIRED_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def recall_codes(full_pipeline, full_dataset):
+    """Pre-extracted feature codes of the whole test corpus."""
+    return full_pipeline.extractor.extract_many(full_dataset.test_images)
+
+
+def test_batched_recall_throughput(full_pipeline, full_dataset, recall_codes, write_result):
+    amm = full_pipeline.amm
+    corpus = recall_codes.shape[0]
+
+    # Per-sample baseline: the legacy loop, one sparse solve per image.
+    subset = recall_codes[:PER_SAMPLE_IMAGES]
+    start = time.perf_counter()
+    loop_results = [amm.recognise(codes) for codes in subset]
+    per_sample_seconds = time.perf_counter() - start
+    per_sample_ips = PER_SAMPLE_IMAGES / per_sample_seconds
+
+    # Engine setup (network factorisation) is a one-time cost; measure it
+    # separately so the steady-state throughput is honest about it.
+    start = time.perf_counter()
+    warmup = amm.recognise_batch(subset)
+    setup_seconds = time.perf_counter() - start
+
+    # The engine must agree with the loop on every discrete output.
+    for index, scalar in enumerate(loop_results):
+        assert int(warmup.winner_column[index]) == scalar.winner_column
+        assert int(warmup.dom_code[index]) == scalar.dom_code
+        assert bool(warmup.tie[index]) == scalar.tie
+
+    trajectory = []
+    for batch_size in BATCH_SIZES:
+        step = corpus if batch_size is None else batch_size
+        start = time.perf_counter()
+        for begin in range(0, corpus, step):
+            amm.recognise_batch(recall_codes[begin : begin + step])
+        elapsed = time.perf_counter() - start
+        trajectory.append(
+            {
+                "batch_size": step,
+                "images": corpus,
+                "seconds": elapsed,
+                "images_per_second": corpus / elapsed,
+                "speedup_vs_per_sample": (corpus / elapsed) / per_sample_ips,
+            }
+        )
+
+    best = max(trajectory, key=lambda point: point["images_per_second"])
+    payload = {
+        "dataset": {
+            "classes": int(full_dataset.num_classes),
+            "test_images": int(corpus),
+        },
+        "array": {
+            "rows": int(amm.crossbar.rows),
+            "columns": int(amm.crossbar.columns),
+        },
+        "per_sample": {
+            "images": PER_SAMPLE_IMAGES,
+            "seconds": per_sample_seconds,
+            "images_per_second": per_sample_ips,
+        },
+        "engine_setup_seconds": setup_seconds,
+        "batched": trajectory,
+        "best": best,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"per-sample loop: {per_sample_ips:8.1f} images/s "
+        f"({PER_SAMPLE_IMAGES} images)",
+        f"engine setup:    {setup_seconds * 1e3:8.1f} ms (one-time)",
+    ]
+    for point in trajectory:
+        lines.append(
+            f"batch={point['batch_size']:<4d}     {point['images_per_second']:8.1f} "
+            f"images/s ({point['speedup_vs_per_sample']:.1f}x)"
+        )
+    write_result("throughput", "\n".join(lines))
+
+    assert best["speedup_vs_per_sample"] >= REQUIRED_SPEEDUP, (
+        f"batched recall reached only {best['speedup_vs_per_sample']:.1f}x "
+        f"of the per-sample loop (required {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def test_batched_evaluation_matches_per_sample_accuracy(full_pipeline, full_dataset):
+    """The batched evaluate path reproduces per-sample accuracy statistics."""
+    batched = full_pipeline.evaluate(full_dataset, limit=60, batch_size=None)
+    per_sample = full_pipeline.evaluate(full_dataset, limit=60, batch_size=1)
+    assert batched.accuracy == per_sample.accuracy
+    assert batched.acceptance_rate == per_sample.acceptance_rate
+    assert batched.tie_rate == per_sample.tie_rate
+    assert batched.count == per_sample.count

@@ -42,9 +42,34 @@ Quickstart
 >>> result = amm.recognise(dataset.test_images[0])
 >>> result.winner == dataset.test_labels[0]
 True
+
+Performance
+-----------
+
+Recall is batched end to end.  ``AssociativeMemoryModule.recognise_batch``
+(and ``FaceRecognitionPipeline.evaluate(..., batch_size=...)``) push a
+whole ``(B, features)`` code batch through a vectorised DAC conversion,
+an amortised crossbar solve and a vectorised SAR winner-take-all.  On the
+parasitic path the per-sample MNA matrices differ only in the DAC source
+conductances, so the static network is factorised once and each sample
+reduces to a dense ``rows x rows`` Woodbury update — two orders of
+magnitude cheaper than re-assembling and re-factorising the 10 240-node
+reference network per image (see ``benchmarks/test_throughput.py`` and
+``BENCH_throughput.json`` for measured images/second).  The ``batch_size``
+knob selects the recall granularity everywhere it appears; ``batch_size=1``
+is the legacy per-sample loop kept as the benchmark and equivalence
+reference.  Batched recall is sample-for-sample equivalent to the loop:
+bit-identical on the ideal solve path, identical discrete outputs and
+solver-precision analog outputs on the parasitic path, with all random
+streams advanced exactly as the loop would advance them
+(``tests/core/test_batched_equivalence.py``).
 """
 
-from repro.core.amm import AssociativeMemoryModule, RecognitionResult
+from repro.core.amm import (
+    AssociativeMemoryModule,
+    BatchRecognitionResult,
+    RecognitionResult,
+)
 from repro.core.config import DesignParameters, default_parameters
 from repro.core.pipeline import (
     FaceRecognitionPipeline,
@@ -60,6 +85,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AssociativeMemoryModule",
+    "BatchRecognitionResult",
     "RecognitionResult",
     "DesignParameters",
     "default_parameters",

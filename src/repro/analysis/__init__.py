@@ -17,6 +17,7 @@
 from repro.analysis.accuracy import (
     AccuracyPoint,
     downsizing_sweep,
+    hardware_matching_accuracy,
     ideal_matching_accuracy,
     resolution_sweep,
 )
@@ -47,6 +48,7 @@ from repro.analysis.variations import (
 __all__ = [
     "AccuracyPoint",
     "downsizing_sweep",
+    "hardware_matching_accuracy",
     "ideal_matching_accuracy",
     "resolution_sweep",
     "MarginPoint",

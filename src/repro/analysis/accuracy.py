@@ -168,6 +168,42 @@ def resolution_sweep(
     return points
 
 
+def hardware_matching_accuracy(
+    pipeline,
+    dataset: FaceDataset,
+    limit: Optional[int] = None,
+    batch_size: Optional[int] = None,
+) -> AccuracyPoint:
+    """Full-hardware matching accuracy through the batched recall engine.
+
+    Complements the "ideal comparison" sweeps above with the non-ideal
+    system number: the whole test corpus is pushed through
+    :meth:`~repro.core.pipeline.FaceRecognitionPipeline.evaluate` in
+    batched passes, so template programming, DAC calibration and the
+    crossbar factorisation are paid once rather than per image.
+
+    Parameters
+    ----------
+    pipeline:
+        A built :class:`~repro.core.pipeline.FaceRecognitionPipeline`.
+    dataset:
+        Corpus to classify.
+    limit:
+        Optional cap on the number of evaluated images.
+    batch_size:
+        Recall granularity forwarded to ``evaluate`` (``None`` = one
+        batched pass).
+    """
+    evaluation = pipeline.evaluate(dataset, limit=limit, batch_size=batch_size)
+    rows, cols = pipeline.extractor.feature_shape
+    return AccuracyPoint(
+        parameter=float(rows * cols),
+        label=f"{rows}x{cols} spin-CMOS hardware ({evaluation.count} images)",
+        accuracy=evaluation.accuracy,
+        tie_rate=evaluation.tie_rate,
+    )
+
+
 def bit_width_sweep(
     dataset: FaceDataset,
     bit_widths: Iterable[int] = (8, 6, 5, 4, 3, 2),

@@ -11,7 +11,7 @@ statistically independent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -66,27 +66,63 @@ class MonteCarloRunner:
     Parameters
     ----------
     trial:
-        Callable taking a ``numpy.random.Generator`` and returning a float.
+        Callable taking a ``numpy.random.Generator`` and returning a
+        float; one call per trial.
     trials:
         Number of repetitions.
     seed:
         Master seed (or generator) from which the per-trial generators are
         derived.
+    batch_trial:
+        Optional batch-valued alternative to ``trial``: a callable taking
+        a *sequence* of generators (one per trial in the chunk) and
+        returning one float per generator.  Studies whose setup can be
+        amortised across trials (e.g. the batched recall engine, which
+        shares one crossbar factorisation) implement this instead of, or
+        in addition to, ``trial``.
+    chunk_size:
+        How many trials to hand to ``batch_trial`` at a time; ``None``
+        passes all of them in one call.  Chunking never changes the
+        result: the per-trial generators are derived once from the master
+        seed, so the summary is invariant under any ``chunk_size``.
     """
 
     def __init__(
         self,
-        trial: Callable[[np.random.Generator], float],
+        trial: Optional[Callable[[np.random.Generator], float]] = None,
         trials: int = 20,
         seed: RandomState = None,
+        batch_trial: Optional[
+            Callable[[Sequence[np.random.Generator]], Sequence[float]]
+        ] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         check_integer("trials", trials, minimum=1)
+        if trial is None and batch_trial is None:
+            raise ValueError("either trial or batch_trial must be provided")
+        if chunk_size is not None:
+            check_integer("chunk_size", chunk_size, minimum=1)
         self.trial = trial
+        self.batch_trial = batch_trial
         self.trials = trials
+        self.chunk_size = chunk_size
         self._rng = ensure_rng(seed)
 
     def run(self) -> MonteCarloSummary:
         """Execute all trials and return the summary statistics."""
         generators = spawn_children(self._rng, self.trials)
-        values: List[float] = [float(self.trial(generator)) for generator in generators]
+        if self.batch_trial is not None:
+            values: List[float] = []
+            step = self.chunk_size or self.trials
+            for start in range(0, self.trials, step):
+                chunk = generators[start : start + step]
+                outcomes = list(self.batch_trial(chunk))
+                if len(outcomes) != len(chunk):
+                    raise ValueError(
+                        f"batch_trial returned {len(outcomes)} values for a "
+                        f"chunk of {len(chunk)} trials"
+                    )
+                values.extend(float(value) for value in outcomes)
+        else:
+            values = [float(self.trial(generator)) for generator in generators]
         return MonteCarloSummary.from_values(values)

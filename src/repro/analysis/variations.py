@@ -146,9 +146,13 @@ def wta_decision_error_rate(
 
 
 def spin_pipeline_accuracy_mc(
-    build_and_score: Callable[[np.random.Generator], float],
+    build_and_score: Optional[Callable[[np.random.Generator], float]] = None,
     trials: int = 10,
     seed: RandomState = None,
+    build_and_score_batch: Optional[
+        Callable[[Sequence[np.random.Generator]], Sequence[float]]
+    ] = None,
+    chunk_size: Optional[int] = None,
 ) -> MonteCarloSummary:
     """Monte-Carlo accuracy of the spin pipeline under device variation.
 
@@ -158,6 +162,19 @@ def spin_pipeline_accuracy_mc(
     This indirection keeps the expensive pipeline construction under the
     caller's control (benchmarks use the full 128x40 array, unit tests a
     reduced one).
+
+    ``build_and_score_batch`` is the batch-valued alternative: it receives
+    a sequence of per-trial generators at once (``chunk_size`` at a time)
+    and returns one accuracy per generator, letting studies share
+    template construction, feature extraction and the batched recall
+    engine across trials.  Chunking does not change the per-trial
+    generators, so the summary is invariant under ``chunk_size``.
     """
-    runner = MonteCarloRunner(build_and_score, trials=trials, seed=seed)
+    runner = MonteCarloRunner(
+        build_and_score,
+        trials=trials,
+        seed=seed,
+        batch_trial=build_and_score_batch,
+        chunk_size=chunk_size,
+    )
     return runner.run()

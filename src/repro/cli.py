@@ -8,7 +8,10 @@ without writing any code:
 * ``fig13a`` — the static/dynamic power split versus DWN threshold;
 * ``accuracy`` — the Fig. 3 accuracy sweeps on the synthetic corpus;
 * ``recognise`` — build the reference 128x40 pipeline and classify a few
-  images end to end.
+  images end to end (``--batch-size`` selects the recall granularity;
+  1 = legacy per-sample loop);
+* ``throughput`` — evaluate the corpus through the batched recall engine
+  and report images/second.
 
 Every command prints a plain-text table (the same formatters the
 benchmarks use) and returns a process exit code of 0 on success.
@@ -18,7 +21,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.analysis.accuracy import downsizing_sweep, resolution_sweep
 from repro.analysis.power import build_table1, threshold_power_sweep
@@ -70,11 +76,18 @@ def _command_accuracy(arguments: argparse.Namespace) -> str:
 def _command_recognise(arguments: argparse.Namespace) -> str:
     dataset = load_default_dataset(seed=arguments.seed)
     pipeline = build_pipeline(dataset, seed=arguments.seed)
-    rows = []
     step = max(1, dataset.size // arguments.images)
     indices = list(range(0, dataset.size, step))[: arguments.images]
-    for index in indices:
-        result = pipeline.classify_image(dataset.images[index])
+    if arguments.batch_size == 1:
+        results = [pipeline.classify_image(dataset.images[index]) for index in indices]
+    else:
+        results = list(
+            pipeline.classify_images(
+                dataset.images[indices], batch_size=arguments.batch_size
+            )
+        )
+    rows = []
+    for index, result in zip(indices, results):
         rows.append(
             [
                 str(index),
@@ -88,6 +101,32 @@ def _command_recognise(arguments: argparse.Namespace) -> str:
     return format_table(
         ["Image", "True", "Predicted", "DOM", "Accepted", "Static power"], rows
     )
+
+
+def _command_throughput(arguments: argparse.Namespace) -> str:
+    dataset = load_default_dataset(seed=arguments.seed)
+    pipeline = build_pipeline(dataset, seed=arguments.seed)
+    images = dataset.test_images[: arguments.images]
+    labels = dataset.test_labels[: arguments.images]
+    codes = pipeline.extractor.extract_many(images)
+    start = time.perf_counter()
+    if arguments.batch_size == 1:
+        winners = [pipeline.amm.recognise(sample).winner for sample in codes]
+        label = "Per-sample recall"
+    else:
+        winners = pipeline.classify_codes_batch(
+            codes, batch_size=arguments.batch_size
+        ).winner
+        label = "Batched recall"
+    elapsed = time.perf_counter() - start
+    accuracy = float(np.mean(np.asarray(winners) == labels))
+    rows = [
+        ["Images", str(len(codes))],
+        ["Batch size", str(arguments.batch_size)],
+        ["Accuracy", f"{accuracy:.3f}"],
+        [label, f"{len(codes) / elapsed:.1f} images/s"],
+    ]
+    return format_table(["Quantity", "Value"], rows)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,7 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recognise.add_argument("--images", type=int, default=10)
     recognise.add_argument("--seed", type=int, default=2013)
+    recognise.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="recall granularity; 1 = legacy per-sample loop",
+    )
     recognise.set_defaults(handler=_command_recognise)
+
+    throughput = subparsers.add_parser(
+        "throughput", help="batched-recall throughput of the 128x40 pipeline"
+    )
+    throughput.add_argument("--images", type=int, default=200)
+    throughput.add_argument("--seed", type=int, default=2013)
+    throughput.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="recall granularity; 1 = legacy per-sample loop",
+    )
+    throughput.set_defaults(handler=_command_throughput)
 
     return parser
 
@@ -136,6 +194,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    if getattr(arguments, "batch_size", 1) < 1:
+        parser.error("--batch-size must be a positive integer")
     output = arguments.handler(arguments)
     print(output)
     return 0

@@ -13,15 +13,21 @@ neuron (:mod:`repro.devices.dwn`) into the associative memory of Section 4:
   Table 1).
 """
 
-from repro.core.amm import AssociativeMemoryModule, RecognitionResult
+from repro.core.amm import (
+    AssociativeMemoryModule,
+    BatchRecognitionResult,
+    RecognitionResult,
+)
 from repro.core.config import DesignParameters, default_parameters
 from repro.core.pipeline import FaceRecognitionPipeline, build_default_amm, build_pipeline
 from repro.core.power import PowerBreakdown, SpinAmmPowerModel
 from repro.core.sar import SuccessiveApproximationRegister
-from repro.core.wta import SpinCmosWta, WtaResult
+from repro.core.wta import BatchWtaResult, SpinCmosWta, WtaResult
 
 __all__ = [
     "AssociativeMemoryModule",
+    "BatchRecognitionResult",
+    "BatchWtaResult",
     "RecognitionResult",
     "DesignParameters",
     "default_parameters",

@@ -21,8 +21,9 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.core.config import DesignParameters, default_parameters
-from repro.core.wta import SpinCmosWta, WtaResult
+from repro.core.wta import BatchWtaResult, SpinCmosWta, WtaResult
 from repro.crossbar.array import ResistiveCrossbar
+from repro.crossbar.batched import BatchCrossbarSolution
 from repro.crossbar.programming import TemplateProgrammer
 from repro.crossbar.solver import CrossbarSolution, CrossbarSolver
 from repro.devices.dac import DtcsDac
@@ -85,8 +86,23 @@ class InputDacBank:
         return 2**self.bits - 1
 
     def conductances(self, codes: np.ndarray) -> np.ndarray:
-        """Per-row DAC conductances (S) for an integer input-code vector."""
+        """Per-row DAC conductances (S) for integer input codes.
+
+        Accepts a single ``(rows,)`` code vector or a batch of shape
+        ``(B, rows)``; the returned array has the same shape.  The batched
+        conversion is element-wise identical to converting each sample
+        separately.
+        """
         codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim == 2:
+            if codes.shape[1] != self.rows:
+                raise ValueError(
+                    f"codes must have shape (B, {self.rows}), got {codes.shape}"
+                )
+            if np.any(codes < 0) or np.any(codes > self.max_code):
+                raise ValueError(f"codes must be in [0, {self.max_code}]")
+            masks = ((codes[:, :, None] >> np.arange(self.bits)) & 1).astype(float)
+            return np.sum(masks * self.bit_conductances[None, :, :], axis=2)
         check_shape("codes", codes, (self.rows,))
         if np.any(codes < 0) or np.any(codes > self.max_code):
             raise ValueError(f"codes must be in [0, {self.max_code}]")
@@ -147,6 +163,48 @@ class RecognitionResult:
     column_currents: np.ndarray
     static_power: float
     events: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class BatchRecognitionResult:
+    """Vectorised outcome of a batch of associative-memory evaluations.
+
+    Field names match :class:`RecognitionResult` with a leading batch
+    axis: ``winner_column``/``winner``/``dom_code``/``accepted``/``tie``/
+    ``static_power`` have shape ``(B,)``, ``codes`` and
+    ``column_currents`` have shape ``(B, columns)`` and ``events`` holds
+    one counter dictionary per sample.  Indexing recovers the scalar
+    :class:`RecognitionResult` of one sample.
+    """
+
+    winner_column: np.ndarray
+    winner: np.ndarray
+    dom_code: np.ndarray
+    accepted: np.ndarray
+    tie: np.ndarray
+    codes: np.ndarray
+    column_currents: np.ndarray
+    static_power: np.ndarray
+    events: list
+
+    def __len__(self) -> int:
+        return self.codes.shape[0]
+
+    def __getitem__(self, index: int) -> RecognitionResult:
+        return RecognitionResult(
+            winner_column=int(self.winner_column[index]),
+            winner=int(self.winner[index]),
+            dom_code=int(self.dom_code[index]),
+            accepted=bool(self.accepted[index]),
+            tie=bool(self.tie[index]),
+            codes=self.codes[index],
+            column_currents=self.column_currents[index],
+            static_power=float(self.static_power[index]),
+            events=self.events[index],
+        )
+
+    def __iter__(self):
+        return (self[index] for index in range(len(self)))
 
 
 class AssociativeMemoryModule:
@@ -434,8 +492,102 @@ class AssociativeMemoryModule:
     # ------------------------------------------------------------------ #
     # Batch evaluation
     # ------------------------------------------------------------------ #
+    def _batch_input_conductances(self, input_codes_batch: np.ndarray) -> np.ndarray:
+        """DAC conductances for a code batch, with per-evaluation variation.
+
+        The variation noise is drawn sample by sample, in batch order,
+        from the same generator :meth:`column_solution` uses — so a batch
+        consumes the random stream exactly as a per-sample loop would.
+        """
+        conductances = self.input_dacs.conductances(input_codes_batch)
+        if self.input_variation > 0.0:
+            for index in range(conductances.shape[0]):
+                noise = self._rng.normal(
+                    0.0, self.input_variation, size=conductances.shape[1]
+                )
+                conductances[index] = np.clip(
+                    conductances[index] * (1.0 + noise), 0.0, None
+                )
+        return conductances
+
+    def recognise_batch(self, input_codes_batch: np.ndarray) -> BatchRecognitionResult:
+        """Full associative recall of a ``(B, features)`` code batch.
+
+        Solves the whole batch through the crossbar's batched engine
+        (:meth:`~repro.crossbar.solver.CrossbarSolver.solve_batch`) and a
+        vectorised WTA conversion.  Sample ``i`` of the result matches
+        ``recognise(input_codes_batch[i])`` called in a loop: discrete
+        outputs (winner, DOM code, acceptance, tie, events) are identical,
+        analog outputs are bit-identical on the ideal path and agree to
+        solver precision (~1e-12 relative) on the parasitic path, and all
+        random streams advance exactly as the loop would advance them.
+        """
+        input_codes_batch = np.asarray(input_codes_batch, dtype=np.int64)
+        if input_codes_batch.ndim != 2:
+            raise ValueError("input_codes_batch must be 2-D (B x features)")
+        if input_codes_batch.shape[0] == 0:
+            raise ValueError("input_codes_batch must not be empty")
+        conductances = self._batch_input_conductances(input_codes_batch)
+        solution = self.solver.solve_batch(
+            conductances, include_parasitics=self.include_parasitics
+        )
+        wta_result = self.wta.convert_batch(solution.column_currents)
+        return self._package_batch(solution, wta_result)
+
+    def recognise_ideal_batch(
+        self, input_codes_batch: np.ndarray
+    ) -> BatchRecognitionResult:
+        """Batched reference recall: ideal dot products and ideal detection.
+
+        Vectorised counterpart of :meth:`recognise_ideal`; each sample is
+        bit-identical to the scalar call (the dot product and peak
+        normalisation are evaluated per sample with the same operations).
+        """
+        input_codes_batch = np.asarray(input_codes_batch, dtype=np.int64)
+        if input_codes_batch.ndim != 2:
+            raise ValueError("input_codes_batch must be 2-D (B x features)")
+        if input_codes_batch.shape[0] == 0:
+            raise ValueError("input_codes_batch must not be empty")
+        batch = input_codes_batch.shape[0]
+        currents = np.empty((batch, self.crossbar.columns))
+        for index in range(batch):
+            values = input_codes_batch[index].astype(float) / self.input_dacs.max_code
+            sample = self.crossbar.ideal_dot_product(values)
+            scale = self.parameters.wta_full_scale_current / max(sample.max(), 1e-30)
+            currents[index] = sample * scale * 0.95
+        wta_result = SpinCmosWta.ideal_batch(
+            currents,
+            self.parameters.wta_resolution_bits,
+            self.parameters.wta_full_scale_current,
+        )
+        solution = BatchCrossbarSolution(
+            column_currents=currents,
+            supply_current=np.zeros(batch),
+            delta_v=self.parameters.delta_v,
+        )
+        return self._package_batch(solution, wta_result)
+
+    def _package_batch(
+        self, solution: BatchCrossbarSolution, wta_result: BatchWtaResult
+    ) -> BatchRecognitionResult:
+        winner_column = wta_result.winner
+        return BatchRecognitionResult(
+            winner_column=winner_column,
+            winner=self.column_labels[winner_column],
+            dom_code=wta_result.dom_code,
+            accepted=wta_result.dom_code >= self.dom_threshold_code,
+            tie=wta_result.tie,
+            codes=wta_result.codes,
+            column_currents=solution.column_currents,
+            static_power=solution.static_power,
+            events=wta_result.events,
+        )
+
     def evaluate(
-        self, input_codes_batch: np.ndarray, labels: np.ndarray
+        self,
+        input_codes_batch: np.ndarray,
+        labels: np.ndarray,
+        batch_size: Optional[int] = None,
     ) -> Dict[str, float]:
         """Classify a batch and report accuracy statistics.
 
@@ -445,6 +597,12 @@ class AssociativeMemoryModule:
             Integer feature vectors, shape ``(n, features)``.
         labels:
             True class labels, shape ``(n,)``.
+        batch_size:
+            Recall granularity.  ``None`` (default) solves everything in
+            one batched pass; larger inputs can be chunked with any other
+            value.  ``batch_size=1`` runs the legacy per-sample
+            :meth:`recognise` loop — the reference the batched engine is
+            benchmarked and regression-tested against.
 
         Returns
         -------
@@ -457,23 +615,52 @@ class AssociativeMemoryModule:
             raise ValueError("input_codes_batch must be 2-D (n x features)")
         if labels.shape[0] != input_codes_batch.shape[0]:
             raise ValueError("labels and inputs must have the same length")
-        correct = 0
-        accepted = 0
-        ties = 0
-        static_power = 0.0
-        for codes, label in zip(input_codes_batch, labels):
-            result = self.recognise(codes)
-            if result.winner == label:
-                correct += 1
-            if result.accepted:
-                accepted += 1
-            if result.tie:
-                ties += 1
-            static_power += result.static_power
         count = input_codes_batch.shape[0]
+        if batch_size is not None:
+            check_integer("batch_size", batch_size, minimum=1)
+        winners, accepted, ties, static_power = self.recall_arrays(
+            input_codes_batch, batch_size
+        )
         return {
-            "accuracy": correct / count,
-            "acceptance_rate": accepted / count,
-            "tie_rate": ties / count,
-            "mean_static_power": static_power / count,
+            "accuracy": float(np.count_nonzero(winners == labels)) / count,
+            "acceptance_rate": float(np.count_nonzero(accepted)) / count,
+            "tie_rate": float(np.count_nonzero(ties)) / count,
+            "mean_static_power": float(np.sum(static_power)) / count,
         }
+
+    def recall_arrays(
+        self, input_codes_batch: np.ndarray, batch_size: Optional[int] = None
+    ) -> tuple:
+        """Winner/accepted/tie/static-power arrays for a code batch.
+
+        The one place recall chunking is implemented: ``batch_size=None``
+        recalls everything in one batched pass, other values chunk it,
+        and ``batch_size=1`` runs the legacy per-sample :meth:`recognise`
+        loop.  Shared by :meth:`evaluate` and
+        :meth:`~repro.core.pipeline.FaceRecognitionPipeline.evaluate` so
+        the per-sample and batched paths aggregate through identical
+        code.  Returns ``(winners, accepted, ties, static_power)``
+        arrays of length ``B``.
+        """
+        count = input_codes_batch.shape[0]
+        winners = np.empty(count, dtype=np.int64)
+        accepted = np.empty(count, dtype=bool)
+        ties = np.empty(count, dtype=bool)
+        static_power = np.empty(count)
+        if batch_size == 1:
+            for index in range(count):
+                result = self.recognise(input_codes_batch[index])
+                winners[index] = result.winner
+                accepted[index] = result.accepted
+                ties[index] = result.tie
+                static_power[index] = result.static_power
+            return winners, accepted, ties, static_power
+        step = count if batch_size is None else batch_size
+        for start in range(0, count, step):
+            chunk = self.recognise_batch(input_codes_batch[start : start + step])
+            stop = start + len(chunk)
+            winners[start:stop] = chunk.winner
+            accepted[start:stop] = chunk.accepted
+            ties[start:stop] = chunk.tie
+            static_power[start:stop] = chunk.static_power
+        return winners, accepted, ties, static_power

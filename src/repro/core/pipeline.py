@@ -22,11 +22,16 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.amm import AssociativeMemoryModule, RecognitionResult
+from repro.core.amm import (
+    AssociativeMemoryModule,
+    BatchRecognitionResult,
+    RecognitionResult,
+)
 from repro.core.config import DesignParameters, default_parameters
 from repro.datasets.attlike import FaceDataset
 from repro.datasets.features import FeatureExtractor, build_templates, templates_to_matrix
 from repro.utils.rng import RandomState
+from repro.utils.validation import check_integer
 
 
 @dataclass(frozen=True)
@@ -92,9 +97,58 @@ class FaceRecognitionPipeline:
         return self.amm.recognise(codes)
 
     # ------------------------------------------------------------------ #
+    # Batched interface
+    # ------------------------------------------------------------------ #
+    def classify_images(
+        self, images: np.ndarray, batch_size: Optional[int] = None
+    ) -> BatchRecognitionResult:
+        """Extract features from a stack of images and recall them batched.
+
+        Parameters
+        ----------
+        images:
+            Raw images, shape ``(B, height, width)``.
+        batch_size:
+            Optional chunking of the recall (``None`` solves everything in
+            one batched pass).
+        """
+        codes = self.extractor.extract_many(images)
+        return self.classify_codes_batch(codes, batch_size=batch_size)
+
+    def classify_codes_batch(
+        self, codes: np.ndarray, batch_size: Optional[int] = None
+    ) -> BatchRecognitionResult:
+        """Batched recall from pre-extracted feature-code vectors."""
+        if batch_size is not None:
+            check_integer("batch_size", batch_size, minimum=1)
+        codes = np.asarray(codes)
+        if batch_size is None or batch_size >= codes.shape[0]:
+            return self.amm.recognise_batch(codes)
+        chunks = [
+            self.amm.recognise_batch(codes[start : start + batch_size])
+            for start in range(0, codes.shape[0], batch_size)
+        ]
+        return BatchRecognitionResult(
+            winner_column=np.concatenate([c.winner_column for c in chunks]),
+            winner=np.concatenate([c.winner for c in chunks]),
+            dom_code=np.concatenate([c.dom_code for c in chunks]),
+            accepted=np.concatenate([c.accepted for c in chunks]),
+            tie=np.concatenate([c.tie for c in chunks]),
+            codes=np.concatenate([c.codes for c in chunks]),
+            column_currents=np.concatenate([c.column_currents for c in chunks]),
+            static_power=np.concatenate([c.static_power for c in chunks]),
+            events=[events for c in chunks for events in c.events],
+        )
+
+    # ------------------------------------------------------------------ #
     # Dataset evaluation
     # ------------------------------------------------------------------ #
-    def evaluate(self, dataset: FaceDataset, limit: Optional[int] = None) -> PipelineEvaluation:
+    def evaluate(
+        self,
+        dataset: FaceDataset,
+        limit: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> PipelineEvaluation:
         """Classify (a subset of) a dataset and report aggregate statistics.
 
         Parameters
@@ -104,41 +158,42 @@ class FaceRecognitionPipeline:
         limit:
             Optional cap on the number of images (taken evenly across the
             corpus) to keep run times manageable in tests.
+        batch_size:
+            Recall granularity.  ``None`` (default) solves all images in
+            one batched pass through the amortised crossbar engine;
+            intermediate values chunk the batch.  ``batch_size=1`` runs
+            the legacy per-sample :meth:`classify_image` loop — the
+            reference path the batched engine is benchmarked against.
+            Both paths share the same feature extraction and aggregation
+            code, so on the ideal (no-parasitics) solve path their
+            :class:`PipelineEvaluation` values are bit-identical.
         """
+        if batch_size is not None:
+            check_integer("batch_size", batch_size, minimum=1)
         images = dataset.test_images
         labels = dataset.test_labels
         if limit is not None and limit < len(images):
             indices = np.linspace(0, len(images) - 1, limit).round().astype(int)
             images = images[indices]
             labels = labels[indices]
-        correct = 0
-        accepted = 0
-        ties = 0
-        static_power = 0.0
-        per_class_correct: Dict[int, int] = {}
-        per_class_total: Dict[int, int] = {}
-        for image, label in zip(images, labels):
-            result = self.classify_image(image)
-            label = int(label)
-            per_class_total[label] = per_class_total.get(label, 0) + 1
-            if result.winner == label:
-                correct += 1
-                per_class_correct[label] = per_class_correct.get(label, 0) + 1
-            if result.accepted:
-                accepted += 1
-            if result.tie:
-                ties += 1
-            static_power += result.static_power
+        codes = self.extractor.extract_many(images)
+        winners, accepted, ties, static_power = self.amm.recall_arrays(
+            codes, batch_size
+        )
+        labels = np.asarray(labels, dtype=np.int64)
         count = len(images)
-        per_class_accuracy = {
-            label: per_class_correct.get(label, 0) / total
-            for label, total in per_class_total.items()
-        }
+        correct = winners == labels
+        per_class_accuracy: Dict[int, float] = {}
+        for label in np.unique(labels):
+            mask = labels == label
+            per_class_accuracy[int(label)] = float(
+                np.count_nonzero(correct & mask)
+            ) / int(np.count_nonzero(mask))
         return PipelineEvaluation(
-            accuracy=correct / count,
-            acceptance_rate=accepted / count,
-            tie_rate=ties / count,
-            mean_static_power=static_power / count,
+            accuracy=float(np.count_nonzero(correct)) / count,
+            acceptance_rate=float(np.count_nonzero(accepted)) / count,
+            tie_rate=float(np.count_nonzero(ties)) / count,
+            mean_static_power=float(np.sum(static_power)) / count,
             per_class_accuracy=per_class_accuracy,
             count=count,
         )

@@ -44,6 +44,38 @@ from repro.utils.validation import check_integer, check_positive
 
 
 @dataclass(frozen=True)
+class BatchWtaResult:
+    """Vectorised outcome of a batch of winner-take-all conversions.
+
+    Field names match :class:`WtaResult` with a leading batch axis:
+    ``winner``/``dom_code``/``tie`` have shape ``(B,)``, ``codes`` and
+    ``survivors`` have shape ``(B, columns)`` and ``events`` is one
+    counter dictionary per sample.
+    """
+
+    winner: np.ndarray
+    dom_code: np.ndarray
+    codes: np.ndarray
+    survivors: np.ndarray
+    tie: np.ndarray
+    events: List[Dict[str, int]]
+
+    def __len__(self) -> int:
+        return self.codes.shape[0]
+
+    def result(self, index: int) -> "WtaResult":
+        """The ``index``-th conversion as a scalar :class:`WtaResult`."""
+        return WtaResult(
+            winner=int(self.winner[index]),
+            dom_code=int(self.dom_code[index]),
+            codes=self.codes[index],
+            survivors=self.survivors[index],
+            tie=bool(self.tie[index]),
+            events=self.events[index],
+        )
+
+
+@dataclass(frozen=True)
 class WtaResult:
     """Outcome of one winner-take-all conversion.
 
@@ -270,6 +302,153 @@ class SpinCmosWta:
         )
 
     # ------------------------------------------------------------------ #
+    # Batched conversion
+    # ------------------------------------------------------------------ #
+    def convert_batch(self, column_currents: np.ndarray) -> BatchWtaResult:
+        """Run the SAR conversion plus winner tracking for a whole batch.
+
+        Equivalent, sample by sample, to calling :meth:`convert` on each
+        row of ``column_currents`` in order — including the per-neuron
+        random-stream consumption (latch offsets) and the switching-event
+        counters — but vectorised over the batch.  The fast path applies
+        when the neurons are deterministic comparators (``stochastic``
+        off) and are pre-set every cycle (``reset_neurons`` on, default);
+        otherwise the batch falls back to per-sample conversions, which
+        preserves equivalence by construction.
+
+        Parameters
+        ----------
+        column_currents:
+            Degree-of-match currents (A), shape ``(B, columns)``.
+        """
+        currents = np.asarray(column_currents, dtype=float)
+        if currents.ndim != 2 or currents.shape[1] != self.columns:
+            raise ValueError(
+                f"column_currents must have shape (B, {self.columns}), "
+                f"got {currents.shape}"
+            )
+        if currents.shape[0] == 0:
+            raise ValueError("column_currents batch must not be empty")
+        if self.dwn_config.stochastic or not self.reset_neurons:
+            results = [self.convert(sample) for sample in currents]
+            return BatchWtaResult(
+                winner=np.array([r.winner for r in results], dtype=np.int64),
+                dom_code=np.array([r.dom_code for r in results], dtype=np.int64),
+                codes=np.stack([r.codes for r in results]),
+                survivors=np.stack([r.survivors for r in results]),
+                tie=np.array([r.tie for r in results], dtype=bool),
+                events=[r.events for r in results],
+            )
+        return self._convert_batch_fast(currents)
+
+    def _convert_batch_fast(self, currents: np.ndarray) -> BatchWtaResult:
+        """Vectorised conversion for deterministic, per-cycle-preset neurons.
+
+        With the neuron pre-set to ``-1`` each cycle and stochastic
+        switching off, the comparator decision reduces to
+        ``I_column - I_DAC >= I_threshold`` and the only random element is
+        the latch offset drawn on every read.  Those offsets are pre-drawn
+        per neuron in the exact (sample-major, cycle-minor) order the
+        scalar loop consumes them, which leaves every neuron's generator
+        in the same state as per-sample conversion would.
+        """
+        batch, columns = currents.shape
+        bits = self.resolution_bits
+        threshold = self.dwn_config.threshold_current
+        mtj = self.neurons[0].mtj
+        r_parallel = mtj.resistance(True)
+        r_antiparallel = mtj.resistance(False)
+        r_reference = mtj.reference_resistance()
+        # offsets[b, c, k]: latch offset of neuron c at cycle k of sample b,
+        # drawn in the (sample-major, cycle-minor) order the scalar loop
+        # consumes each neuron's stream.
+        offsets = np.stack(
+            [
+                neuron.draw_read_offsets(batch * bits).reshape(batch, bits)
+                for neuron in self.neurons
+            ],
+            axis=1,
+        )
+
+        # SAR register state, replicated from SuccessiveApproximationRegister.
+        code = np.full((batch, columns), 1 << (bits - 1), dtype=np.int64)
+        previous_trial = code.copy()
+        tracking = np.ones((batch, columns), dtype=bool)
+        #: per-cycle post-evaluation neuron states (+1 == True), (B, C, bits)
+        driven_high = np.empty((batch, columns, bits), dtype=bool)
+        toggle_counts = np.zeros(batch, dtype=np.int64)
+        discharge_counts = np.zeros(batch, dtype=np.int64)
+
+        for cycle in range(bits):
+            bit_index = bits - 1 - cycle
+            dac_currents = (code * self.lsb_current) * self._dac_gains[None, :]
+            delta = currents - dac_currents
+            high = delta >= threshold
+            driven_high[:, :, cycle] = high
+            device_resistance = np.where(high, r_parallel, r_antiparallel)
+            keep = (device_resistance + offsets[:, :, cycle]) < r_reference
+            next_code = np.where(keep, code, code & ~np.int64(1 << bit_index))
+            if bit_index - 1 >= 0:
+                next_code = next_code | np.int64(1 << (bit_index - 1))
+            toggle_counts += np.bitwise_count(previous_trial ^ next_code).sum(
+                axis=1, dtype=np.int64
+            )
+            previous_trial = next_code
+            code = next_code
+            discharge = tracking & keep
+            fired = discharge.any(axis=1)
+            discharge_counts += fired
+            tracking = np.where(fired[:, None], discharge, tracking)
+
+        # Switching-event accounting: the per-cycle preset flips the state
+        # back to -1 whenever the previous cycle drove it high, and the
+        # evaluation flips it high whenever the drive exceeds threshold.
+        # The carry into each sample's first cycle is the neuron state left
+        # by the previous sample (or the neuron's state at batch entry).
+        carry = np.empty((batch, columns), dtype=bool)
+        carry[0] = np.array([neuron.state == 1 for neuron in self.neurons])
+        if batch > 1:
+            carry[1:] = driven_high[:-1, :, -1]
+        reset_flips = carry.astype(np.int64) + driven_high[:, :, :-1].sum(
+            axis=2, dtype=np.int64
+        )
+        apply_flips = driven_high.sum(axis=2, dtype=np.int64)
+        per_sample_switches = (reset_flips + apply_flips).sum(axis=1)
+        per_neuron_switches = (reset_flips + apply_flips).sum(axis=0)
+        final_high = driven_high[:, :, -1]
+        for index, neuron in enumerate(self.neurons):
+            neuron.apply_batch_outcome(
+                1 if final_high[-1, index] else -1,
+                int(per_neuron_switches[index]),
+            )
+
+        survivors = tracking
+        masked = np.where(survivors, code, np.int64(-1))
+        winner = masked.argmax(axis=1).astype(np.int64)
+        dom_code = code[np.arange(batch), winner]
+        tie = (masked == dom_code[:, None]).sum(axis=1) > 1
+        events = [
+            {
+                "latch_senses": columns * bits,
+                "sar_bit_writes": columns + int(toggle_counts[index]),
+                "dac_transitions": int(toggle_counts[index]),
+                "dwn_switches": int(per_sample_switches[index]),
+                "tracking_writes": int(discharge_counts[index]),
+                "detection_discharges": int(discharge_counts[index]),
+                "detection_precharges": bits,
+            }
+            for index in range(batch)
+        ]
+        return BatchWtaResult(
+            winner=winner,
+            dom_code=dom_code,
+            codes=code,
+            survivors=survivors,
+            tie=tie,
+            events=events,
+        )
+
+    # ------------------------------------------------------------------ #
     # Reference behaviour
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -300,4 +479,37 @@ class SpinCmosWta:
             survivors=codes == codes[winner],
             tie=tie,
             events={},
+        )
+
+    @staticmethod
+    def ideal_batch(
+        column_currents: np.ndarray,
+        resolution_bits: int,
+        full_scale_current: float,
+    ) -> BatchWtaResult:
+        """Vectorised :meth:`ideal` over a ``(B, columns)`` current batch.
+
+        All operations are element-wise or per-row, so every sample's
+        codes, winner and tie flag are bit-identical to a scalar
+        :meth:`ideal` call on that sample.
+        """
+        check_integer("resolution_bits", resolution_bits, minimum=1)
+        check_positive("full_scale_current", full_scale_current)
+        currents = np.asarray(column_currents, dtype=float)
+        if currents.ndim != 2:
+            raise ValueError("column_currents must be 2-D (B x columns)")
+        levels = 2**resolution_bits
+        lsb = full_scale_current / levels
+        codes = np.clip(np.floor(currents / lsb), 0, levels - 1).astype(np.int64)
+        winner = codes.argmax(axis=1).astype(np.int64)
+        dom_code = codes[np.arange(codes.shape[0]), winner]
+        survivors = codes == dom_code[:, None]
+        tie = survivors.sum(axis=1) > 1
+        return BatchWtaResult(
+            winner=winner,
+            dom_code=dom_code,
+            codes=codes,
+            survivors=survivors,
+            tie=tie,
+            events=[{} for _ in range(codes.shape[0])],
         )

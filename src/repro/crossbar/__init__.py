@@ -22,6 +22,7 @@ Modules
 """
 
 from repro.crossbar.array import ResistiveCrossbar
+from repro.crossbar.batched import BatchCrossbarSolution, BatchedCrossbarEngine
 from repro.crossbar.parasitics import WireParasitics
 from repro.crossbar.programming import TemplateProgrammer
 from repro.crossbar.solver import CrossbarSolution, CrossbarSolver
@@ -32,4 +33,6 @@ __all__ = [
     "TemplateProgrammer",
     "CrossbarSolver",
     "CrossbarSolution",
+    "BatchedCrossbarEngine",
+    "BatchCrossbarSolution",
 ]

@@ -1,0 +1,262 @@
+"""Batched evaluation engine for the resistive crossbar.
+
+:class:`BatchedCrossbarEngine` solves whole *batches* of input vectors
+against one programmed crossbar, amortising everything that does not
+depend on the input across the batch:
+
+* **Ideal path** (no wire resistance): each sample reduces to the
+  closed-form current divider of Section 4-A.  The per-sample arithmetic
+  is kept operation-for-operation identical to
+  :meth:`~repro.crossbar.solver.CrossbarSolver.solve_ideal`, so batched
+  results are bit-identical to per-sample solves.
+
+* **Parasitic path** (full MNA network): the per-sample MNA matrices
+  differ *only* in the DAC source conductances stamped on the ``rows``
+  driven nodes — a diagonal, input-dependent update of a fixed network.
+  The engine factorises the static network ``A0`` once (sparse LU) and
+  applies the Woodbury identity per sample::
+
+      (A0 + U D U^T)^{-1} b  =  A0^{-1} b - Z (I + D W)^{-1} D U^T A0^{-1} b
+
+  with ``Z = A0^{-1} U`` and ``W = U^T Z`` precomputed.  Because the
+  right-hand side is supported on the same driven nodes (``b = U·ΔV·d``)
+  and only the column terminations and driven nodes are observed, each
+  sample costs one dense ``rows x rows`` solve plus two small matvecs —
+  about 200x cheaper than re-assembling and re-factorising the
+  10 240-node reference network.  The ``(I + D W)`` formulation (rather
+  than the textbook ``(D^{-1} + W)``) keeps zero-valued DAC conductances
+  (undriven rows) well defined.
+
+The Woodbury path agrees with the direct sparse solve to solver
+precision (relative error ~1e-13 on the reference design); the discrete
+recognition outputs (winner, DOM codes, tie flags) are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import splu
+
+from repro.crossbar.array import ResistiveCrossbar
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BatchCrossbarSolution:
+    """Column currents and supply draw for a batch of crossbar solves.
+
+    Attributes
+    ----------
+    column_currents:
+        Output current (A) per sample and column, shape ``(B, columns)``.
+    supply_current:
+        Current (A) drawn from the ΔV supply per sample, shape ``(B,)``.
+    delta_v:
+        Terminal voltage used for the solves (V).
+    """
+
+    column_currents: np.ndarray
+    supply_current: np.ndarray
+    delta_v: float
+
+    @property
+    def static_power(self) -> np.ndarray:
+        """Static power (W) drawn from the ΔV supply, shape ``(B,)``."""
+        return self.supply_current * self.delta_v
+
+    def __len__(self) -> int:
+        return self.column_currents.shape[0]
+
+
+class BatchedCrossbarEngine:
+    """Amortised many-input DC evaluation of one programmed crossbar.
+
+    Parameters
+    ----------
+    crossbar:
+        The programmed :class:`~repro.crossbar.array.ResistiveCrossbar`.
+    delta_v:
+        Terminal voltage of the DTCS supply above the clamp rail (V).
+    termination_resistance:
+        Input resistance (Ω) of the column clamp (already floored to the
+        solver minimum by the caller).
+    """
+
+    def __init__(
+        self,
+        crossbar: ResistiveCrossbar,
+        delta_v: float,
+        termination_resistance: float,
+    ) -> None:
+        check_positive("delta_v", delta_v)
+        check_positive("termination_resistance", termination_resistance)
+        self.crossbar = crossbar
+        self.delta_v = delta_v
+        self.termination_resistance = termination_resistance
+        # Ideal-path state (cheap, always prepared).
+        self._conductances = crossbar.conductances
+        self._row_totals = crossbar.row_total_conductances()
+        # Parasitic-path state, built lazily on the first parasitic batch.
+        self._woodbury_ready = False
+
+    # ------------------------------------------------------------------ #
+    # Ideal path
+    # ------------------------------------------------------------------ #
+    def solve_ideal_batch(self, dac_conductances: np.ndarray) -> BatchCrossbarSolution:
+        """Closed-form solves for a ``(B, rows)`` DAC-conductance batch.
+
+        Matches :meth:`CrossbarSolver.solve_ideal` bit-for-bit: the row
+        voltages and the supply reduction are element-wise operations
+        (identical batched or not) and the column projection is done with
+        one mat-vec per sample, because a single batched GEMM rounds
+        differently from the per-sample GEMV used by the scalar solver.
+        """
+        dac = self._check_batch(dac_conductances)
+        row_v = self.delta_v * dac / (dac + self._row_totals[None, :])
+        column_currents = np.empty((dac.shape[0], self.crossbar.columns))
+        for b in range(dac.shape[0]):
+            column_currents[b] = row_v[b] @ self._conductances
+        supply = np.sum(dac * (self.delta_v - row_v), axis=1)
+        return BatchCrossbarSolution(
+            column_currents=column_currents,
+            supply_current=supply,
+            delta_v=self.delta_v,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Parasitic path (Woodbury update of the static network)
+    # ------------------------------------------------------------------ #
+    def _build_woodbury(self) -> None:
+        """Factorise the static network and precompute the update operators."""
+        crossbar = self.crossbar
+        rows, cols = crossbar.rows, crossbar.columns
+        conductances = self._conductances
+        dummy = crossbar.dummy_conductances
+        g_wire = 1.0 / crossbar.parasitics.segment_resistance
+        g_term = 1.0 / self.termination_resistance
+        n_nodes = 2 * rows * cols
+
+        entries_i = []
+        entries_j = []
+        entries_v = []
+
+        def stamp(a: np.ndarray, b, g: np.ndarray) -> None:
+            entries_i.append(a)
+            entries_j.append(a)
+            entries_v.append(g)
+            if b is not None:
+                entries_i.append(b)
+                entries_j.append(b)
+                entries_v.append(g)
+                entries_i.append(a)
+                entries_j.append(b)
+                entries_v.append(-g)
+                entries_i.append(b)
+                entries_j.append(a)
+                entries_v.append(-g)
+
+        row_first = np.arange(rows) * cols  # row_node(i, 0)
+        # Dummy memristors terminating the driven row ends at the clamp rail.
+        stamp(row_first, None, np.asarray(dummy, dtype=float))
+        # Row wire segments.
+        row_left = (np.arange(rows)[:, None] * cols + np.arange(cols - 1)[None, :]).ravel()
+        stamp(row_left, row_left + 1, np.full(rows * (cols - 1), g_wire))
+        # Memristors between row and column bars.
+        cross = np.arange(rows * cols)
+        stamp(cross, rows * cols + cross, conductances.ravel())
+        # Column wire segments.
+        col_upper = (
+            rows * cols
+            + (np.arange(rows - 1)[:, None] * cols + np.arange(cols)[None, :]).ravel()
+        )
+        stamp(col_upper, col_upper + cols, np.full((rows - 1) * cols, g_wire))
+        # Column terminations (spin-neuron clamp) at the last row end.
+        col_last = rows * cols + (rows - 1) * cols + np.arange(cols)
+        stamp(col_last, None, np.full(cols, g_term))
+
+        base = sparse.coo_matrix(
+            (
+                np.concatenate(entries_v),
+                (np.concatenate(entries_i), np.concatenate(entries_j)),
+            ),
+            shape=(n_nodes, n_nodes),
+        ).tocsc()
+        lu = splu(base)
+        # Z = A0^{-1} U where U selects the driven row-end nodes.
+        selector = np.zeros((n_nodes, rows))
+        selector[row_first, np.arange(rows)] = 1.0
+        z_matrix = lu.solve(selector)
+        #: ``W = U^T A0^{-1} U`` — response of the driven nodes to themselves.
+        self._w_matrix = np.ascontiguousarray(z_matrix[row_first, :])
+        #: Response of the column terminations to the driven nodes.
+        self._z_outputs = np.ascontiguousarray(z_matrix[col_last, :])
+        self._g_term = g_term
+        self._identity = np.eye(rows)
+        self._woodbury_ready = True
+
+    #: Samples per stacked LAPACK call: bounds the transient ``(chunk,
+    #: rows, rows)`` system tensor to a few MB for the reference design.
+    WOODBURY_CHUNK = 64
+
+    def solve_parasitic_batch(self, dac_conductances: np.ndarray) -> BatchCrossbarSolution:
+        """Woodbury solves of the full MNA network for a ``(B, rows)`` batch.
+
+        The per-sample ``(I + D W)`` systems are solved as one stacked
+        ``numpy.linalg.solve`` call per chunk and the small projections
+        as batched GEMMs, so the hot path spends its time in LAPACK/BLAS
+        rather than a Python loop.
+        """
+        if self.crossbar.parasitics.segment_resistance == 0.0:
+            return self.solve_ideal_batch(dac_conductances)
+        dac = self._check_batch(dac_conductances)
+        if not self._woodbury_ready:
+            self._build_woodbury()
+        batch = dac.shape[0]
+        column_currents = np.empty((batch, self.crossbar.columns))
+        supply = np.empty(batch)
+        w_matrix = self._w_matrix
+        z_outputs = self._z_outputs
+        delta_v = self.delta_v
+        for start in range(0, batch, self.WOODBURY_CHUNK):
+            d = dac[start : start + self.WOODBURY_CHUNK]
+            injection = d * delta_v
+            base_driven = injection @ w_matrix.T
+            systems = self._identity[None, :, :] + d[:, :, None] * w_matrix[None, :, :]
+            corrections = np.linalg.solve(
+                systems, (d * base_driven)[:, :, None]
+            )[:, :, 0]
+            v_driven = base_driven - corrections @ w_matrix.T
+            v_outputs = (injection - corrections) @ z_outputs.T
+            stop = start + d.shape[0]
+            column_currents[start:stop] = self._g_term * v_outputs
+            supply[start:stop] = np.sum(d * (delta_v - v_driven), axis=1)
+        return BatchCrossbarSolution(
+            column_currents=column_currents,
+            supply_current=supply,
+            delta_v=delta_v,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def solve_batch(
+        self, dac_conductances: np.ndarray, include_parasitics: bool = True
+    ) -> BatchCrossbarSolution:
+        """Solve a batch through the ideal or parasitic path."""
+        if include_parasitics:
+            return self.solve_parasitic_batch(dac_conductances)
+        return self.solve_ideal_batch(dac_conductances)
+
+    def _check_batch(self, dac_conductances: np.ndarray) -> np.ndarray:
+        dac = np.asarray(dac_conductances, dtype=float)
+        if dac.ndim != 2 or dac.shape[1] != self.crossbar.rows:
+            raise ValueError(
+                f"dac_conductances must have shape (B, {self.crossbar.rows}), "
+                f"got {dac.shape}"
+            )
+        if np.any(dac < 0):
+            raise ValueError("DAC conductances must be non-negative")
+        return dac

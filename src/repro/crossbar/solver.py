@@ -29,6 +29,7 @@ from scipy import sparse
 from scipy.sparse.linalg import spsolve
 
 from repro.crossbar.array import ResistiveCrossbar
+from repro.crossbar.batched import BatchCrossbarSolution, BatchedCrossbarEngine
 from repro.utils.validation import check_positive, check_shape
 
 #: Effective termination resistance used when the column clamp is ideal.
@@ -114,6 +115,7 @@ class CrossbarSolver:
         self.termination_resistance = max(
             termination_resistance, MIN_TERMINATION_RESISTANCE_OHM
         )
+        self._batch_engine: Optional[BatchedCrossbarEngine] = None
 
     # ------------------------------------------------------------------ #
     # Ideal solve
@@ -248,6 +250,36 @@ class CrossbarSolver:
             column_voltages=column_voltages,
             supply_current=supply_current,
             delta_v=self.delta_v,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batched solves
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_engine(self) -> BatchedCrossbarEngine:
+        """The lazily built batched engine bound to this solver's network."""
+        if self._batch_engine is None:
+            self._batch_engine = BatchedCrossbarEngine(
+                self.crossbar,
+                delta_v=self.delta_v,
+                termination_resistance=self.termination_resistance,
+            )
+        return self._batch_engine
+
+    def solve_batch(
+        self,
+        dac_conductances: np.ndarray,
+        include_parasitics: bool = True,
+    ) -> BatchCrossbarSolution:
+        """Solve a whole ``(B, rows)`` batch of DAC-conductance vectors.
+
+        The ideal path reproduces :meth:`solve_ideal` bit-for-bit per
+        sample; the parasitic path uses the Woodbury update of the static
+        network (see :mod:`repro.crossbar.batched`), which matches
+        :meth:`solve` to solver precision at a fraction of the cost.
+        """
+        return self.batch_engine.solve_batch(
+            dac_conductances, include_parasitics=include_parasitics
         )
 
     # ------------------------------------------------------------------ #

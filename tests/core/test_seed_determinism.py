@@ -1,0 +1,170 @@
+"""Seed-determinism regression tests for the batched recall engine.
+
+The same master seed must produce the same evaluation no matter how the
+work is batched:
+
+* a pipeline built twice from one seed yields a **bit-identical**
+  :class:`PipelineEvaluation` whether the corpus is recalled per sample
+  (``batch_size=1``), in chunks, or in one batched pass — on the ideal
+  solve path where the two recall engines share their arithmetic
+  exactly;
+* on the default parasitic path the discrete statistics (accuracy,
+  acceptance, ties, per-class accuracy, count) are identical across
+  batch sizes and the mean static power agrees to solver precision;
+* a :class:`MonteCarloSummary` is invariant under trial chunking,
+  because the per-trial generators are derived from the master seed
+  before any chunking happens.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import MonteCarloRunner
+from repro.core.pipeline import build_pipeline
+from repro.datasets.attlike import load_default_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_default_dataset(
+        subjects=6, images_per_subject=4, image_shape=(64, 48), seed=11
+    )
+
+
+def small_parameters():
+    from repro.core.config import DesignParameters
+
+    return DesignParameters(template_shape=(8, 4), num_templates=6)
+
+
+def evaluate(dataset, batch_size, include_parasitics, seed=13):
+    pipeline = build_pipeline(
+        dataset,
+        parameters=small_parameters(),
+        include_parasitics=include_parasitics,
+        seed=seed,
+    )
+    return pipeline.evaluate(dataset, batch_size=batch_size)
+
+
+class TestPipelineEvaluationDeterminism:
+    @pytest.mark.parametrize("batch_size", [None, 7, 32])
+    def test_ideal_path_bit_identical_to_per_sample(self, dataset, batch_size):
+        per_sample = evaluate(dataset, 1, include_parasitics=False)
+        batched = evaluate(dataset, batch_size, include_parasitics=False)
+        assert dataclasses.asdict(per_sample) == dataclasses.asdict(batched)
+
+    @pytest.mark.parametrize("batch_size", [None, 7, 32])
+    def test_parasitic_path_statistics_identical(self, dataset, batch_size):
+        per_sample = evaluate(dataset, 1, include_parasitics=True)
+        batched = evaluate(dataset, batch_size, include_parasitics=True)
+        assert per_sample.accuracy == batched.accuracy
+        assert per_sample.acceptance_rate == batched.acceptance_rate
+        assert per_sample.tie_rate == batched.tie_rate
+        assert per_sample.per_class_accuracy == batched.per_class_accuracy
+        assert per_sample.count == batched.count
+        np.testing.assert_allclose(
+            per_sample.mean_static_power, batched.mean_static_power, rtol=1e-9
+        )
+
+    def test_same_seed_same_batched_evaluation(self, dataset):
+        a = evaluate(dataset, None, include_parasitics=False, seed=13)
+        b = evaluate(dataset, None, include_parasitics=False, seed=13)
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_different_seed_changes_hardware(self, dataset):
+        a = evaluate(dataset, None, include_parasitics=True, seed=13)
+        b = evaluate(dataset, None, include_parasitics=True, seed=14)
+        assert a.mean_static_power != b.mean_static_power
+
+    def test_amm_evaluate_matches_across_batch_sizes(self, dataset):
+        pipeline = build_pipeline(
+            dataset,
+            parameters=small_parameters(),
+            include_parasitics=False,
+            seed=5,
+        )
+        codes = pipeline.extractor.extract_many(dataset.test_images)
+        labels = dataset.test_labels
+        per_sample = build_pipeline(
+            dataset,
+            parameters=small_parameters(),
+            include_parasitics=False,
+            seed=5,
+        ).amm.evaluate(codes, labels, batch_size=1)
+        batched = pipeline.amm.evaluate(codes, labels, batch_size=9)
+        assert per_sample == batched
+
+
+class TestHardwareMatchingAccuracy:
+    def test_matches_pipeline_evaluation(self, dataset):
+        from repro.analysis.accuracy import hardware_matching_accuracy
+
+        pipeline = build_pipeline(
+            dataset,
+            parameters=small_parameters(),
+            include_parasitics=False,
+            seed=13,
+        )
+        evaluation = evaluate(dataset, None, include_parasitics=False, seed=13)
+        point = hardware_matching_accuracy(pipeline, dataset, batch_size=8)
+        assert point.accuracy == evaluation.accuracy
+        assert point.tie_rate == evaluation.tie_rate
+        assert point.parameter == 8 * 4
+        assert "spin-CMOS hardware" in point.label
+
+
+class TestEmptyBatchRejected:
+    def test_recognise_batch_rejects_empty(self, dataset):
+        import numpy as np
+
+        pipeline = build_pipeline(
+            dataset, parameters=small_parameters(), seed=13
+        )
+        features = pipeline.amm.crossbar.rows
+        with pytest.raises(ValueError, match="must not be empty"):
+            pipeline.amm.recognise_batch(np.empty((0, features), dtype=int))
+        with pytest.raises(ValueError, match="must not be empty"):
+            pipeline.amm.recognise_ideal_batch(np.empty((0, features), dtype=int))
+        with pytest.raises(ValueError, match="must not be empty"):
+            pipeline.amm.wta.convert_batch(
+                np.empty((0, pipeline.amm.wta.columns))
+            )
+
+
+class TestMonteCarloChunkingInvariance:
+    @staticmethod
+    def batch_trial(generators):
+        return [float(generator.random()) for generator in generators]
+
+    @pytest.mark.parametrize("chunk_size", [None, 1, 3, 7, 16])
+    def test_summary_invariant_under_chunking(self, chunk_size):
+        reference = MonteCarloRunner(
+            batch_trial=self.batch_trial, trials=16, seed=8
+        ).run()
+        chunked = MonteCarloRunner(
+            batch_trial=self.batch_trial, trials=16, seed=8, chunk_size=chunk_size
+        ).run()
+        assert np.array_equal(reference.values, chunked.values)
+        assert reference.mean == chunked.mean
+        assert reference.std == chunked.std
+
+    def test_batch_trial_matches_scalar_trial(self):
+        scalar = MonteCarloRunner(lambda rng: rng.random(), trials=12, seed=9).run()
+        batched = MonteCarloRunner(
+            batch_trial=self.batch_trial, trials=12, seed=9, chunk_size=5
+        ).run()
+        assert np.array_equal(scalar.values, batched.values)
+
+    def test_batch_trial_length_mismatch_rejected(self):
+        runner = MonteCarloRunner(
+            batch_trial=lambda generators: [0.0], trials=4, seed=1
+        )
+        with pytest.raises(ValueError):
+            runner.run()
+
+    def test_missing_trial_rejected(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner(trials=4, seed=1)

@@ -1,0 +1,1 @@
+"""Test package: unique, fully-qualified test-module names."""
