@@ -1,0 +1,214 @@
+"""End-to-end serving benchmark: offered load through the HTTP path.
+
+Boots the micro-batching recognition service (``repro.serving``) on the
+reference 128x40 pipeline and measures what a client actually sees
+through ``POST /recognise``:
+
+* an **offered-load sweep**: end-to-end images/second and latency
+  percentiles versus client concurrency, with the micro-batcher
+  coalescing concurrent requests into engine batches;
+* a **batch-window sweep**: the same load under different ``max_wait``
+  windows (0 = dispatch immediately), the knob trading tail latency for
+  batch fill;
+* the **batch_size=1 dispatch reference**: the same service shape but
+  every request dispatched through the legacy per-sample sparse solve
+  (the repository-wide ``batch_size=1`` convention) — the baseline the
+  micro-batching speedup is asserted against.
+
+The measured trajectory is written to ``BENCH_serving.json`` at the
+repository root (uploaded as a CI artifact next to
+``BENCH_throughput.json``) so the serving headline can be tracked across
+commits.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.serving import (
+    RecognitionClient,
+    RecognitionService,
+    run_load,
+    start_server,
+    stop_server,
+)
+
+#: Where the serving trajectory is persisted.
+OUTPUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+#: Micro-batching configuration under test.
+MAX_BATCH_SIZE = 64
+MAX_WAIT_SECONDS = 2e-3
+WORKERS = 2
+
+#: Offered-load sweep: concurrent client threads.
+CONCURRENCY_SWEEP = (1, 4, 16)
+#: Batch-window sweep (seconds) at fixed concurrency.
+WINDOW_SWEEP = (0.0, 2e-3, 8e-3)
+WINDOW_CONCURRENCY = 8
+#: Code vectors per HTTP request (an edge node aggregating its users);
+#: each vector is queued as an independent recall request.
+IMAGES_PER_REQUEST = 16
+REQUESTS_PER_POINT = 96
+
+#: The slow reference: requests dispatched one sparse MNA solve at a time.
+BATCH1_REQUESTS = 12
+BATCH1_IMAGES_PER_REQUEST = 2
+
+#: The PR's headline requirements.
+REQUIRED_SPEEDUP = 10.0
+REQUIRED_IMAGES_PER_SECOND = 1000.0
+
+
+@pytest.fixture(scope="module")
+def recall_codes(full_pipeline, full_dataset):
+    """Pre-extracted feature codes of the whole test corpus."""
+    return full_pipeline.extractor.extract_many(full_dataset.test_images)
+
+
+def _measure(service, codes, requests, concurrency, images_per_request):
+    server = start_server(service, port=0)
+    try:
+        report = run_load(
+            "127.0.0.1",
+            server.port,
+            codes,
+            requests=requests,
+            concurrency=concurrency,
+            images_per_request=images_per_request,
+        )
+        with RecognitionClient("127.0.0.1", server.port) as client:
+            stats = client.stats()
+    finally:
+        stop_server(server)
+    assert report.errors == 0 and report.rejected == 0
+    point = report.as_dict()
+    point["server"] = {
+        "mean_batch_fill": stats["batches"]["mean_fill"],
+        "batches_dispatched": stats["batches"]["dispatched"],
+        "queue_depth_max": stats["queue_depth"]["max"],
+        "p99_ms": stats["latency"]["p99_ms"],
+    }
+    return point
+
+
+def test_http_serving_throughput(full_pipeline, full_dataset, recall_codes, write_result):
+    amm = full_pipeline.amm
+
+    # batch_size=1 dispatch: the legacy per-sample reference, measured on a
+    # small request budget because each image is a full sparse MNA solve.
+    batch1_service = RecognitionService(
+        amm,
+        max_batch_size=1,
+        max_wait=0.0,
+        workers=WORKERS,
+        legacy_per_sample=True,
+    )
+    batch1 = _measure(
+        batch1_service,
+        recall_codes,
+        requests=BATCH1_REQUESTS,
+        concurrency=4,
+        images_per_request=BATCH1_IMAGES_PER_REQUEST,
+    )
+
+    def micro_batched_service(max_wait=MAX_WAIT_SECONDS):
+        return RecognitionService(
+            amm,
+            max_batch_size=MAX_BATCH_SIZE,
+            max_wait=max_wait,
+            workers=WORKERS,
+        )
+
+    concurrency_sweep = []
+    for concurrency in CONCURRENCY_SWEEP:
+        point = _measure(
+            micro_batched_service(),
+            recall_codes,
+            requests=REQUESTS_PER_POINT,
+            concurrency=concurrency,
+            images_per_request=IMAGES_PER_REQUEST,
+        )
+        concurrency_sweep.append(point)
+
+    window_sweep = []
+    for max_wait in WINDOW_SWEEP:
+        point = _measure(
+            micro_batched_service(max_wait=max_wait),
+            recall_codes,
+            requests=REQUESTS_PER_POINT,
+            concurrency=WINDOW_CONCURRENCY,
+            images_per_request=IMAGES_PER_REQUEST,
+        )
+        point["max_wait_seconds"] = max_wait
+        window_sweep.append(point)
+
+    best = max(concurrency_sweep + window_sweep, key=lambda p: p["images_per_second"])
+    speedup = best["images_per_second"] / batch1["images_per_second"]
+    payload = {
+        "array": {"rows": amm.crossbar.rows, "columns": amm.crossbar.columns},
+        "service": {
+            "max_batch_size": MAX_BATCH_SIZE,
+            "max_wait_seconds": MAX_WAIT_SECONDS,
+            "workers": WORKERS,
+        },
+        "batch1_dispatch": batch1,
+        "concurrency_sweep": concurrency_sweep,
+        "window_sweep": window_sweep,
+        "best": best,
+        "speedup_vs_batch1_dispatch": speedup,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"batch1 dispatch: {batch1['images_per_second']:8.1f} images/s "
+        f"(p99 {batch1['latency']['p99_ms']:7.1f} ms)",
+    ]
+    for point in concurrency_sweep:
+        lines.append(
+            f"concurrency={point['concurrency']:<3d}  "
+            f"{point['images_per_second']:8.1f} images/s "
+            f"(p99 {point['latency']['p99_ms']:6.1f} ms, "
+            f"fill {point['server']['mean_batch_fill']:.1f})"
+        )
+    for point in window_sweep:
+        lines.append(
+            f"window={point['max_wait_seconds'] * 1e3:4.1f} ms     "
+            f"{point['images_per_second']:8.1f} images/s "
+            f"(p99 {point['latency']['p99_ms']:6.1f} ms, "
+            f"fill {point['server']['mean_batch_fill']:.1f})"
+        )
+    lines.append(f"micro-batching speedup vs batch1 dispatch: {speedup:.1f}x")
+    write_result("serving", "\n".join(lines))
+
+    assert best["images_per_second"] >= REQUIRED_IMAGES_PER_SECOND, (
+        f"HTTP serving reached only {best['images_per_second']:.0f} images/s "
+        f"(required {REQUIRED_IMAGES_PER_SECOND:.0f})"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"micro-batching reached only {speedup:.1f}x over batch_size=1 dispatch "
+        f"(required {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def test_served_results_match_offline_recall(full_pipeline, recall_codes):
+    """The HTTP path returns exactly what the seeded engine returns offline."""
+    amm = full_pipeline.amm
+    subset = recall_codes[:24]
+    seeds = list(range(24))
+    service = RecognitionService(amm, max_batch_size=16, max_wait=1e-3, workers=WORKERS)
+    server = start_server(service, port=0)
+    try:
+        with RecognitionClient("127.0.0.1", server.port) as client:
+            served = client.recognise_many(subset, seeds=seeds)
+    finally:
+        stop_server(server)
+    reference = amm.recognise_batch_seeded(subset, seeds)
+    for index, result in enumerate(served):
+        assert result["winner"] == reference[index].winner
+        assert result["dom_code"] == reference[index].dom_code
+        assert result["accepted"] == reference[index].accepted
+        assert result["tie"] == reference[index].tie

@@ -33,6 +33,15 @@ The package is organised around the systems described in the paper:
     Accuracy, detection-margin, power/energy and process-variation
     analyses that regenerate every table and figure of the evaluation.
 
+``repro.serving``
+    The online-traffic layer: a micro-batching recognition service with
+    a sharded worker pool (one pre-factorised crossbar engine per
+    worker), a stdlib JSON HTTP API (``POST /recognise``,
+    ``GET /healthz``, ``GET /stats``) and an offered-load generator —
+    ``python -m repro serve`` / ``loadtest``.  Per-request seeds name
+    private random substreams, so served results are independent of
+    arrival order, micro-batch composition and worker count.
+
 Quickstart
 ----------
 

@@ -11,7 +11,14 @@ without writing any code:
   images end to end (``--batch-size`` selects the recall granularity;
   1 = legacy per-sample loop);
 * ``throughput`` — evaluate the corpus through the batched recall engine
-  and report images/second.
+  and report images/second;
+* ``serve`` — boot the micro-batching recognition service
+  (:mod:`repro.serving`) behind its JSON HTTP API (``POST /recognise``,
+  ``GET /healthz``, ``GET /stats``) and serve until interrupted;
+* ``loadtest`` — drive an offered-load experiment (concurrent clients,
+  multi-image requests) against ``--url`` or against a server booted
+  in-process, and report end-to-end images/second with latency
+  percentiles plus the server-side ``/stats`` summary.
 
 Every command prints a plain-text table (the same formatters the
 benchmarks use) and returns a process exit code of 0 on success.
@@ -129,6 +136,125 @@ def _command_throughput(arguments: argparse.Namespace) -> str:
     return format_table(["Quantity", "Value"], rows)
 
 
+def _build_service(arguments: argparse.Namespace):
+    """Build the pipeline named by the CLI flags and wrap it in a service."""
+    from repro.serving import RecognitionService
+
+    dataset = load_default_dataset(subjects=arguments.subjects, seed=arguments.seed)
+    pipeline = build_pipeline(dataset, seed=arguments.seed)
+    service = RecognitionService(
+        pipeline.amm,
+        max_batch_size=arguments.max_batch_size,
+        max_wait=arguments.max_wait_ms * 1e-3,
+        max_queue_depth=arguments.queue_depth,
+        workers=arguments.workers,
+        legacy_per_sample=getattr(arguments, "per_sample", False),
+    )
+    return dataset, pipeline, service
+
+
+def _command_serve(arguments: argparse.Namespace) -> str:
+    from repro.serving import start_server, stop_server
+
+    _, _, service = _build_service(arguments)
+    server = start_server(service, host=arguments.host, port=arguments.port)
+    print(
+        f"serving {service.amm.crossbar.rows}x{service.amm.crossbar.columns} "
+        f"recognition on http://{arguments.host}:{server.port} "
+        f"(workers={arguments.workers}, max_batch_size={arguments.max_batch_size}, "
+        f"max_wait={arguments.max_wait_ms} ms); Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop_server(server)
+    return "server stopped"
+
+
+def _command_loadtest(arguments: argparse.Namespace) -> str:
+    from urllib.parse import urlparse
+
+    from repro.serving import run_load, RecognitionClient, start_server, stop_server
+
+    server = None
+    if arguments.url:
+        url = arguments.url if "//" in arguments.url else f"http://{arguments.url}"
+        parsed = urlparse(url)
+        if not parsed.hostname:
+            raise SystemExit(f"loadtest: cannot parse host from --url {arguments.url!r}")
+        host, port = parsed.hostname, parsed.port or 80
+        # Only the feature extractor is needed to generate request codes
+        # for a remote server — skip the (dominant) AMM construction cost.
+        from repro.core.pipeline import default_extractor
+
+        dataset = load_default_dataset(subjects=arguments.subjects, seed=arguments.seed)
+        extractor = default_extractor()
+    else:
+        dataset, pipeline, service = _build_service(arguments)
+        extractor = pipeline.extractor
+        server = start_server(service, host="127.0.0.1", port=0)
+        host, port = "127.0.0.1", server.port
+    codes = extractor.extract_many(dataset.test_images)
+    try:
+        report = run_load(
+            host,
+            port,
+            codes,
+            requests=arguments.requests,
+            concurrency=arguments.concurrency,
+            images_per_request=arguments.images_per_request,
+            base_seed=arguments.seed,
+        )
+        with RecognitionClient(host, port) as client:
+            stats = client.stats()
+    finally:
+        if server is not None:
+            stop_server(server)
+    latency = report.latency_percentiles()
+    rows = [
+        ["Requests", str(report.requests)],
+        ["Concurrency", str(report.concurrency)],
+        ["Images/request", str(report.images_per_request)],
+        ["Images recalled", str(report.images)],
+        ["Elapsed", f"{report.elapsed_seconds:.3f} s"],
+        ["Throughput", f"{report.images_per_second:.1f} images/s"],
+        ["Latency p50", f"{latency['p50_ms']:.2f} ms"],
+        ["Latency p90", f"{latency['p90_ms']:.2f} ms"],
+        ["Latency p99", f"{latency['p99_ms']:.2f} ms"],
+        ["Errors / rejected", f"{report.errors} / {report.rejected}"],
+        ["Server batches", str(stats["batches"]["dispatched"])],
+        ["Server mean batch fill", f"{stats['batches']['mean_fill']:.1f}"],
+        ["Server queue depth max", str(stats["queue_depth"]["max"])],
+        ["Server p99 latency", f"{stats['latency']['p99_ms']:.2f} ms"],
+    ]
+    return format_table(["Quantity", "Value"], rows)
+
+
+def _add_serving_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--subjects", type=int, default=40, help="stored classes")
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument(
+        "--max-batch-size", type=int, default=64, help="largest micro-batch dispatched"
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch window after the first request arrives (ms)",
+    )
+    parser.add_argument("--workers", type=int, default=1, help="worker pool shards")
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=1024,
+        help="queued requests beyond which submissions are rejected (HTTP 429)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` command."""
     parser = argparse.ArgumentParser(
@@ -186,6 +312,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="recall granularity; 1 = legacy per-sample loop",
     )
     throughput.set_defaults(handler=_command_throughput)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve recognition over HTTP with micro-batched recall"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 = ephemeral port")
+    _add_serving_options(serve)
+    serve.set_defaults(handler=_command_serve)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="offered-load sweep against the recognition server"
+    )
+    loadtest.add_argument(
+        "--url",
+        default=None,
+        help="target server (default: boot one in-process on an ephemeral port)",
+    )
+    loadtest.add_argument("--requests", type=int, default=200, help="HTTP requests to send")
+    loadtest.add_argument("--concurrency", type=int, default=8, help="client threads")
+    loadtest.add_argument(
+        "--images-per-request",
+        type=int,
+        default=16,
+        help="code vectors per request; each is queued as its own recall",
+    )
+    loadtest.add_argument(
+        "--per-sample",
+        action="store_true",
+        help="dispatch through the legacy per-sample solver (batch_size=1 reference)",
+    )
+    _add_serving_options(loadtest)
+    loadtest.set_defaults(handler=_command_loadtest)
 
     return parser
 

@@ -429,16 +429,54 @@ class AssociativeMemoryModule:
             round(self.parameters.dom_threshold_fraction * (self.wta.levels - 1))
         )
 
+    def _varied_conductances(
+        self, conductances: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One evaluation's input-variation draw applied to a ``(rows,)`` vector.
+
+        The single definition of the noise model shared by the sequential
+        scalar/batch paths (drawing from the module's stream) and the
+        seeded serving path (drawing from a per-request substream), so the
+        paths cannot drift apart.
+        """
+        noise = rng.normal(0.0, self.input_variation, size=conductances.shape)
+        return np.clip(conductances * (1.0 + noise), 0.0, None)
+
     def column_solution(self, input_codes: np.ndarray) -> CrossbarSolution:
         """Solve the crossbar for an input-code vector (no WTA)."""
         input_codes = np.asarray(input_codes, dtype=np.int64)
         check_shape("input_codes", input_codes, (self.crossbar.rows,))
         conductances = self.input_dacs.conductances(input_codes)
         if self.input_variation > 0.0:
-            noise = self._rng.normal(0.0, self.input_variation, size=conductances.shape)
-            conductances = np.clip(conductances * (1.0 + noise), 0.0, None)
+            conductances = self._varied_conductances(conductances, self._rng)
         return self.solver.solve(
             conductances, include_parasitics=self.include_parasitics
+        )
+
+    def column_solution_batch(
+        self,
+        input_codes_batch: np.ndarray,
+        include_parasitics: Optional[bool] = None,
+    ) -> BatchCrossbarSolution:
+        """Solve the crossbar for a ``(B, features)`` code batch (no WTA).
+
+        The batch counterpart of :meth:`column_solution`: DAC conversion
+        and per-evaluation input variation are applied sample by sample in
+        batch order (consuming the module's noise stream exactly as a
+        scalar loop would) and the whole batch goes through the amortised
+        crossbar engine.  ``include_parasitics`` overrides the module
+        setting for this call only, without mutating the module — used by
+        the analysis layer to compare parasitic and ideal solves of the
+        same inputs.
+        """
+        input_codes_batch = np.asarray(input_codes_batch, dtype=np.int64)
+        if input_codes_batch.ndim != 2:
+            raise ValueError("input_codes_batch must be 2-D (B x features)")
+        conductances = self._batch_input_conductances(input_codes_batch)
+        if include_parasitics is None:
+            include_parasitics = self.include_parasitics
+        return self.solver.solve_batch(
+            conductances, include_parasitics=include_parasitics
         )
 
     def recognise(self, input_codes: np.ndarray) -> RecognitionResult:
@@ -502,11 +540,8 @@ class AssociativeMemoryModule:
         conductances = self.input_dacs.conductances(input_codes_batch)
         if self.input_variation > 0.0:
             for index in range(conductances.shape[0]):
-                noise = self._rng.normal(
-                    0.0, self.input_variation, size=conductances.shape[1]
-                )
-                conductances[index] = np.clip(
-                    conductances[index] * (1.0 + noise), 0.0, None
+                conductances[index] = self._varied_conductances(
+                    conductances[index], self._rng
                 )
         return conductances
 
@@ -532,6 +567,74 @@ class AssociativeMemoryModule:
             conductances, include_parasitics=self.include_parasitics
         )
         wta_result = self.wta.convert_batch(solution.column_currents)
+        return self._package_batch(solution, wta_result)
+
+    #: Spawn key of the per-request input-variation substream used by
+    #: :meth:`recognise_batch_seeded` (the latch-offset substream of
+    #: :meth:`~repro.core.wta.SpinCmosWta.convert_batch_seeded` uses spawn
+    #: key 1 of the same request seed).
+    INPUT_STREAM_KEY = 0
+
+    def recognise_batch_seeded(
+        self,
+        input_codes_batch: np.ndarray,
+        request_seeds: np.ndarray,
+        engine=None,
+    ) -> BatchRecognitionResult:
+        """Arrival-order-invariant recall of a ``(B, features)`` code batch.
+
+        The serving layer (:mod:`repro.serving`) coalesces independent
+        recall requests into micro-batches whose composition depends on
+        traffic timing and worker count.  This entry point makes sample
+        ``i``'s result a pure function of ``(module, codes, seed)``:
+
+        * input-variation noise is drawn from a per-request substream
+          seeded by ``request_seeds[i]`` (spawn key 0) instead of the
+          module's sequential stream;
+        * the WTA conversion draws its latch offsets from the matching
+          per-request substream (spawn key 1) and leaves the neurons'
+          magnetic state and switch counters untouched;
+        * no module state whatsoever is advanced, so replicas built from
+          the same construction seed return identical results regardless
+          of their request history.
+
+        ``engine`` optionally supplies a caller-owned pre-factorised
+        :class:`~repro.crossbar.batched.BatchedCrossbarEngine` replica
+        (one per serving worker); the module's own engine is used when
+        omitted.  Requires deterministic neurons (``stochastic_dwn``
+        off) — see :meth:`SpinCmosWta.convert_batch_seeded`.
+        """
+        input_codes_batch = np.asarray(input_codes_batch, dtype=np.int64)
+        if input_codes_batch.ndim != 2:
+            raise ValueError("input_codes_batch must be 2-D (B x features)")
+        if input_codes_batch.shape[0] == 0:
+            raise ValueError("input_codes_batch must not be empty")
+        seeds = np.asarray(request_seeds, dtype=np.int64)
+        if seeds.shape != (input_codes_batch.shape[0],):
+            raise ValueError(
+                f"request_seeds must have shape ({input_codes_batch.shape[0]},), "
+                f"got {seeds.shape}"
+            )
+        if np.any(seeds < 0):
+            raise ValueError("request_seeds must be non-negative")
+        conductances = self.input_dacs.conductances(input_codes_batch)
+        if self.input_variation > 0.0:
+            for index in range(conductances.shape[0]):
+                rng = np.random.default_rng(
+                    np.random.SeedSequence(
+                        entropy=int(seeds[index]),
+                        spawn_key=(self.INPUT_STREAM_KEY,),
+                    )
+                )
+                conductances[index] = self._varied_conductances(
+                    conductances[index], rng
+                )
+        if engine is None:
+            engine = self.solver.batch_engine
+        solution = engine.solve_batch(
+            conductances, include_parasitics=self.include_parasitics
+        )
+        wta_result = self.wta.convert_batch_seeded(solution.column_currents, seeds)
         return self._package_batch(solution, wta_result)
 
     def recognise_ideal_batch(

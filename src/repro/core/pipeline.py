@@ -199,6 +199,21 @@ class FaceRecognitionPipeline:
         )
 
 
+def default_extractor(parameters: Optional[DesignParameters] = None) -> FeatureExtractor:
+    """The feature extractor matching a design's template geometry.
+
+    The single definition of the pipeline's extractor configuration,
+    shared by :func:`build_pipeline` and by clients that generate request
+    codes for a remotely served pipeline (``repro loadtest --url``) — the
+    two must stay in lockstep or served inputs stop matching the stored
+    templates.
+    """
+    parameters = parameters or default_parameters()
+    return FeatureExtractor(
+        feature_shape=parameters.template_shape, bits=parameters.template_bits
+    )
+
+
 def build_pipeline(
     dataset: FaceDataset,
     parameters: Optional[DesignParameters] = None,
@@ -217,9 +232,7 @@ def build_pipeline(
     in fast tests.
     """
     parameters = parameters or default_parameters()
-    extractor = extractor or FeatureExtractor(
-        feature_shape=parameters.template_shape, bits=parameters.template_bits
-    )
+    extractor = extractor or default_extractor(parameters)
     templates = build_templates(dataset.images, dataset.labels, extractor)
     matrix, labels = templates_to_matrix(templates)
     amm = AssociativeMemoryModule.from_templates(

@@ -341,16 +341,89 @@ class SpinCmosWta:
             )
         return self._convert_batch_fast(currents)
 
-    def _convert_batch_fast(self, currents: np.ndarray) -> BatchWtaResult:
+    #: Spawn key of the per-request latch-offset substream used by
+    #: :meth:`convert_batch_seeded` (the input-variation substream of
+    #: :meth:`~repro.core.amm.AssociativeMemoryModule.recognise_batch_seeded`
+    #: uses spawn key 0 of the same request seed).
+    LATCH_STREAM_KEY = 1
+
+    def convert_batch_seeded(
+        self, column_currents: np.ndarray, request_seeds: np.ndarray
+    ) -> BatchWtaResult:
+        """Batch conversion with per-request latch-offset substreams.
+
+        Serving front ends coalesce independent requests into micro-batches
+        whose composition depends on traffic timing, so a request's result
+        must not depend on how many conversions this WTA has run before,
+        how requests were grouped, or which worker replica converted them.
+        Sample ``i``'s latch offsets are therefore drawn from a dedicated
+        generator seeded by ``request_seeds[i]`` (instead of the neurons'
+        sequential streams) and no neuron state is mutated; the
+        switching-event counters assume each request enters with its
+        neurons in the ``-1`` preset state, making every field of the
+        result a pure function of ``(wta, currents, seed)``.
+
+        Only defined for deterministic comparators (``stochastic`` off)
+        pre-set every cycle (``reset_neurons`` on): with stochastic
+        switching the outcome is inherently draw-order dependent and
+        cannot be made arrival-order invariant.
+        """
+        currents = np.asarray(column_currents, dtype=float)
+        if currents.ndim != 2 or currents.shape[1] != self.columns:
+            raise ValueError(
+                f"column_currents must have shape (B, {self.columns}), "
+                f"got {currents.shape}"
+            )
+        if currents.shape[0] == 0:
+            raise ValueError("column_currents batch must not be empty")
+        seeds = np.asarray(request_seeds, dtype=np.int64)
+        if seeds.shape != (currents.shape[0],):
+            raise ValueError(
+                f"request_seeds must have shape ({currents.shape[0]},), got {seeds.shape}"
+            )
+        if np.any(seeds < 0):
+            raise ValueError("request_seeds must be non-negative")
+        if self.dwn_config.stochastic or not self.reset_neurons:
+            raise ValueError(
+                "seeded conversion requires deterministic neurons "
+                "(stochastic switching off, per-cycle preset on)"
+            )
+        batch = currents.shape[0]
+        sigma = self.neurons[0].latch.offset_sigma_ohm
+        offsets = np.zeros((batch, self.columns, self.resolution_bits))
+        if sigma > 0.0:
+            for index in range(batch):
+                rng = np.random.default_rng(
+                    np.random.SeedSequence(
+                        entropy=int(seeds[index]),
+                        spawn_key=(self.LATCH_STREAM_KEY,),
+                    )
+                )
+                offsets[index] = rng.normal(
+                    0.0, sigma, size=(self.columns, self.resolution_bits)
+                )
+        return self._convert_batch_fast(currents, offsets=offsets, commit_state=False)
+
+    def _convert_batch_fast(
+        self,
+        currents: np.ndarray,
+        offsets: Optional[np.ndarray] = None,
+        commit_state: bool = True,
+    ) -> BatchWtaResult:
         """Vectorised conversion for deterministic, per-cycle-preset neurons.
 
         With the neuron pre-set to ``-1`` each cycle and stochastic
         switching off, the comparator decision reduces to
         ``I_column - I_DAC >= I_threshold`` and the only random element is
-        the latch offset drawn on every read.  Those offsets are pre-drawn
-        per neuron in the exact (sample-major, cycle-minor) order the
-        scalar loop consumes them, which leaves every neuron's generator
-        in the same state as per-sample conversion would.
+        the latch offset drawn on every read.  By default those offsets
+        are pre-drawn per neuron in the exact (sample-major, cycle-minor)
+        order the scalar loop consumes them, which leaves every neuron's
+        generator in the same state as per-sample conversion would, and
+        the neurons' magnetic state and switch counters are committed at
+        the end.  The seeded serving path instead supplies per-request
+        ``offsets`` and passes ``commit_state=False``, in which case no
+        neuron state is read or written and each sample's switching events
+        are counted from a fresh ``-1`` preset.
         """
         batch, columns = currents.shape
         bits = self.resolution_bits
@@ -359,16 +432,17 @@ class SpinCmosWta:
         r_parallel = mtj.resistance(True)
         r_antiparallel = mtj.resistance(False)
         r_reference = mtj.reference_resistance()
-        # offsets[b, c, k]: latch offset of neuron c at cycle k of sample b,
-        # drawn in the (sample-major, cycle-minor) order the scalar loop
-        # consumes each neuron's stream.
-        offsets = np.stack(
-            [
-                neuron.draw_read_offsets(batch * bits).reshape(batch, bits)
-                for neuron in self.neurons
-            ],
-            axis=1,
-        )
+        if offsets is None:
+            # offsets[b, c, k]: latch offset of neuron c at cycle k of sample
+            # b, drawn in the (sample-major, cycle-minor) order the scalar
+            # loop consumes each neuron's stream.
+            offsets = np.stack(
+                [
+                    neuron.draw_read_offsets(batch * bits).reshape(batch, bits)
+                    for neuron in self.neurons
+                ],
+                axis=1,
+            )
 
         # SAR register state, replicated from SuccessiveApproximationRegister.
         code = np.full((batch, columns), 1 << (bits - 1), dtype=np.int64)
@@ -404,23 +478,27 @@ class SpinCmosWta:
         # back to -1 whenever the previous cycle drove it high, and the
         # evaluation flips it high whenever the drive exceeds threshold.
         # The carry into each sample's first cycle is the neuron state left
-        # by the previous sample (or the neuron's state at batch entry).
-        carry = np.empty((batch, columns), dtype=bool)
-        carry[0] = np.array([neuron.state == 1 for neuron in self.neurons])
-        if batch > 1:
-            carry[1:] = driven_high[:-1, :, -1]
+        # by the previous sample (or the neuron's state at batch entry);
+        # uncommitted (seeded) conversions count each sample from a fresh
+        # -1 preset instead, so its events are batch-order independent.
+        carry = np.zeros((batch, columns), dtype=bool)
+        if commit_state:
+            carry[0] = np.array([neuron.state == 1 for neuron in self.neurons])
+            if batch > 1:
+                carry[1:] = driven_high[:-1, :, -1]
         reset_flips = carry.astype(np.int64) + driven_high[:, :, :-1].sum(
             axis=2, dtype=np.int64
         )
         apply_flips = driven_high.sum(axis=2, dtype=np.int64)
         per_sample_switches = (reset_flips + apply_flips).sum(axis=1)
-        per_neuron_switches = (reset_flips + apply_flips).sum(axis=0)
         final_high = driven_high[:, :, -1]
-        for index, neuron in enumerate(self.neurons):
-            neuron.apply_batch_outcome(
-                1 if final_high[-1, index] else -1,
-                int(per_neuron_switches[index]),
-            )
+        if commit_state:
+            per_neuron_switches = (reset_flips + apply_flips).sum(axis=0)
+            for index, neuron in enumerate(self.neurons):
+                neuron.apply_batch_outcome(
+                    1 if final_high[-1, index] else -1,
+                    int(per_neuron_switches[index]),
+                )
 
         survivors = tracking
         masked = np.where(survivors, code, np.int64(-1))

@@ -102,6 +102,27 @@ class BatchedCrossbarEngine:
         # Parasitic-path state, built lazily on the first parasitic batch.
         self._woodbury_ready = False
 
+    @property
+    def prepared(self) -> bool:
+        """Whether the parasitic-path factorisation has been computed."""
+        return self._woodbury_ready
+
+    def prepare(self, include_parasitics: bool = True) -> "BatchedCrossbarEngine":
+        """Eagerly build the static-network factorisation and return ``self``.
+
+        Long-running services pay the one-time sparse LU + Woodbury
+        precomputation at startup (per worker replica) rather than on the
+        first request, keeping first-request latency flat.  A no-op when
+        parasitics are disabled or the factorisation already exists.
+        """
+        if (
+            include_parasitics
+            and self.crossbar.parasitics.segment_resistance != 0.0
+            and not self._woodbury_ready
+        ):
+            self._build_woodbury()
+        return self
+
     # ------------------------------------------------------------------ #
     # Ideal path
     # ------------------------------------------------------------------ #

@@ -1,0 +1,102 @@
+"""Serving subsystem: micro-batched recall behind an HTTP front end.
+
+PR 1 made recall batch-first — a ``(B, features)`` batch through one
+amortised crossbar solve runs ~200x faster than the per-sample loop —
+but that speed was only reachable from offline ``evaluate()`` sweeps.
+This package is the request-lifecycle layer that brings it to *online*
+traffic, where callers arrive one image at a time:
+
+``service``
+    :class:`~repro.serving.service.RecognitionService` — the
+    micro-batching front end.  Concurrent single recalls land in a
+    bounded queue; a batcher thread coalesces them into batches of up to
+    ``max_batch_size``, waiting at most ``max_wait`` after the first
+    arrival, and each caller's future resolves with its own
+    :class:`~repro.core.amm.RecognitionResult` slice.  A full queue
+    rejects immediately with
+    :class:`~repro.serving.service.BackpressureError` (HTTP 429) rather
+    than buffering without bound.
+
+``workers``
+    :class:`~repro.serving.workers.ShardedWorkerPool` — one thread per
+    shard, each owning a pre-factorised
+    :class:`~repro.crossbar.batched.BatchedCrossbarEngine` replica (the
+    static-network LU + Woodbury operators cached per worker at startup).
+    Large micro-batches split into contiguous shards across workers,
+    spreading the independent per-sample Woodbury updates over cores; the
+    dense solves run in LAPACK, which releases the GIL.
+
+``server`` / ``client``
+    A stdlib-only JSON API (``POST /recognise``, ``GET /healthz``,
+    ``GET /stats``) on :class:`http.server.ThreadingHTTPServer`, plus a
+    keep-alive client and the :func:`~repro.serving.client.run_load`
+    offered-load generator behind ``python -m repro serve`` and
+    ``python -m repro loadtest``.
+
+``metrics``
+    :class:`~repro.serving.metrics.ServiceMetrics` — queue depth,
+    batch-fill histogram, latency percentiles and throughput counters,
+    surfaced verbatim through ``/stats``.
+
+Determinism contract
+--------------------
+
+Every request carries a seed naming its private random substream.  The
+service recalls through
+:meth:`~repro.core.amm.AssociativeMemoryModule.recognise_batch_seeded`,
+which draws input-variation noise and WTA latch offsets from per-request
+``SeedSequence`` substreams and mutates no module state — so a request's
+result is a pure function of ``(module, codes, seed)``, independent of
+arrival order, micro-batch composition and worker count
+(``tests/serving/test_service_determinism.py``).  Stochastic DWN
+switching is inherently draw-order dependent and is refused at service
+construction.
+
+Quickstart
+----------
+
+>>> from repro import build_pipeline, load_default_dataset
+>>> from repro.serving import RecognitionService, start_server, RecognitionClient
+>>> dataset = load_default_dataset(seed=7)
+>>> pipeline = build_pipeline(dataset, seed=7)
+>>> service = RecognitionService(pipeline.amm, max_batch_size=64, max_wait=0.002)
+>>> server = start_server(service, port=0)
+>>> client = RecognitionClient("127.0.0.1", server.port)
+>>> client.recognise(pipeline.extractor.extract_codes(dataset.test_images[0]))["winner"]
+0
+"""
+
+from repro.serving.client import LoadReport, RecognitionClient, ServerError, run_load
+from repro.serving.metrics import ServiceMetrics, latency_summary, percentile
+from repro.serving.server import (
+    RecognitionServer,
+    result_to_json,
+    start_server,
+    stop_server,
+)
+from repro.serving.service import (
+    BackpressureError,
+    RecognitionService,
+    ServiceClosedError,
+)
+from repro.serving.workers import PendingRequest, RecallWorker, ShardedWorkerPool
+
+__all__ = [
+    "BackpressureError",
+    "LoadReport",
+    "PendingRequest",
+    "RecallWorker",
+    "RecognitionClient",
+    "RecognitionServer",
+    "RecognitionService",
+    "ServerError",
+    "ServiceClosedError",
+    "ServiceMetrics",
+    "ShardedWorkerPool",
+    "latency_summary",
+    "percentile",
+    "result_to_json",
+    "run_load",
+    "start_server",
+    "stop_server",
+]

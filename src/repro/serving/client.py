@@ -1,0 +1,250 @@
+"""Client and load generator for the recognition HTTP API.
+
+:class:`RecognitionClient` is a small keep-alive JSON client on
+``http.client`` (stdlib only); one instance wraps one connection and is
+*not* thread-safe — concurrent load uses one client per thread, which is
+exactly what :func:`run_load` does.
+
+:func:`run_load` drives an offered-load experiment against a running
+server: ``concurrency`` threads each post ``images_per_request`` code
+vectors per request (an edge node aggregating its users) until the shared
+request budget is spent, and the aggregated wall-clock throughput and
+client-observed latency percentiles come back as a :class:`LoadReport`.
+It backs ``python -m repro loadtest`` and ``benchmarks/test_serving.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.metrics import latency_summary
+from repro.utils.validation import check_integer
+
+
+class ServerError(RuntimeError):
+    """The server answered with a non-success status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class RecognitionClient:
+    """Keep-alive JSON client for one server; one instance per thread.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Socket timeout (s) for connect and each request.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload)
+            headers["Content-Type"] = "application/json"
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # Drop the (possibly half-closed) connection; the caller may retry.
+            self.close()
+            raise
+        decoded = json.loads(raw) if raw else {}
+        if response.status >= 400:
+            raise ServerError(response.status, decoded.get("error", raw.decode("utf-8", "replace")))
+        return decoded
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "RecognitionClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # API
+    # ------------------------------------------------------------------ #
+    def recognise(self, codes: np.ndarray, seed: int = 0) -> dict:
+        """Recall one ``(features,)`` code vector; returns the result dict."""
+        payload = {"codes": np.asarray(codes).tolist(), "seed": int(seed)}
+        return self._request("POST", "/recognise", payload)["result"]
+
+    def recognise_many(
+        self, codes_batch: np.ndarray, seeds: Optional[Sequence[int]] = None
+    ) -> List[dict]:
+        """Recall a ``(B, features)`` batch; each row is one queued request."""
+        payload: Dict[str, object] = {"codes": np.asarray(codes_batch).tolist()}
+        if seeds is not None:
+            payload["seeds"] = [int(seed) for seed in seeds]
+        return self._request("POST", "/recognise", payload)["results"]
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one offered-load run.
+
+    ``latencies`` are client-observed per-HTTP-request round-trip times
+    (seconds); ``images`` counts individual code vectors recalled, the
+    unit of the throughput figure.
+    """
+
+    concurrency: int
+    images_per_request: int
+    requests: int
+    images: int
+    elapsed_seconds: float
+    errors: int
+    rejected: int
+    latencies: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def images_per_second(self) -> float:
+        return self.images / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p90/p99/max of the round-trip latencies, in milliseconds."""
+        return latency_summary(self.latencies)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable summary (for BENCH_serving.json)."""
+        return {
+            "concurrency": self.concurrency,
+            "images_per_request": self.images_per_request,
+            "requests": self.requests,
+            "images": self.images,
+            "elapsed_seconds": self.elapsed_seconds,
+            "images_per_second": self.images_per_second,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "latency": self.latency_percentiles(),
+        }
+
+
+def run_load(
+    host: str,
+    port: int,
+    codes_pool: np.ndarray,
+    requests: int,
+    concurrency: int = 4,
+    images_per_request: int = 16,
+    base_seed: int = 0,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Drive ``requests`` HTTP recalls from ``concurrency`` client threads.
+
+    Each request draws its ``images_per_request`` code vectors round-robin
+    from ``codes_pool`` and tags every image with a deterministic seed
+    derived from ``base_seed`` and the image's global index, so repeated
+    runs offer identical work.  Rejections (HTTP 429) are counted, not
+    retried — the report shows how much load the server actually absorbed.
+    """
+    check_integer("requests", requests, minimum=1)
+    check_integer("concurrency", concurrency, minimum=1)
+    check_integer("images_per_request", images_per_request, minimum=1)
+    codes_pool = np.asarray(codes_pool, dtype=np.int64)
+    if codes_pool.ndim != 2 or codes_pool.shape[0] == 0:
+        raise ValueError("codes_pool must be a non-empty 2-D code batch")
+
+    counter = {"next": 0}
+    counter_lock = threading.Lock()
+    latencies: List[float] = []
+    outcomes = {"images": 0, "errors": 0, "rejected": 0}
+    results_lock = threading.Lock()
+
+    def next_request_index() -> Optional[int]:
+        with counter_lock:
+            if counter["next"] >= requests:
+                return None
+            index = counter["next"]
+            counter["next"] += 1
+            return index
+
+    def drive() -> None:
+        with RecognitionClient(host, port, timeout=timeout) as client:
+            while True:
+                request_index = next_request_index()
+                if request_index is None:
+                    return
+                first_image = request_index * images_per_request
+                rows = [
+                    codes_pool[(first_image + offset) % codes_pool.shape[0]]
+                    for offset in range(images_per_request)
+                ]
+                seeds = [
+                    base_seed + first_image + offset
+                    for offset in range(images_per_request)
+                ]
+                begin = time.perf_counter()
+                try:
+                    client.recognise_many(np.stack(rows), seeds=seeds)
+                except ServerError as error:
+                    with results_lock:
+                        if error.status == 429:
+                            outcomes["rejected"] += 1
+                        else:
+                            outcomes["errors"] += 1
+                    continue
+                except (OSError, http.client.HTTPException):
+                    with results_lock:
+                        outcomes["errors"] += 1
+                    continue
+                elapsed = time.perf_counter() - begin
+                with results_lock:
+                    outcomes["images"] += images_per_request
+                    latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=drive, name=f"load-{index}")
+        for index in range(concurrency)
+    ]
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begin
+    return LoadReport(
+        concurrency=concurrency,
+        images_per_request=images_per_request,
+        requests=requests,
+        images=outcomes["images"],
+        elapsed_seconds=elapsed,
+        errors=outcomes["errors"],
+        rejected=outcomes["rejected"],
+        latencies=latencies,
+    )

@@ -1,0 +1,159 @@
+"""Observability for the recognition service.
+
+:class:`ServiceMetrics` is the single thread-safe sink every serving
+component reports into: the front end counts submissions and rejections,
+the micro-batcher records queue depth and batch fill, and the worker pool
+records completions with per-request latencies.  ``snapshot()`` renders
+the whole state as a JSON-serialisable dictionary — the payload of the
+HTTP ``GET /stats`` endpoint and of the load-test summaries.
+
+Latencies are kept in a bounded reservoir (most recent ``max_latency_samples``
+completions) so a long-running server's memory stays flat; percentiles are
+nearest-rank over that reservoir.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Dict, List, Sequence
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """p50/p90/p99/max of latency ``samples`` (seconds), in milliseconds.
+
+    The one summary shape shared by the server-side ``/stats`` payload
+    and the client-side load reports, so the two can never drift.
+    """
+    return {
+        "p50_ms": percentile(samples, 0.50) * 1e3,
+        "p90_ms": percentile(samples, 0.90) * 1e3,
+        "p99_ms": percentile(samples, 0.99) * 1e3,
+        "max_ms": (max(samples) if samples else 0.0) * 1e3,
+    }
+
+
+class ServiceMetrics:
+    """Thread-safe counters, gauges and histograms for one service instance.
+
+    Parameters
+    ----------
+    max_latency_samples:
+        Size of the latency reservoir backing the percentile estimates.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(self, max_latency_samples: int = 4096, clock=time.monotonic) -> None:
+        if max_latency_samples < 1:
+            raise ValueError(
+                f"max_latency_samples must be >= 1, got {max_latency_samples}"
+            )
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started = clock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.batches = 0
+        self._batch_fill: Counter = Counter()
+        self._queue_depth = 0
+        self._queue_depth_max = 0
+        self._latencies: deque = deque(maxlen=max_latency_samples)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_submitted(self, count: int = 1) -> None:
+        """Count requests accepted into the queue."""
+        with self._lock:
+            self.submitted += count
+
+    def record_rejected(self, count: int = 1) -> None:
+        """Count requests turned away by backpressure."""
+        with self._lock:
+            self.rejected += count
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Update the queue-depth gauge (and its high-water mark)."""
+        with self._lock:
+            self._queue_depth = depth
+            self._queue_depth_max = max(self._queue_depth_max, depth)
+
+    def record_batch(self, size: int) -> None:
+        """Count one dispatched micro-batch of ``size`` requests."""
+        with self._lock:
+            self.batches += 1
+            self._batch_fill[size] += 1
+
+    def record_completed(self, latencies: Sequence[float]) -> None:
+        """Count resolved requests with their queue-to-response latencies (s)."""
+        with self._lock:
+            self.completed += len(latencies)
+            self._latencies.extend(latencies)
+
+    def record_failed(self, count: int = 1) -> None:
+        """Count requests resolved with an error."""
+        with self._lock:
+            self.failed += count
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        """Current queue-depth gauge value."""
+        with self._lock:
+            return self._queue_depth
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p90/p99/max of the reservoir, in milliseconds."""
+        with self._lock:
+            samples: List[float] = list(self._latencies)
+        summary = latency_summary(samples)
+        summary["samples"] = len(samples)
+        return summary
+
+    def snapshot(self) -> Dict[str, object]:
+        """The complete metric state as a JSON-serialisable dictionary."""
+        with self._lock:
+            uptime = max(self._clock() - self._started, 1e-9)
+            fill = dict(sorted(self._batch_fill.items()))
+            total_batched = sum(size * count for size, count in fill.items())
+            state = {
+                "uptime_seconds": uptime,
+                "requests": {
+                    "submitted": self.submitted,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "rejected": self.rejected,
+                    "in_queue": self._queue_depth,
+                },
+                "throughput": {
+                    "completed_per_second": self.completed / uptime,
+                },
+                "queue_depth": {
+                    "current": self._queue_depth,
+                    "max": self._queue_depth_max,
+                },
+                "batches": {
+                    "dispatched": self.batches,
+                    "mean_fill": (total_batched / self.batches) if self.batches else 0.0,
+                    "fill_histogram": {str(k): v for k, v in fill.items()},
+                },
+            }
+        state["latency"] = self.latency_percentiles()
+        return state

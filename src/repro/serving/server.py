@@ -1,0 +1,227 @@
+"""HTTP front end for the recognition service.
+
+A deliberately dependency-free JSON API on ``http.server``'s
+:class:`~http.server.ThreadingHTTPServer` (one thread per connection,
+stdlib only):
+
+* ``POST /recognise`` — body ``{"codes": [...], "seed": 0}`` for one
+  request or ``{"codes": [[...], ...], "seeds": [...]}`` for several;
+  each code vector is submitted to the service *individually* so it
+  coalesces with concurrent traffic in the micro-batch queue.  Responds
+  ``{"results": [...], "count": n}`` (plus ``"result"`` for the single
+  form).  Backpressure maps to ``429`` with a ``Retry-After`` hint.
+* ``GET /healthz`` — liveness (status, worker count, queue depth).
+* ``GET /stats`` — the full :class:`~repro.serving.metrics.ServiceMetrics`
+  snapshot: throughput counters, queue depth, batch-fill histogram and
+  latency percentiles.
+
+:func:`start_server` boots a server on a background thread (port ``0``
+picks a free port) and :func:`stop_server` shuts it down cleanly; both
+are used by ``python -m repro serve``/``loadtest``, the serving demo and
+the CI smoke step.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.amm import RecognitionResult
+from repro.serving.service import (
+    BackpressureError,
+    RecognitionService,
+    ServiceClosedError,
+)
+
+#: Largest accepted request body (bytes); 128-feature code vectors are a
+#: few hundred bytes each, so this admits ~1000-image requests.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Seconds a handler thread waits for the service to resolve a request.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
+def result_to_json(result: RecognitionResult) -> dict:
+    """The JSON-facing projection of one recognition result."""
+    return {
+        "winner": result.winner,
+        "winner_column": result.winner_column,
+        "dom_code": result.dom_code,
+        "accepted": result.accepted,
+        "tie": result.tie,
+        "static_power_w": result.static_power,
+    }
+
+
+class RecognitionRequestHandler(BaseHTTPRequestHandler):
+    """Routes the three-endpoint JSON API onto the bound service."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate small writes; without
+    # TCP_NODELAY the Nagle / delayed-ACK interaction stalls every
+    # response by ~40 ms.
+    disable_nagle_algorithm = True
+    # Bound idle keep-alive reads: a client that goes silent (or whose
+    # network drops without a FIN) must not pin a handler thread forever.
+    timeout = 60.0
+
+    @property
+    def service(self) -> RecognitionService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request stderr logging (metrics cover observability)."""
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _respond(self, status: int, payload: dict, headers: Tuple = ()) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            # There may still be body bytes in flight (e.g. chunked
+            # transfer-encoding, which this server does not read); drop
+            # the connection so the keep-alive stream cannot desynchronise.
+            self.close_connection = True
+            raise ValueError("request body with a Content-Length is required")
+        if length > MAX_BODY_BYTES:
+            # The body stays unread; drop the connection after responding
+            # so the keep-alive stream cannot desynchronise.
+            self.close_connection = True
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            self._respond(200, self.service.health())
+        elif self.path == "/stats":
+            self._respond(200, self.service.stats())
+        else:
+            self._respond(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/recognise":
+            self._respond(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            payload = self._read_json_body()
+            codes = np.asarray(payload.get("codes"), dtype=np.int64)
+        except (ValueError, TypeError, OverflowError, json.JSONDecodeError) as error:
+            self._respond(400, {"error": str(error)})
+            return
+        single = codes.ndim == 1
+        try:
+            if single:
+                seed = int(payload.get("seed", 0))
+                results = [self.service.recognise(codes, seed=seed, timeout=DEFAULT_REQUEST_TIMEOUT)]
+            elif codes.ndim == 2:
+                seeds = payload.get("seeds")
+                if seeds is None and "seed" in payload:
+                    seeds = [int(payload["seed"])] * codes.shape[0]
+                results = self.service.recognise_many(
+                    codes, seeds=seeds, timeout=DEFAULT_REQUEST_TIMEOUT
+                )
+            else:
+                raise ValueError("codes must be a 1-D vector or a 2-D batch")
+        except BackpressureError as error:
+            self._respond(429, {"error": str(error)}, headers=(("Retry-After", "1"),))
+            return
+        except ServiceClosedError as error:
+            self._respond(503, {"error": str(error)})
+            return
+        except concurrent.futures.TimeoutError:
+            self._respond(
+                504,
+                {"error": f"request not served within {DEFAULT_REQUEST_TIMEOUT} s"},
+            )
+            return
+        except (ValueError, TypeError, OverflowError) as error:
+            # Includes errors surfaced through a request's future (e.g. a
+            # seed too large for int64 raising in the worker).
+            self._respond(400, {"error": str(error)})
+            return
+        except Exception as error:  # noqa: BLE001 — any worker failure
+            # The client must always get an HTTP status, never a dropped
+            # connection (e.g. a singular solve raising LinAlgError).
+            self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+            return
+        body = {
+            "count": len(results),
+            "results": [result_to_json(result) for result in results],
+        }
+        if single:
+            body["result"] = body["results"][0]
+        self._respond(200, body)
+
+
+class RecognitionServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one recognition service."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: RecognitionService,
+        handler=RecognitionRequestHandler,
+    ) -> None:
+        super().__init__(address, handler)
+        self.service = service
+        self.serve_thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with the port-0 ephemeral bind)."""
+        return self.server_address[1]
+
+
+def start_server(
+    service: RecognitionService, host: str = "127.0.0.1", port: int = 0
+) -> RecognitionServer:
+    """Bind and start serving on a background thread; returns the server.
+
+    ``port=0`` binds an ephemeral free port — read it back from
+    ``server.port``.  The server thread is a daemon, so it never blocks
+    interpreter exit; call :func:`stop_server` for a clean shutdown.
+    """
+    server = RecognitionServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever, name="recognition-http", daemon=True
+    )
+    server.serve_thread = thread
+    thread.start()
+    return server
+
+
+def stop_server(server: RecognitionServer, close_service: bool = True) -> None:
+    """Stop the accept loop, close the socket and (optionally) the service."""
+    server.shutdown()
+    server.server_close()
+    if server.serve_thread is not None:
+        server.serve_thread.join()
+    if close_service:
+        server.service.close()

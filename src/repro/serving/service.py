@@ -1,0 +1,335 @@
+"""Micro-batching front end of the recognition service.
+
+:class:`RecognitionService` accepts *single* recall requests from many
+concurrent callers and turns them into efficient work for the batched
+recall engine:
+
+1. ``submit()`` validates the request in the caller's thread and places
+   it on a bounded queue — when the queue is full the caller gets an
+   immediate :class:`BackpressureError` instead of unbounded buffering;
+2. a micro-batcher thread coalesces queued requests into batches of up to
+   ``max_batch_size``, waiting at most ``max_wait`` seconds after the
+   first request of a batch arrives (the classic latency/throughput
+   window knob);
+3. the batch goes to the :class:`~repro.serving.workers.ShardedWorkerPool`,
+   whose workers solve it through their pre-factorised crossbar engines
+   and resolve each caller's future with its own
+   :class:`~repro.core.amm.RecognitionResult` slice.
+
+Every request carries a seed for its private random substream (see
+:meth:`~repro.core.amm.AssociativeMemoryModule.recognise_batch_seeded`),
+so a request's result is identical no matter when it arrives, how the
+micro-batcher groups it, or how many workers the pool runs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from collections import deque
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.amm import AssociativeMemoryModule, RecognitionResult
+from repro.serving.metrics import ServiceMetrics
+from repro.serving.workers import PendingRequest, ShardedWorkerPool
+from repro.utils.validation import check_integer
+
+
+class BackpressureError(RuntimeError):
+    """The request queue is full; the caller should retry later.
+
+    Raised synchronously by :meth:`RecognitionService.submit` so that an
+    overloaded service sheds load at the front door with a clean error
+    (mapped to HTTP 429 by the server) instead of deadlocking or growing
+    its queue without bound.
+    """
+
+
+class ServiceClosedError(RuntimeError):
+    """The service has been closed and accepts no further requests."""
+
+
+class RecognitionService:
+    """Coalesces concurrent single recalls into batched engine dispatches.
+
+    Parameters
+    ----------
+    amm:
+        The programmed module to serve.  Must use deterministic neurons
+        (``stochastic_dwn`` off): the per-request substreams that make
+        results arrival-order invariant are undefined for stochastic
+        switching, so construction fails fast.
+    max_batch_size:
+        Largest micro-batch handed to a worker.
+    max_wait:
+        Seconds the batcher waits after a batch's first request for more
+        arrivals before dispatching a partial batch.
+    max_queue_depth:
+        Bound on requests waiting for dispatch; beyond it ``submit``
+        raises :class:`BackpressureError`.
+    workers:
+        Worker shards in the pool, each with its own pre-factorised
+        engine.
+    legacy_per_sample:
+        Dispatch through the legacy per-sample sparse solve instead of
+        the batched engine (the ``batch_size=1`` benchmark reference).
+    metrics:
+        Metric sink; a fresh :class:`ServiceMetrics` when omitted.
+    """
+
+    def __init__(
+        self,
+        amm: AssociativeMemoryModule,
+        max_batch_size: int = 64,
+        max_wait: float = 2e-3,
+        max_queue_depth: int = 1024,
+        workers: int = 1,
+        legacy_per_sample: bool = False,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        check_integer("max_batch_size", max_batch_size, minimum=1)
+        check_integer("max_queue_depth", max_queue_depth, minimum=1)
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if amm.wta.dwn_config.stochastic or not amm.wta.reset_neurons:
+            raise ValueError(
+                "RecognitionService requires deterministic neurons "
+                "(stochastic switching off, per-cycle preset on); their "
+                "conversions cannot be made arrival-order invariant"
+            )
+        self.amm = amm
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self.max_queue_depth = max_queue_depth
+        self.metrics = metrics or ServiceMetrics()
+        self.pool = ShardedWorkerPool(
+            amm,
+            workers=workers,
+            metrics=self.metrics,
+            legacy_per_sample=legacy_per_sample,
+        )
+        self._pending: deque = deque()
+        self._state_lock = threading.Lock()
+        self._arrived = threading.Condition(self._state_lock)
+        self._closed = False
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="micro-batcher", daemon=True
+        )
+        self._batcher.start()
+
+    # ------------------------------------------------------------------ #
+    # Request interface
+    # ------------------------------------------------------------------ #
+    def submit(self, codes: np.ndarray, seed: int = 0) -> concurrent.futures.Future:
+        """Queue one recall request; returns a future of its result.
+
+        ``codes`` is a single ``(features,)`` integer vector; ``seed``
+        names the request's private random substream (requests with equal
+        codes and seed always produce equal results).  Raises
+        :class:`BackpressureError` when the queue is full and
+        :class:`ServiceClosedError` after :meth:`close`.
+        """
+        return self.submit_many(np.asarray(codes)[None, :], seeds=[seed])[0]
+
+    def submit_many(
+        self, codes_batch: np.ndarray, seeds: Optional[Sequence[int]] = None
+    ) -> List[concurrent.futures.Future]:
+        """Queue several requests atomically; returns one future per row.
+
+        All-or-nothing: either every row fits in the queue or none is
+        accepted and :class:`BackpressureError` is raised — a partially
+        admitted multi-image request would occupy queue capacity for
+        results its (retrying) caller will discard.
+        """
+        codes_batch = np.asarray(codes_batch, dtype=np.int64)
+        if codes_batch.ndim != 2 or codes_batch.shape[1] != self.amm.crossbar.rows:
+            raise ValueError(
+                f"codes_batch must have shape (B, {self.amm.crossbar.rows}), "
+                f"got {codes_batch.shape}"
+            )
+        if seeds is None:
+            seeds = [0] * codes_batch.shape[0]
+        if len(seeds) != codes_batch.shape[0]:
+            raise ValueError(
+                f"seeds must have length {codes_batch.shape[0]}, got {len(seeds)}"
+            )
+        max_code = self.amm.input_dacs.max_code
+        if np.any(codes_batch < 0) or np.any(codes_batch > max_code):
+            raise ValueError(f"codes must be in [0, {max_code}]")
+        if any(seed < 0 for seed in seeds):
+            raise ValueError("seeds must be non-negative")
+        if codes_batch.shape[0] > self.max_queue_depth:
+            # Never admittable, even on an idle service: a permanent-error
+            # ValueError (HTTP 400), not a retry-later BackpressureError.
+            raise ValueError(
+                f"request holds {codes_batch.shape[0]} rows but the queue admits "
+                f"at most {self.max_queue_depth}; split the request"
+            )
+        batch = [
+            PendingRequest(codes=codes, seed=int(seed), future=concurrent.futures.Future())
+            for codes, seed in zip(codes_batch, seeds)
+        ]
+        with self._arrived:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if len(self._pending) + len(batch) > self.max_queue_depth:
+                self.metrics.record_rejected(len(batch))
+                raise BackpressureError(
+                    f"request queue cannot admit {len(batch)} more requests "
+                    f"({len(self._pending)}/{self.max_queue_depth} pending); retry later"
+                )
+            self._pending.extend(batch)
+            self.metrics.record_submitted(len(batch))
+            self.metrics.record_queue_depth(len(self._pending))
+            self._arrived.notify()
+        return [pending.future for pending in batch]
+
+    def recognise(
+        self, codes: np.ndarray, seed: int = 0, timeout: Optional[float] = None
+    ) -> RecognitionResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(codes, seed=seed).result(timeout)
+
+    def recognise_many(
+        self,
+        codes_batch: np.ndarray,
+        seeds: Optional[Sequence[int]] = None,
+        timeout: Optional[float] = None,
+    ) -> List[RecognitionResult]:
+        """Submit each row as its own request and gather the results.
+
+        The rows enter the shared micro-batching queue individually
+        (atomically, via :meth:`submit_many`), so they coalesce with
+        whatever other traffic is in flight — this is the multi-image
+        HTTP request path, not a private batch.  ``timeout`` bounds the
+        *whole* gather, not each row.
+        """
+        futures = self.submit_many(codes_batch, seeds=seeds)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results = []
+        for future in futures:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            results.append(future.result(remaining))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Micro-batcher
+    # ------------------------------------------------------------------ #
+    def _batch_loop(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            self.metrics.record_batch(len(batch))
+            # Blocks when every dispatch slot is busy: that is the
+            # backpressure path that lets the bounded queue fill up.
+            self.pool.dispatch(batch)
+
+    def _collect_batch(self) -> Optional[List[PendingRequest]]:
+        """Wait for traffic, then drain one micro-batch from the queue.
+
+        Returns ``None`` when the service is closed and the queue is
+        drained (the batcher's exit signal).  After the first request of
+        a batch arrives, keeps collecting until the batch is full or
+        ``max_wait`` has elapsed.
+        """
+        with self._arrived:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._arrived.wait()
+            deadline = time.monotonic() + self.max_wait
+            while (
+                len(self._pending) < self.max_batch_size
+                and not self._closed
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._arrived.wait(remaining)
+            batch = [
+                self._pending.popleft()
+                for _ in range(min(self.max_batch_size, len(self._pending)))
+            ]
+            self.metrics.record_queue_depth(len(self._pending))
+            return batch
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for dispatch."""
+        with self._state_lock:
+            return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def health(self) -> dict:
+        """Liveness summary consumed by the HTTP ``/healthz`` endpoint."""
+        return {
+            "status": "closed" if self._closed else "ok",
+            "workers": len(self.pool),
+            "queue_depth": self.queue_depth,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_seconds": self.max_wait,
+            "array": {
+                "rows": self.amm.crossbar.rows,
+                "columns": self.amm.crossbar.columns,
+            },
+        }
+
+    def stats(self) -> dict:
+        """Metrics snapshot consumed by the HTTP ``/stats`` endpoint."""
+        return self.metrics.snapshot()
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain queued requests, stop the batcher and join the workers.
+
+        Queued requests are still served; new submissions fail with
+        :class:`ServiceClosedError`.  When the graceful drain exceeds
+        ``timeout``, the requests still waiting in the queue are failed
+        with :class:`ServiceClosedError` (so no caller hangs on an
+        unresolvable future) and only in-flight batches finish.
+        Idempotent.
+        """
+        with self._arrived:
+            if self._closed:
+                return
+            self._closed = True
+            self._arrived.notify_all()
+        self._batcher.join(timeout)
+        if self._batcher.is_alive():
+            with self._arrived:
+                abandoned = list(self._pending)
+                self._pending.clear()
+                self.metrics.record_queue_depth(0)
+                self._arrived.notify_all()
+            error = ServiceClosedError(
+                "service closed before the request was dispatched"
+            )
+            failed = 0
+            for pending in abandoned:
+                # A cancelled future must not be resolved again.
+                if pending.future.set_running_or_notify_cancel():
+                    pending.future.set_exception(error)
+                    failed += 1
+            self.metrics.record_failed(failed)
+            # With the queue empty the batcher exits after at most one
+            # dispatch cycle; the pool is still consuming, so this join
+            # is bounded by the in-flight work.
+            self._batcher.join()
+        self.pool.close()
+
+    def __enter__(self) -> "RecognitionService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -1,0 +1,248 @@
+"""Sharded worker pool executing micro-batched recalls.
+
+Each :class:`RecallWorker` is one shard of the pool: it owns a private,
+pre-factorised :class:`~repro.crossbar.batched.BatchedCrossbarEngine`
+replica of the served module's network (the expensive static state —
+sparse LU of the 10 240-node reference network plus the Woodbury update
+operators — cached once per worker at startup, the idiom the memristor
+crossbar reference repos use for static network state) and recalls whole
+micro-batches through
+:meth:`~repro.core.amm.AssociativeMemoryModule.recognise_batch_seeded`.
+Because the seeded path derives all per-request randomness from the
+request's own substream and mutates no module state, the (read-only)
+module can be shared by every worker while results stay independent of
+which worker served a request.
+
+:class:`ShardedWorkerPool` runs one thread per worker behind a *bounded*
+dispatch queue: when every worker is busy the micro-batcher blocks on
+dispatch, the service queue fills, and the front end starts rejecting
+with a clean backpressure error instead of buffering without limit.  A
+large micro-batch is optionally split into contiguous shards dispatched
+to several workers at once, spreading the batch's independent per-sample
+Woodbury updates across cores (the solves run in LAPACK/BLAS, which
+releases the GIL).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.amm import AssociativeMemoryModule, BatchRecognitionResult
+from repro.crossbar.batched import BatchedCrossbarEngine
+from repro.serving.metrics import ServiceMetrics
+from repro.utils.validation import check_integer
+
+
+@dataclass
+class PendingRequest:
+    """One queued recall request awaiting a worker.
+
+    ``future`` resolves to the request's scalar
+    :class:`~repro.core.amm.RecognitionResult` (or to the error that
+    prevented it).  ``enqueued_at`` anchors the queue-to-response latency
+    reported through the metrics.
+    """
+
+    codes: np.ndarray
+    seed: int
+    future: concurrent.futures.Future
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class RecallWorker:
+    """One pool shard: a pre-factorised engine bound to the served module.
+
+    Parameters
+    ----------
+    amm:
+        The (shared, read-only) associative memory module being served.
+        Must use deterministic neurons — the seeded recall path refuses
+        stochastic DWN switching.
+    name:
+        Identifier used in health reporting.
+    """
+
+    def __init__(self, amm: AssociativeMemoryModule, name: str = "worker-0") -> None:
+        self.amm = amm
+        self.name = name
+        self.batches_processed = 0
+        self.requests_processed = 0
+        self.engine = BatchedCrossbarEngine(
+            amm.crossbar,
+            delta_v=amm.solver.delta_v,
+            termination_resistance=amm.solver.termination_resistance,
+        ).prepare(amm.include_parasitics)
+
+    def recall(
+        self, codes_batch: np.ndarray, request_seeds: Sequence[int]
+    ) -> BatchRecognitionResult:
+        """Recall one micro-batch through this worker's engine."""
+        result = self.amm.recognise_batch_seeded(
+            codes_batch, request_seeds, engine=self.engine
+        )
+        self.batches_processed += 1
+        self.requests_processed += len(result)
+        return result
+
+    def recall_per_sample(self, codes_batch: np.ndarray) -> List:
+        """Legacy reference dispatch: one full sparse MNA solve per request.
+
+        Mirrors the repository-wide convention that ``batch_size=1`` means
+        the per-sample :meth:`~repro.core.amm.AssociativeMemoryModule.recognise`
+        loop; kept as the baseline the serving benchmark quantifies
+        micro-batching against.  Unlike the seeded path this advances the
+        module's sequential random streams.
+        """
+        results = [self.amm.recognise(codes) for codes in codes_batch]
+        self.batches_processed += 1
+        self.requests_processed += len(results)
+        return results
+
+
+class ShardedWorkerPool:
+    """Worker threads consuming micro-batches from a bounded dispatch queue.
+
+    Parameters
+    ----------
+    amm:
+        The served module; each worker builds its own engine replica from
+        its network.
+    workers:
+        Number of shards (threads).
+    metrics:
+        Sink for completion counts and latencies.
+    legacy_per_sample:
+        Dispatch every request through the legacy per-sample sparse solve
+        instead of the seeded batched engine (benchmark baseline only).
+    min_shard_size:
+        A micro-batch is split across idle-capacity workers only when the
+        resulting shards would hold at least this many requests each, so
+        small batches keep their full Woodbury-chunk amortisation.
+    """
+
+    #: Dispatch slots per worker; bounds work-in-flight so a saturated
+    #: pool exerts backpressure on the micro-batcher instead of buffering.
+    DISPATCH_SLOTS_PER_WORKER = 2
+
+    def __init__(
+        self,
+        amm: AssociativeMemoryModule,
+        workers: int = 1,
+        metrics: Optional[ServiceMetrics] = None,
+        legacy_per_sample: bool = False,
+        min_shard_size: int = 16,
+    ) -> None:
+        check_integer("workers", workers, minimum=1)
+        check_integer("min_shard_size", min_shard_size, minimum=1)
+        self.metrics = metrics or ServiceMetrics()
+        self.legacy_per_sample = legacy_per_sample
+        self.min_shard_size = min_shard_size
+        # The legacy path runs amm.recognise(), which draws from the
+        # module's shared numpy Generator and mutates neuron state —
+        # neither is thread-safe, so per-sample recalls serialise.
+        self._legacy_lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue(
+            maxsize=workers * self.DISPATCH_SLOTS_PER_WORKER
+        )
+        self.workers: List[RecallWorker] = [
+            RecallWorker(amm, name=f"worker-{index}") for index in range(workers)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._run, args=(worker,), name=worker.name, daemon=True
+            )
+            for worker in self.workers
+        ]
+        self._closed = False
+        for thread in self._threads:
+            thread.start()
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def dispatch(self, batch: List[PendingRequest]) -> None:
+        """Hand one micro-batch to the pool, sharding it when worthwhile.
+
+        Blocks while every dispatch slot is taken — the backpressure
+        signal the micro-batcher relies on.  Sharding splits the batch
+        into contiguous runs of at least ``min_shard_size`` requests, at
+        most one per worker; each request's future is resolved by the
+        worker that served its shard.
+        """
+        if not batch:
+            return
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        shards = min(len(self.workers), max(1, len(batch) // self.min_shard_size))
+        if shards <= 1 or self.legacy_per_sample:
+            self._queue.put(batch)
+            return
+        bounds = np.linspace(0, len(batch), shards + 1).round().astype(int)
+        for begin, end in zip(bounds[:-1], bounds[1:]):
+            if end > begin:
+                self._queue.put(batch[begin:end])
+
+    def _run(self, worker: RecallWorker) -> None:
+        while True:
+            batch = self._queue.get()
+            if batch is None:
+                break
+            self._process(worker, batch)
+
+    def _process(self, worker: RecallWorker, batch: List[PendingRequest]) -> None:
+        # Claim each future before computing: a caller may have cancelled
+        # a queued request, and resolving a cancelled future raises
+        # InvalidStateError, which would kill the worker thread.
+        live = [
+            pending
+            for pending in batch
+            if pending.future.set_running_or_notify_cancel()
+        ]
+        if not live:
+            return
+        try:
+            codes = np.stack([pending.codes for pending in live])
+            if self.legacy_per_sample:
+                with self._legacy_lock:
+                    results = worker.recall_per_sample(codes)
+            else:
+                seeds = [pending.seed for pending in live]
+                results = list(worker.recall(codes, seeds))
+        except Exception as error:  # resolve every caller, never swallow
+            for pending in live:
+                pending.future.set_exception(error)
+            self.metrics.record_failed(len(live))
+            return
+        now = time.monotonic()
+        latencies = []
+        for pending, result in zip(live, results):
+            pending.future.set_result(result)
+            latencies.append(now - pending.enqueued_at)
+        self.metrics.record_completed(latencies)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop accepting work, finish queued batches and join the threads."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join()

@@ -28,6 +28,39 @@ def margin_templates(margin_parameters):
 
 
 class TestDetectionMargins:
+    def test_matches_point_by_point_solution(self, small_amm, small_template_codes):
+        """The batched-engine path reproduces the per-sample crossbar solves.
+
+        ``detection_margins`` routes the whole input set through
+        ``column_solution_batch``; the margins must agree with solving
+        each input through ``column_solution`` to solver precision, on
+        both the parasitic and the ideal path.
+        """
+        inputs = small_template_codes.T
+        true_columns = list(range(inputs.shape[0]))
+        for include_parasitics in (True, False):
+            batched = detection_margins(
+                small_amm, inputs, true_columns, include_parasitics=include_parasitics
+            )
+            for index, (codes, true_column) in enumerate(zip(inputs, true_columns)):
+                solution = small_amm.solver.solve(
+                    small_amm.input_dacs.conductances(codes),
+                    include_parasitics=include_parasitics,
+                )
+                currents = solution.column_currents
+                true_current = currents[true_column]
+                others = np.delete(currents, true_column)
+                expected = (
+                    -1.0
+                    if true_current <= 0
+                    else (true_current - others.max()) / true_current
+                )
+                assert batched[index] == pytest.approx(expected, rel=1e-8, abs=1e-12)
+
+    def test_empty_input_batch(self, small_amm):
+        margins = detection_margins(small_amm, np.empty((0, 32), dtype=int), [])
+        assert margins.shape == (0,)
+
     def test_margins_for_self_inputs_positive(self, small_amm, small_template_codes):
         columns = small_template_codes.shape[1]
         margins = detection_margins(

@@ -26,6 +26,7 @@ def test_examples_directory_contains_expected_scripts():
     names = {path.stem for path in EXAMPLE_FILES}
     assert "quickstart" in names
     assert "face_recognition_full" in names
+    assert "serving_demo" in names
     assert len(names) >= 3
 
 
@@ -35,3 +36,16 @@ def test_example_imports_and_exposes_main(path):
     assert hasattr(module, "main")
     assert callable(module.main)
     assert module.__doc__, "every example must carry a usage docstring"
+
+
+def test_serving_demo_runs_end_to_end(capsys):
+    """The serving demo boots a real server, serves concurrent traffic and
+    shuts down cleanly — the one example cheap enough to execute fully."""
+    module = _load(EXAMPLES_DIR / "serving_demo.py")
+    exit_code = module.main(["--subjects", "6", "--requests", "12", "--concurrency", "3"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "serving on http://127.0.0.1:" in output
+    assert "classified 12 images" in output
+    assert "micro-batches" in output
+    assert "clean shutdown" in output

@@ -1,0 +1,42 @@
+"""Shared fixtures for the serving-subsystem tests.
+
+All fixtures use the reduced 32x6 module geometry (the same scale as the
+batched-equivalence tests) so the full serving suite — including booting
+real HTTP servers on ephemeral ports — runs in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.amm import AssociativeMemoryModule
+
+FEATURES = 32
+TEMPLATES = 6
+SEED = 3
+
+
+def build_amm(**kwargs) -> AssociativeMemoryModule:
+    """A fresh reduced module; identical for identical keyword arguments."""
+    rng = np.random.default_rng(SEED)
+    templates = rng.integers(0, 32, size=(FEATURES, TEMPLATES))
+    return AssociativeMemoryModule.from_templates(templates, seed=SEED, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def serving_amm() -> AssociativeMemoryModule:
+    """Parasitic-path module with input variation: both per-request noise
+    substreams (input noise, latch offsets) are exercised."""
+    return build_amm(include_parasitics=True, input_variation=0.05)
+
+
+@pytest.fixture(scope="session")
+def request_codes() -> np.ndarray:
+    rng = np.random.default_rng(SEED + 1000)
+    return rng.integers(0, 32, size=(24, FEATURES))
+
+
+@pytest.fixture(scope="session")
+def request_seeds(request_codes) -> np.ndarray:
+    return np.arange(request_codes.shape[0], dtype=np.int64) + 500

@@ -1,0 +1,108 @@
+"""Unit tests for the service metrics: counters, histogram, percentiles."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serving.metrics import ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([4.0], 0.0) == 4.0
+        assert percentile([4.0], 1.0) == 4.0
+
+    def test_nearest_rank(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 0.0) == 1
+        assert percentile(samples, 0.5) == 51  # nearest rank of 0.5*(n-1)
+        assert percentile(samples, 1.0) == 100
+        assert percentile(samples, 0.99) == 99
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 1.0) == 5.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestServiceMetrics:
+    def test_counters_accumulate(self):
+        metrics = ServiceMetrics()
+        metrics.record_submitted(3)
+        metrics.record_rejected()
+        metrics.record_batch(2)
+        metrics.record_batch(1)
+        metrics.record_completed([0.010, 0.020, 0.030])
+        metrics.record_failed()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"]["submitted"] == 3
+        assert snapshot["requests"]["rejected"] == 1
+        assert snapshot["requests"]["completed"] == 3
+        assert snapshot["requests"]["failed"] == 1
+        assert snapshot["batches"]["dispatched"] == 2
+        assert snapshot["batches"]["mean_fill"] == pytest.approx(1.5)
+        assert snapshot["batches"]["fill_histogram"] == {"1": 1, "2": 1}
+
+    def test_queue_depth_gauge_and_high_water(self):
+        metrics = ServiceMetrics()
+        metrics.record_queue_depth(5)
+        metrics.record_queue_depth(2)
+        assert metrics.queue_depth == 2
+        assert metrics.snapshot()["queue_depth"] == {"current": 2, "max": 5}
+
+    def test_latency_percentiles_in_ms(self):
+        metrics = ServiceMetrics()
+        metrics.record_completed([0.001 * k for k in range(1, 101)])
+        latency = metrics.latency_percentiles()
+        assert latency["samples"] == 100
+        assert latency["p50_ms"] == pytest.approx(51.0)
+        assert latency["max_ms"] == pytest.approx(100.0)
+        assert latency["p99_ms"] <= latency["max_ms"]
+
+    def test_latency_reservoir_is_bounded(self):
+        metrics = ServiceMetrics(max_latency_samples=10)
+        metrics.record_completed([1.0] * 50)
+        assert metrics.latency_percentiles()["samples"] == 10
+
+    def test_throughput_uses_injected_clock(self):
+        now = {"t": 0.0}
+        metrics = ServiceMetrics(clock=lambda: now["t"])
+        metrics.record_completed([0.001] * 40)
+        now["t"] = 2.0
+        snapshot = metrics.snapshot()
+        assert snapshot["uptime_seconds"] == pytest.approx(2.0)
+        assert snapshot["throughput"]["completed_per_second"] == pytest.approx(20.0)
+
+    def test_snapshot_json_serialisable(self):
+        metrics = ServiceMetrics()
+        metrics.record_submitted()
+        metrics.record_batch(1)
+        metrics.record_completed([0.005])
+        json.dumps(metrics.snapshot())
+
+    def test_thread_safety_of_counters(self):
+        metrics = ServiceMetrics()
+
+        def pound():
+            for _ in range(1000):
+                metrics.record_submitted()
+                metrics.record_completed([0.001])
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"]["submitted"] == 4000
+        assert snapshot["requests"]["completed"] == 4000
+
+    def test_invalid_reservoir_size(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics(max_latency_samples=0)

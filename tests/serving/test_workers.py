@@ -1,0 +1,141 @@
+"""Worker-pool tests: engine ownership, sharding, error propagation."""
+
+import concurrent.futures
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import ServiceMetrics
+from repro.serving.workers import PendingRequest, RecallWorker, ShardedWorkerPool
+
+
+def make_pending(codes, seed):
+    return PendingRequest(
+        codes=np.asarray(codes, dtype=np.int64),
+        seed=seed,
+        future=concurrent.futures.Future(),
+    )
+
+
+class TestRecallWorker:
+    def test_engine_prefactorised_at_startup(self, serving_amm):
+        worker = RecallWorker(serving_amm, name="w")
+        assert worker.engine.prepared
+        assert worker.engine is not serving_amm.solver.batch_engine
+
+    def test_recall_matches_module_engine(self, serving_amm, request_codes, request_seeds):
+        worker = RecallWorker(serving_amm)
+        via_worker = worker.recall(request_codes, request_seeds)
+        reference = serving_amm.recognise_batch_seeded(request_codes, request_seeds)
+        assert np.array_equal(via_worker.winner_column, reference.winner_column)
+        assert np.array_equal(via_worker.dom_code, reference.dom_code)
+        np.testing.assert_allclose(
+            via_worker.column_currents, reference.column_currents, rtol=0
+        )
+        assert worker.batches_processed == 1
+        assert worker.requests_processed == len(request_seeds)
+
+    def test_legacy_per_sample_path(self, request_codes):
+        from tests.serving.conftest import build_amm
+
+        amm = build_amm(include_parasitics=True)
+        worker = RecallWorker(amm)
+        results = worker.recall_per_sample(request_codes[:3])
+        twin = build_amm(include_parasitics=True)
+        for codes, result in zip(request_codes[:3], results):
+            expected = twin.recognise(codes)
+            assert result.winner_column == expected.winner_column
+            assert result.dom_code == expected.dom_code
+
+
+class TestShardedWorkerPool:
+    def test_dispatch_resolves_every_future(self, serving_amm, request_codes, request_seeds):
+        pool = ShardedWorkerPool(serving_amm, workers=2)
+        try:
+            batch = [
+                make_pending(codes, int(seed))
+                for codes, seed in zip(request_codes, request_seeds)
+            ]
+            pool.dispatch(batch)
+            reference = serving_amm.recognise_batch_seeded(request_codes, request_seeds)
+            for index, pending in enumerate(batch):
+                result = pending.future.result(timeout=20.0)
+                assert result.winner_column == reference[index].winner_column
+                assert result.dom_code == reference[index].dom_code
+        finally:
+            pool.close()
+
+    def test_sharding_splits_large_batches(self, serving_amm, request_codes, request_seeds):
+        metrics = ServiceMetrics()
+        pool = ShardedWorkerPool(
+            serving_amm, workers=3, metrics=metrics, min_shard_size=4
+        )
+        try:
+            batch = [
+                make_pending(codes, int(seed))
+                for codes, seed in zip(request_codes, request_seeds)
+            ]
+            pool.dispatch(batch)
+            for pending in batch:
+                pending.future.result(timeout=20.0)
+            # 24 requests / min shard 4 capped at 3 workers -> 3 shards.
+            assert sum(worker.batches_processed for worker in pool.workers) == 3
+            assert sum(worker.requests_processed for worker in pool.workers) == 24
+        finally:
+            pool.close()
+
+    def test_small_batches_stay_whole(self, serving_amm, request_codes):
+        pool = ShardedWorkerPool(serving_amm, workers=3, min_shard_size=16)
+        try:
+            batch = [make_pending(codes, 1) for codes in request_codes[:6]]
+            pool.dispatch(batch)
+            for pending in batch:
+                pending.future.result(timeout=20.0)
+            assert sum(worker.batches_processed for worker in pool.workers) == 1
+        finally:
+            pool.close()
+
+    def test_worker_error_propagates_to_futures(self, serving_amm, request_codes):
+        pool = ShardedWorkerPool(serving_amm, workers=1)
+        try:
+            bad = [make_pending(np.full(32, 99), 1)]  # out-of-range codes
+            pool.dispatch(bad)
+            with pytest.raises(ValueError):
+                bad[0].future.result(timeout=20.0)
+            assert pool.metrics.failed == 1
+            # The worker thread survives the error and serves the next batch.
+            good = [make_pending(request_codes[0], 1)]
+            pool.dispatch(good)
+            good[0].future.result(timeout=20.0)
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_rejects_dispatch(self, serving_amm, request_codes):
+        pool = ShardedWorkerPool(serving_amm, workers=2)
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.dispatch([make_pending(request_codes[0], 1)])
+
+    def test_cancelled_future_does_not_kill_worker(self, serving_amm, request_codes):
+        pool = ShardedWorkerPool(serving_amm, workers=1)
+        try:
+            cancelled = make_pending(request_codes[0], 1)
+            assert cancelled.future.cancel()
+            survivor = make_pending(request_codes[1], 2)
+            pool.dispatch([cancelled, survivor])
+            # The worker must skip the cancelled future, serve the rest,
+            # and stay alive for later batches.
+            assert survivor.future.result(timeout=20.0) is not None
+            later = make_pending(request_codes[2], 3)
+            pool.dispatch([later])
+            assert later.future.result(timeout=20.0) is not None
+        finally:
+            pool.close()
+
+    def test_empty_dispatch_is_noop(self, serving_amm):
+        pool = ShardedWorkerPool(serving_amm, workers=1)
+        try:
+            pool.dispatch([])
+        finally:
+            pool.close()
