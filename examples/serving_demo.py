@@ -35,6 +35,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--requests", type=int, default=48, help="images to classify")
     parser.add_argument("--concurrency", type=int, default=4, help="client threads")
     parser.add_argument("--seed", type=int, default=2013)
+    from repro.backends import backend_names
+
+    parser.add_argument(
+        "--backend",
+        default="threads",
+        choices=backend_names(),
+        help="execution backend for the recall engine pool",
+    )
     arguments = parser.parse_args(argv)
 
     print(f"building a {arguments.subjects}-class pipeline ...")
@@ -43,10 +51,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     codes = pipeline.extractor.extract_many(dataset.test_images)
 
     service = RecognitionService(
-        pipeline.amm, max_batch_size=16, max_wait=2e-3, workers=2
+        pipeline.amm,
+        max_batch_size=16,
+        max_wait=2e-3,
+        workers=2,
+        backend=arguments.backend,
     )
     server = start_server(service, port=0)
-    print(f"serving on http://127.0.0.1:{server.port}")
+    print(f"serving on http://127.0.0.1:{server.port} (backend={arguments.backend})")
 
     correct: List[int] = []
     failures: List[str] = []

@@ -33,14 +33,25 @@ The package is organised around the systems described in the paper:
     Accuracy, detection-margin, power/energy and process-variation
     analyses that regenerate every table and figure of the evaluation.
 
+``repro.backends``
+    Pluggable execution backends for batched recall, selected by name
+    through one registry: ``serial`` (one pre-factorised engine, the
+    equivalence reference), ``threads`` (contiguous shards over engine
+    replicas on a thread pool) and ``processes`` (a multi-process engine
+    pool — each worker rebuilds its own factorisation from a picklable
+    ``EngineSpec`` and exchanges batches over shared memory, scaling
+    recall across cores instead of contending for one GIL).  Results are
+    seed-pure and therefore identical for every backend choice.
+
 ``repro.serving``
-    The online-traffic layer: a micro-batching recognition service with
-    a sharded worker pool (one pre-factorised crossbar engine per
-    worker), a stdlib JSON HTTP API (``POST /recognise``,
+    The online-traffic layer: a micro-batching recognition service over
+    any registered execution backend, a stdlib JSON HTTP API
+    (``POST /recognise`` with optional ``timeout_ms`` deadlines,
     ``GET /healthz``, ``GET /stats``) and an offered-load generator —
-    ``python -m repro serve`` / ``loadtest``.  Per-request seeds name
-    private random substreams, so served results are independent of
-    arrival order, micro-batch composition and worker count.
+    ``python -m repro serve`` / ``loadtest`` (``--backend``).
+    Per-request seeds name private random substreams, so served results
+    are independent of arrival order, micro-batch composition, worker
+    count and backend.
 
 Quickstart
 ----------

@@ -1,0 +1,65 @@
+"""Pluggable execution backends for batched associative recall.
+
+The numerical engine (:mod:`repro.crossbar.batched`) knows *what* to
+compute; this package owns *where and how* it executes:
+
+``serial``
+    :class:`~repro.backends.serial.SerialBackend` — one pre-factorised
+    engine on the caller's thread.  The equivalence reference.
+
+``threads``
+    :class:`~repro.backends.threaded.ThreadedBackend` — PR 2's sharded
+    thread pool, extracted from the serving layer: contiguous shards over
+    per-slot engine replicas; the LAPACK solves overlap (they release the
+    GIL) but the Python glue still serialises.
+
+``processes``
+    :class:`~repro.backends.process.ProcessPoolBackend` — N worker
+    processes, each rebuilding its own pre-factorised engine from a
+    picklable :class:`~repro.backends.base.EngineSpec` (configuration +
+    programmed conductances; the factorisation never crosses the process
+    boundary) and exchanging batches through shared-memory buffers, so
+    recalls scale with cores instead of contending for one GIL.
+
+All backends execute the *seeded* recall path, so results are a pure
+function of ``(module, codes, seed)`` — invariant across backend choice,
+worker count and shard boundaries (``tests/backends/``), which is what
+makes the strategy a deployment decision instead of a correctness one.
+Consumers select a backend by name through the registry
+(:func:`create_backend` / :func:`resolve_backend`); see ``README.md`` in
+this directory for the protocol and the custom-backend recipe.
+"""
+
+from repro.backends.base import (
+    BackendCapabilities,
+    EngineSpec,
+    RecallBackend,
+    WorkerCrashedError,
+    contiguous_shards,
+)
+from repro.backends.process import ProcessPoolBackend
+from repro.backends.registry import (
+    DEFAULT_BACKEND,
+    backend_names,
+    create_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends.serial import SerialBackend
+from repro.backends.threaded import ThreadedBackend
+
+__all__ = [
+    "BackendCapabilities",
+    "DEFAULT_BACKEND",
+    "EngineSpec",
+    "ProcessPoolBackend",
+    "RecallBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "WorkerCrashedError",
+    "backend_names",
+    "contiguous_shards",
+    "create_backend",
+    "register_backend",
+    "resolve_backend",
+]

@@ -11,10 +11,12 @@ without writing any code:
   images end to end (``--batch-size`` selects the recall granularity;
   1 = legacy per-sample loop);
 * ``throughput`` — evaluate the corpus through the batched recall engine
-  and report images/second;
+  and report images/second (``--backend serial|threads|processes``
+  recalls through a named execution backend with ``--workers`` units);
 * ``serve`` — boot the micro-batching recognition service
   (:mod:`repro.serving`) behind its JSON HTTP API (``POST /recognise``,
-  ``GET /healthz``, ``GET /stats``) and serve until interrupted;
+  ``GET /healthz``, ``GET /stats``) on the execution backend named by
+  ``--backend`` and serve until interrupted;
 * ``loadtest`` — drive an offered-load experiment (concurrent clients,
   multi-image requests) against ``--url`` or against a server booted
   in-process, and report end-to-end images/second with latency
@@ -116,16 +118,34 @@ def _command_throughput(arguments: argparse.Namespace) -> str:
     images = dataset.test_images[: arguments.images]
     labels = dataset.test_labels[: arguments.images]
     codes = pipeline.extractor.extract_many(images)
-    start = time.perf_counter()
-    if arguments.batch_size == 1:
-        winners = [pipeline.amm.recognise(sample).winner for sample in codes]
-        label = "Per-sample recall"
+    if arguments.backend is not None:
+        # Seeded recall through a named execution backend; the engine
+        # pool (and, for processes, the workers) is built before timing.
+        from repro.backends import create_backend
+
+        backend = create_backend(
+            arguments.backend, pipeline.amm, workers=arguments.workers
+        ).prepare()
+        try:
+            start = time.perf_counter()
+            winners = pipeline.amm.recall_arrays(
+                codes, arguments.batch_size, backend=backend
+            )[0]
+            elapsed = time.perf_counter() - start
+        finally:
+            backend.close()
+        label = f"Backend recall ({arguments.backend} x{arguments.workers})"
     else:
-        winners = pipeline.classify_codes_batch(
-            codes, batch_size=arguments.batch_size
-        ).winner
-        label = "Batched recall"
-    elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        if arguments.batch_size == 1:
+            winners = [pipeline.amm.recognise(sample).winner for sample in codes]
+            label = "Per-sample recall"
+        else:
+            winners = pipeline.classify_codes_batch(
+                codes, batch_size=arguments.batch_size
+            ).winner
+            label = "Batched recall"
+        elapsed = time.perf_counter() - start
     accuracy = float(np.mean(np.asarray(winners) == labels))
     rows = [
         ["Images", str(len(codes))],
@@ -149,6 +169,7 @@ def _build_service(arguments: argparse.Namespace):
         max_queue_depth=arguments.queue_depth,
         workers=arguments.workers,
         legacy_per_sample=getattr(arguments, "per_sample", False),
+        backend=arguments.backend,
     )
     return dataset, pipeline, service
 
@@ -161,7 +182,8 @@ def _command_serve(arguments: argparse.Namespace) -> str:
     print(
         f"serving {service.amm.crossbar.rows}x{service.amm.crossbar.columns} "
         f"recognition on http://{arguments.host}:{server.port} "
-        f"(workers={arguments.workers}, max_batch_size={arguments.max_batch_size}, "
+        f"(backend={arguments.backend}, workers={arguments.workers}, "
+        f"max_batch_size={arguments.max_batch_size}, "
         f"max_wait={arguments.max_wait_ms} ms); Ctrl-C to stop",
         flush=True,
     )
@@ -234,9 +256,23 @@ def _command_loadtest(arguments: argparse.Namespace) -> str:
     return format_table(["Quantity", "Value"], rows)
 
 
+def _add_backend_option(parser: argparse.ArgumentParser, default: str = "threads") -> None:
+    from repro.backends import backend_names
+
+    parser.add_argument(
+        "--backend",
+        default=default,
+        choices=backend_names(),
+        help="execution backend for the recall engine "
+        "(serial = one engine, threads = sharded thread pool, "
+        "processes = multi-process engine pool)",
+    )
+
+
 def _add_serving_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--subjects", type=int, default=40, help="stored classes")
     parser.add_argument("--seed", type=int, default=2013)
+    _add_backend_option(parser)
     parser.add_argument(
         "--max-batch-size", type=int, default=64, help="largest micro-batch dispatched"
     )
@@ -311,6 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="recall granularity; 1 = legacy per-sample loop",
     )
+    throughput.add_argument(
+        "--workers", type=int, default=1, help="execution units for --backend"
+    )
+    _add_backend_option(throughput, default=None)
     throughput.set_defaults(handler=_command_throughput)
 
     serve = subparsers.add_parser(

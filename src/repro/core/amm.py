@@ -207,6 +207,29 @@ class BatchRecognitionResult:
         return (self[index] for index in range(len(self)))
 
 
+def concatenate_batch_results(chunks) -> BatchRecognitionResult:
+    """Stitch contiguous :class:`BatchRecognitionResult` chunks back together.
+
+    The single concatenation used wherever a batch is recalled in pieces —
+    pipeline chunking and the sharded execution backends — so shard
+    boundaries can never change how results are reassembled.
+    """
+    chunks = list(chunks)
+    if not chunks:
+        raise ValueError("chunks must not be empty")
+    return BatchRecognitionResult(
+        winner_column=np.concatenate([c.winner_column for c in chunks]),
+        winner=np.concatenate([c.winner for c in chunks]),
+        dom_code=np.concatenate([c.dom_code for c in chunks]),
+        accepted=np.concatenate([c.accepted for c in chunks]),
+        tie=np.concatenate([c.tie for c in chunks]),
+        codes=np.concatenate([c.codes for c in chunks]),
+        column_currents=np.concatenate([c.column_currents for c in chunks]),
+        static_power=np.concatenate([c.static_power for c in chunks]),
+        events=[events for c in chunks for events in c.events],
+    )
+
+
 class AssociativeMemoryModule:
     """RCM + DTCS DACs + spin-neuron WTA: the complete AMM of the paper.
 
@@ -691,6 +714,9 @@ class AssociativeMemoryModule:
         input_codes_batch: np.ndarray,
         labels: np.ndarray,
         batch_size: Optional[int] = None,
+        backend=None,
+        workers: int = 1,
+        base_seed: int = 0,
     ) -> Dict[str, float]:
         """Classify a batch and report accuracy statistics.
 
@@ -706,6 +732,11 @@ class AssociativeMemoryModule:
             value.  ``batch_size=1`` runs the legacy per-sample
             :meth:`recognise` loop — the reference the batched engine is
             benchmarked and regression-tested against.
+        backend, workers, base_seed:
+            Optional execution backend (a registry name such as
+            ``"threads"``/``"processes"``, or a prepared
+            :class:`~repro.backends.base.RecallBackend`) the recalls run
+            on; see :meth:`recall_arrays`.
 
         Returns
         -------
@@ -722,7 +753,11 @@ class AssociativeMemoryModule:
         if batch_size is not None:
             check_integer("batch_size", batch_size, minimum=1)
         winners, accepted, ties, static_power = self.recall_arrays(
-            input_codes_batch, batch_size
+            input_codes_batch,
+            batch_size,
+            backend=backend,
+            workers=workers,
+            base_seed=base_seed,
         )
         return {
             "accuracy": float(np.count_nonzero(winners == labels)) / count,
@@ -732,7 +767,12 @@ class AssociativeMemoryModule:
         }
 
     def recall_arrays(
-        self, input_codes_batch: np.ndarray, batch_size: Optional[int] = None
+        self,
+        input_codes_batch: np.ndarray,
+        batch_size: Optional[int] = None,
+        backend=None,
+        workers: int = 1,
+        base_seed: int = 0,
     ) -> tuple:
         """Winner/accepted/tie/static-power arrays for a code batch.
 
@@ -744,12 +784,53 @@ class AssociativeMemoryModule:
         the per-sample and batched paths aggregate through identical
         code.  Returns ``(winners, accepted, ties, static_power)``
         arrays of length ``B``.
+
+        ``backend`` selects an execution strategy from
+        :mod:`repro.backends` (a registry name, resolved with ``workers``
+        execution units and closed afterwards, or an already-prepared
+        :class:`~repro.backends.base.RecallBackend`, left open).  Backend
+        recalls run the *seeded* path: sample ``i`` draws its noise from
+        the ``base_seed + i`` substream instead of the module's sequential
+        stream, so the discrete arrays (winners, acceptance, ties) are
+        identical for every backend choice, worker count, shard boundary
+        and ``batch_size``; the analog ``static_power`` agrees to solver
+        precision (chunk/shard shapes can shift BLAS kernel paths by a
+        few ulps).  Both differ from the default (module-stream) path
+        whenever the module draws per-evaluation noise.
         """
+        if backend is None and (workers != 1 or base_seed != 0):
+            # Silently ignoring these would also silently keep the
+            # module-stream RNG semantics; make the dependency explicit.
+            raise ValueError(
+                "workers and base_seed only apply to backend recalls; "
+                "pass backend='serial'/'threads'/'processes' (or an instance)"
+            )
         count = input_codes_batch.shape[0]
         winners = np.empty(count, dtype=np.int64)
         accepted = np.empty(count, dtype=bool)
         ties = np.empty(count, dtype=bool)
         static_power = np.empty(count)
+        if backend is not None:
+            from repro.backends.registry import resolve_backend
+
+            resolved, owned = resolve_backend(backend, self, workers=workers)
+            seeds = base_seed + np.arange(count, dtype=np.int64)
+            try:
+                resolved.prepare()
+                step = count if batch_size is None else max(batch_size, 1)
+                for start in range(0, count, step):
+                    stop = min(start + step, count)
+                    chunk = resolved.recall_batch_seeded(
+                        input_codes_batch[start:stop], seeds[start:stop]
+                    )
+                    winners[start:stop] = chunk.winner
+                    accepted[start:stop] = chunk.accepted
+                    ties[start:stop] = chunk.tie
+                    static_power[start:stop] = chunk.static_power
+            finally:
+                if owned:
+                    resolved.close()
+            return winners, accepted, ties, static_power
         if batch_size == 1:
             for index in range(count):
                 result = self.recognise(input_codes_batch[index])

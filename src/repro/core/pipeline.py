@@ -26,6 +26,7 @@ from repro.core.amm import (
     AssociativeMemoryModule,
     BatchRecognitionResult,
     RecognitionResult,
+    concatenate_batch_results,
 )
 from repro.core.config import DesignParameters, default_parameters
 from repro.datasets.attlike import FaceDataset
@@ -124,20 +125,9 @@ class FaceRecognitionPipeline:
         codes = np.asarray(codes)
         if batch_size is None or batch_size >= codes.shape[0]:
             return self.amm.recognise_batch(codes)
-        chunks = [
+        return concatenate_batch_results(
             self.amm.recognise_batch(codes[start : start + batch_size])
             for start in range(0, codes.shape[0], batch_size)
-        ]
-        return BatchRecognitionResult(
-            winner_column=np.concatenate([c.winner_column for c in chunks]),
-            winner=np.concatenate([c.winner for c in chunks]),
-            dom_code=np.concatenate([c.dom_code for c in chunks]),
-            accepted=np.concatenate([c.accepted for c in chunks]),
-            tie=np.concatenate([c.tie for c in chunks]),
-            codes=np.concatenate([c.codes for c in chunks]),
-            column_currents=np.concatenate([c.column_currents for c in chunks]),
-            static_power=np.concatenate([c.static_power for c in chunks]),
-            events=[events for c in chunks for events in c.events],
         )
 
     # ------------------------------------------------------------------ #
@@ -148,6 +138,9 @@ class FaceRecognitionPipeline:
         dataset: FaceDataset,
         limit: Optional[int] = None,
         batch_size: Optional[int] = None,
+        backend=None,
+        workers: int = 1,
+        base_seed: int = 0,
     ) -> PipelineEvaluation:
         """Classify (a subset of) a dataset and report aggregate statistics.
 
@@ -167,6 +160,15 @@ class FaceRecognitionPipeline:
             Both paths share the same feature extraction and aggregation
             code, so on the ideal (no-parasitics) solve path their
             :class:`PipelineEvaluation` values are bit-identical.
+        backend, workers, base_seed:
+            Optional execution backend for the recalls — a
+            :mod:`repro.backends` registry name (``"serial"``,
+            ``"threads"``, ``"processes"``) resolved with ``workers``
+            execution units, or a prepared
+            :class:`~repro.backends.base.RecallBackend`.  Backend recalls
+            run the seeded path (sample ``i`` uses substream
+            ``base_seed + i``), so the evaluation is invariant across
+            backend choice and worker count.
         """
         if batch_size is not None:
             check_integer("batch_size", batch_size, minimum=1)
@@ -178,7 +180,7 @@ class FaceRecognitionPipeline:
             labels = labels[indices]
         codes = self.extractor.extract_many(images)
         winners, accepted, ties, static_power = self.amm.recall_arrays(
-            codes, batch_size
+            codes, batch_size, backend=backend, workers=workers, base_seed=base_seed
         )
         labels = np.asarray(labels, dtype=np.int64)
         count = len(images)

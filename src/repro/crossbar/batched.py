@@ -34,14 +34,16 @@ recognition outputs (winner, DOM codes, tie flags) are identical.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import splu
 
 from repro.crossbar.array import ResistiveCrossbar
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_integer, check_positive
 
 
 @dataclass(frozen=True)
@@ -71,6 +73,22 @@ class BatchCrossbarSolution:
         return self.column_currents.shape[0]
 
 
+def concatenate_batch_solutions(chunks) -> BatchCrossbarSolution:
+    """Stitch contiguous :class:`BatchCrossbarSolution` chunks back together.
+
+    Used by the execution backends to reassemble a sharded solve; the
+    chunks must share ``delta_v`` (they come from replicas of one network).
+    """
+    chunks = list(chunks)
+    if not chunks:
+        raise ValueError("chunks must not be empty")
+    return BatchCrossbarSolution(
+        column_currents=np.concatenate([c.column_currents for c in chunks]),
+        supply_current=np.concatenate([c.supply_current for c in chunks]),
+        delta_v=chunks[0].delta_v,
+    )
+
+
 class BatchedCrossbarEngine:
     """Amortised many-input DC evaluation of one programmed crossbar.
 
@@ -83,19 +101,41 @@ class BatchedCrossbarEngine:
     termination_resistance:
         Input resistance (Ω) of the column clamp (already floored to the
         solver minimum by the caller).
+    chunk_size:
+        Samples per stacked LAPACK solve on the parasitic path.  ``None``
+        (default) picks one for the crossbar geometry at :meth:`prepare`
+        time: a quick autotune times the candidate chunk sizes on a
+        synthetic batch and keeps the fastest.  Every sample's
+        ``(I + D W)`` system is solved independently inside the stacked
+        call, so chunking never changes discrete outcomes; analog outputs
+        may differ in the last few ulps (different BLAS kernel paths for
+        different batch shapes) but agree to solver precision.
     """
+
+    #: Samples per stacked LAPACK call when no ``chunk_size`` was given
+    #: and autotuning has not run: bounds the transient ``(chunk, rows,
+    #: rows)`` system tensor to a few MB for the reference design.
+    WOODBURY_CHUNK = 64
+
+    #: Chunk sizes tried by the :meth:`prepare`-time autotune.
+    CHUNK_CANDIDATES = (16, 32, 64, 128)
 
     def __init__(
         self,
         crossbar: ResistiveCrossbar,
         delta_v: float,
         termination_resistance: float,
+        chunk_size: Optional[int] = None,
     ) -> None:
         check_positive("delta_v", delta_v)
         check_positive("termination_resistance", termination_resistance)
+        if chunk_size is not None:
+            check_integer("chunk_size", chunk_size, minimum=1)
         self.crossbar = crossbar
         self.delta_v = delta_v
         self.termination_resistance = termination_resistance
+        self._chunk_size = chunk_size
+        self._chunk_autotuned = chunk_size is not None
         # Ideal-path state (cheap, always prepared).
         self._conductances = crossbar.conductances
         self._row_totals = crossbar.row_total_conductances()
@@ -107,21 +147,77 @@ class BatchedCrossbarEngine:
         """Whether the parasitic-path factorisation has been computed."""
         return self._woodbury_ready
 
-    def prepare(self, include_parasitics: bool = True) -> "BatchedCrossbarEngine":
+    @property
+    def chunk_size(self) -> int:
+        """Samples per stacked parasitic solve (configured, tuned or default)."""
+        return self._chunk_size if self._chunk_size is not None else self.WOODBURY_CHUNK
+
+    def prepare(
+        self, include_parasitics: bool = True, autotune_chunk: bool = True
+    ) -> "BatchedCrossbarEngine":
         """Eagerly build the static-network factorisation and return ``self``.
 
         Long-running services pay the one-time sparse LU + Woodbury
         precomputation at startup (per worker replica) rather than on the
         first request, keeping first-request latency flat.  A no-op when
         parasitics are disabled or the factorisation already exists.
+
+        When no explicit ``chunk_size`` was configured, ``autotune_chunk``
+        (default) additionally times the candidate chunk sizes on a
+        synthetic batch and keeps the fastest for this geometry — a few
+        stacked solves, so the cost stays a small fraction of the LU
+        factorisation itself.
         """
         if (
             include_parasitics
             and self.crossbar.parasitics.segment_resistance != 0.0
-            and not self._woodbury_ready
         ):
-            self._build_woodbury()
+            if not self._woodbury_ready:
+                self._build_woodbury()
+            if autotune_chunk and not self._chunk_autotuned:
+                self._chunk_size = self._autotune_chunk()
+                self._chunk_autotuned = True
         return self
+
+    def _autotune_chunk(self) -> int:
+        """Time the candidate chunk sizes on this geometry; return the fastest.
+
+        The timing input is a synthetic full-drive batch (every row at the
+        nominal 2 % loading used for DAC calibration), which exercises the
+        same stacked-solve shapes as real traffic.  One warm-up plus one
+        timed solve per candidate keeps the whole tune to a handful of
+        LAPACK calls; the choice only affects speed, never results.
+        """
+        rows = self.crossbar.rows
+        drive = 0.02 * self.crossbar.nominal_row_conductance()
+        best_size, best_elapsed = self.WOODBURY_CHUNK, float("inf")
+        for candidate in self.CHUNK_CANDIDATES:
+            batch = np.full((candidate, rows), drive)
+            self._solve_parasitic_chunked(batch, candidate)  # warm-up
+            start = time.perf_counter()
+            self._solve_parasitic_chunked(batch, candidate)
+            elapsed = (time.perf_counter() - start) / candidate
+            if elapsed < best_elapsed:
+                best_size, best_elapsed = candidate, elapsed
+        return best_size
+
+    # ------------------------------------------------------------------ #
+    # Pickling (the EngineSpec contract)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Pickle the configuration and programmed state, not the factorisation.
+
+        Process-pool workers rebuild engines from a picklable
+        :class:`~repro.backends.base.EngineSpec`; what crosses the pickle
+        boundary is the crossbar configuration and conductances only.
+        The Woodbury operators (``A0^{-1}``-derived dense blocks) are
+        dropped here and rebuilt by the receiver's own :meth:`prepare`.
+        """
+        state = self.__dict__.copy()
+        for key in ("_w_matrix", "_z_outputs", "_g_term", "_identity"):
+            state.pop(key, None)
+        state["_woodbury_ready"] = False
+        return state
 
     # ------------------------------------------------------------------ #
     # Ideal path
@@ -218,31 +314,33 @@ class BatchedCrossbarEngine:
         self._identity = np.eye(rows)
         self._woodbury_ready = True
 
-    #: Samples per stacked LAPACK call: bounds the transient ``(chunk,
-    #: rows, rows)`` system tensor to a few MB for the reference design.
-    WOODBURY_CHUNK = 64
-
     def solve_parasitic_batch(self, dac_conductances: np.ndarray) -> BatchCrossbarSolution:
         """Woodbury solves of the full MNA network for a ``(B, rows)`` batch.
 
         The per-sample ``(I + D W)`` systems are solved as one stacked
-        ``numpy.linalg.solve`` call per chunk and the small projections
-        as batched GEMMs, so the hot path spends its time in LAPACK/BLAS
-        rather than a Python loop.
+        ``numpy.linalg.solve`` call per chunk of :attr:`chunk_size`
+        samples and the small projections as batched GEMMs, so the hot
+        path spends its time in LAPACK/BLAS rather than a Python loop.
         """
         if self.crossbar.parasitics.segment_resistance == 0.0:
             return self.solve_ideal_batch(dac_conductances)
         dac = self._check_batch(dac_conductances)
         if not self._woodbury_ready:
             self._build_woodbury()
+        return self._solve_parasitic_chunked(dac, self.chunk_size)
+
+    def _solve_parasitic_chunked(
+        self, dac: np.ndarray, chunk_size: int
+    ) -> BatchCrossbarSolution:
+        """The chunked Woodbury loop over an already-validated batch."""
         batch = dac.shape[0]
         column_currents = np.empty((batch, self.crossbar.columns))
         supply = np.empty(batch)
         w_matrix = self._w_matrix
         z_outputs = self._z_outputs
         delta_v = self.delta_v
-        for start in range(0, batch, self.WOODBURY_CHUNK):
-            d = dac[start : start + self.WOODBURY_CHUNK]
+        for start in range(0, batch, chunk_size):
+            d = dac[start : start + chunk_size]
             injection = d * delta_v
             base_driven = injection @ w_matrix.T
             systems = self._identity[None, :, :] + d[:, :, None] * w_matrix[None, :, :]

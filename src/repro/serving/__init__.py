@@ -18,13 +18,15 @@ traffic, where callers arrive one image at a time:
     than buffering without bound.
 
 ``workers``
-    :class:`~repro.serving.workers.ShardedWorkerPool` — one thread per
-    shard, each owning a pre-factorised
-    :class:`~repro.crossbar.batched.BatchedCrossbarEngine` replica (the
-    static-network LU + Woodbury operators cached per worker at startup).
-    Large micro-batches split into contiguous shards across workers,
-    spreading the independent per-sample Woodbury updates over cores; the
-    dense solves run in LAPACK, which releases the GIL.
+    :class:`~repro.serving.workers.ShardedWorkerPool` — the dispatch
+    adapter between the micro-batcher and the pluggable execution
+    backends of :mod:`repro.backends`.  ``backend="threads"`` (default)
+    shards micro-batches across per-slot engine replicas on a thread
+    pool; ``backend="processes"`` runs them on a pool of worker
+    processes (own interpreters, shared-memory I/O) that scales the
+    whole recall across cores; ``backend="serial"`` is the single-engine
+    reference.  Deadline-expired requests are dropped here, before any
+    engine time is spent.
 
 ``server`` / ``client``
     A stdlib-only JSON API (``POST /recognise``, ``GET /healthz``,
@@ -76,16 +78,17 @@ from repro.serving.server import (
 )
 from repro.serving.service import (
     BackpressureError,
+    DeadlineExceededError,
     RecognitionService,
     ServiceClosedError,
 )
-from repro.serving.workers import PendingRequest, RecallWorker, ShardedWorkerPool
+from repro.serving.workers import PendingRequest, ShardedWorkerPool
 
 __all__ = [
     "BackpressureError",
+    "DeadlineExceededError",
     "LoadReport",
     "PendingRequest",
-    "RecallWorker",
     "RecognitionClient",
     "RecognitionServer",
     "RecognitionService",

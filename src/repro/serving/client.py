@@ -93,18 +93,37 @@ class RecognitionClient:
     # ------------------------------------------------------------------ #
     # API
     # ------------------------------------------------------------------ #
-    def recognise(self, codes: np.ndarray, seed: int = 0) -> dict:
-        """Recall one ``(features,)`` code vector; returns the result dict."""
-        payload = {"codes": np.asarray(codes).tolist(), "seed": int(seed)}
+    def recognise(
+        self,
+        codes: np.ndarray,
+        seed: int = 0,
+        timeout_ms: Optional[float] = None,
+    ) -> dict:
+        """Recall one ``(features,)`` code vector; returns the result dict.
+
+        ``timeout_ms`` is the server-side dispatch deadline: a request
+        still queued when it expires is dropped and answered HTTP 504.
+        """
+        payload: Dict[str, object] = {
+            "codes": np.asarray(codes).tolist(),
+            "seed": int(seed),
+        }
+        if timeout_ms is not None:
+            payload["timeout_ms"] = float(timeout_ms)
         return self._request("POST", "/recognise", payload)["result"]
 
     def recognise_many(
-        self, codes_batch: np.ndarray, seeds: Optional[Sequence[int]] = None
+        self,
+        codes_batch: np.ndarray,
+        seeds: Optional[Sequence[int]] = None,
+        timeout_ms: Optional[float] = None,
     ) -> List[dict]:
         """Recall a ``(B, features)`` batch; each row is one queued request."""
         payload: Dict[str, object] = {"codes": np.asarray(codes_batch).tolist()}
         if seeds is not None:
             payload["seeds"] = [int(seed) for seed in seeds]
+        if timeout_ms is not None:
+            payload["timeout_ms"] = float(timeout_ms)
         return self._request("POST", "/recognise", payload)["results"]
 
     def healthz(self) -> dict:

@@ -68,6 +68,7 @@ class ServiceMetrics:
         self.completed = 0
         self.failed = 0
         self.rejected = 0
+        self.expired = 0
         self.batches = 0
         self._batch_fill: Counter = Counter()
         self._queue_depth = 0
@@ -86,6 +87,11 @@ class ServiceMetrics:
         """Count requests turned away by backpressure."""
         with self._lock:
             self.rejected += count
+
+    def record_expired(self, count: int = 1) -> None:
+        """Count requests dropped because their deadline passed in queue."""
+        with self._lock:
+            self.expired += count
 
     def record_queue_depth(self, depth: int) -> None:
         """Update the queue-depth gauge (and its high-water mark)."""
@@ -140,6 +146,7 @@ class ServiceMetrics:
                     "completed": self.completed,
                     "failed": self.failed,
                     "rejected": self.rejected,
+                    "expired": self.expired,
                     "in_queue": self._queue_depth,
                 },
                 "throughput": {

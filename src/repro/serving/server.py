@@ -7,9 +7,13 @@ stdlib only):
 * ``POST /recognise`` — body ``{"codes": [...], "seed": 0}`` for one
   request or ``{"codes": [[...], ...], "seeds": [...]}`` for several;
   each code vector is submitted to the service *individually* so it
-  coalesces with concurrent traffic in the micro-batch queue.  Responds
-  ``{"results": [...], "count": n}`` (plus ``"result"`` for the single
-  form).  Backpressure maps to ``429`` with a ``Retry-After`` hint.
+  coalesces with concurrent traffic in the micro-batch queue.  An
+  optional ``"timeout_ms"`` sets the request's dispatch deadline: a
+  request still queued when it expires is dropped (no engine time spent)
+  and answered ``504``.  Responds ``{"results": [...], "count": n}``
+  (plus ``"result"`` for the single form).  Backpressure maps to ``429``
+  with a ``Retry-After`` hint; a retryable backend-worker crash maps to
+  ``503``.
 * ``GET /healthz`` — liveness (status, worker count, queue depth).
 * ``GET /stats`` — the full :class:`~repro.serving.metrics.ServiceMetrics`
   snapshot: throughput counters, queue depth, batch-fill histogram and
@@ -31,9 +35,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backends.base import WorkerCrashedError
 from repro.core.amm import RecognitionResult
 from repro.serving.service import (
     BackpressureError,
+    DeadlineExceededError,
     RecognitionService,
     ServiceClosedError,
 )
@@ -44,6 +50,14 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 
 #: Seconds a handler thread waits for the service to resolve a request.
 DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Grace added on top of a request's own ``timeout_ms`` deadline: the
+#: expired-in-queue drop happens at dispatch time, so the handler allows
+#: the queue this long to reach the request before giving up generically.
+DEADLINE_WAIT_SLACK = 2.0
+
+#: Hard ceiling on any handler wait, however large the client's deadline.
+MAX_REQUEST_TIMEOUT = 300.0
 
 
 def result_to_json(result: RecognitionResult) -> dict:
@@ -130,20 +144,34 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
         try:
             payload = self._read_json_body()
             codes = np.asarray(payload.get("codes"), dtype=np.int64)
+            timeout_ms = payload.get("timeout_ms")
+            if timeout_ms is not None:
+                timeout_ms = float(timeout_ms)
         except (ValueError, TypeError, OverflowError, json.JSONDecodeError) as error:
             self._respond(400, {"error": str(error)})
             return
+        # The handler's wait tracks the request's own deadline: shorter
+        # deadlines stop the client waiting long after its budget is
+        # spent, longer ones are honoured past the default wait (up to a
+        # hard ceiling) instead of being abandoned at 30 s.
+        wait = DEFAULT_REQUEST_TIMEOUT
+        if timeout_ms is not None and timeout_ms > 0:
+            wait = min(timeout_ms * 1e-3 + DEADLINE_WAIT_SLACK, MAX_REQUEST_TIMEOUT)
         single = codes.ndim == 1
         try:
             if single:
                 seed = int(payload.get("seed", 0))
-                results = [self.service.recognise(codes, seed=seed, timeout=DEFAULT_REQUEST_TIMEOUT)]
+                results = [
+                    self.service.recognise(
+                        codes, seed=seed, timeout=wait, timeout_ms=timeout_ms
+                    )
+                ]
             elif codes.ndim == 2:
                 seeds = payload.get("seeds")
                 if seeds is None and "seed" in payload:
                     seeds = [int(payload["seed"])] * codes.shape[0]
                 results = self.service.recognise_many(
-                    codes, seeds=seeds, timeout=DEFAULT_REQUEST_TIMEOUT
+                    codes, seeds=seeds, timeout=wait, timeout_ms=timeout_ms
                 )
             else:
                 raise ValueError("codes must be a 1-D vector or a 2-D batch")
@@ -153,10 +181,18 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
         except ServiceClosedError as error:
             self._respond(503, {"error": str(error)})
             return
+        except WorkerCrashedError as error:
+            # The backend has already respawned the worker; the request
+            # itself was not completed and is safe to retry.
+            self._respond(503, {"error": str(error)}, headers=(("Retry-After", "1"),))
+            return
+        except DeadlineExceededError as error:
+            self._respond(504, {"error": str(error)})
+            return
         except concurrent.futures.TimeoutError:
             self._respond(
                 504,
-                {"error": f"request not served within {DEFAULT_REQUEST_TIMEOUT} s"},
+                {"error": f"request not served within {wait} s"},
             )
             return
         except (ValueError, TypeError, OverflowError) as error:

@@ -48,6 +48,17 @@ class BackpressureError(RuntimeError):
     """
 
 
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline passed before it could be dispatched.
+
+    Requests may carry a ``timeout_ms`` budget; one that is still queued
+    when the budget runs out is dropped *before* dispatch (no engine time
+    is spent on an answer nobody is waiting for) and its future resolves
+    with this error — mapped to HTTP 504 by the server and counted under
+    ``requests.expired`` in ``GET /stats``.
+    """
+
+
 class ServiceClosedError(RuntimeError):
     """The service has been closed and accepts no further requests."""
 
@@ -71,13 +82,19 @@ class RecognitionService:
         Bound on requests waiting for dispatch; beyond it ``submit``
         raises :class:`BackpressureError`.
     workers:
-        Worker shards in the pool, each with its own pre-factorised
-        engine.
+        Execution units in the pool (engine replicas — threads or
+        processes, depending on the backend).
     legacy_per_sample:
         Dispatch through the legacy per-sample sparse solve instead of
         the batched engine (the ``batch_size=1`` benchmark reference).
     metrics:
         Metric sink; a fresh :class:`ServiceMetrics` when omitted.
+    backend:
+        Execution backend for the recalls — a :mod:`repro.backends`
+        registry name (``"serial"``, ``"threads"``, ``"processes"``) or a
+        prepared :class:`~repro.backends.base.RecallBackend` instance.
+        Because every request carries its own seed, the served results
+        are identical for every backend choice.
     """
 
     def __init__(
@@ -89,6 +106,7 @@ class RecognitionService:
         workers: int = 1,
         legacy_per_sample: bool = False,
         metrics: Optional[ServiceMetrics] = None,
+        backend: str = "threads",
     ) -> None:
         check_integer("max_batch_size", max_batch_size, minimum=1)
         check_integer("max_queue_depth", max_queue_depth, minimum=1)
@@ -110,6 +128,7 @@ class RecognitionService:
             workers=workers,
             metrics=self.metrics,
             legacy_per_sample=legacy_per_sample,
+            backend=backend,
         )
         self._pending: deque = deque()
         self._state_lock = threading.Lock()
@@ -123,26 +142,40 @@ class RecognitionService:
     # ------------------------------------------------------------------ #
     # Request interface
     # ------------------------------------------------------------------ #
-    def submit(self, codes: np.ndarray, seed: int = 0) -> concurrent.futures.Future:
+    def submit(
+        self,
+        codes: np.ndarray,
+        seed: int = 0,
+        timeout_ms: Optional[float] = None,
+    ) -> concurrent.futures.Future:
         """Queue one recall request; returns a future of its result.
 
         ``codes`` is a single ``(features,)`` integer vector; ``seed``
         names the request's private random substream (requests with equal
-        codes and seed always produce equal results).  Raises
+        codes and seed always produce equal results).  ``timeout_ms``
+        optionally bounds the request's queue time: a request still
+        undispatched when the budget expires is dropped and fails with
+        :class:`DeadlineExceededError`.  Raises
         :class:`BackpressureError` when the queue is full and
         :class:`ServiceClosedError` after :meth:`close`.
         """
-        return self.submit_many(np.asarray(codes)[None, :], seeds=[seed])[0]
+        return self.submit_many(
+            np.asarray(codes)[None, :], seeds=[seed], timeout_ms=timeout_ms
+        )[0]
 
     def submit_many(
-        self, codes_batch: np.ndarray, seeds: Optional[Sequence[int]] = None
+        self,
+        codes_batch: np.ndarray,
+        seeds: Optional[Sequence[int]] = None,
+        timeout_ms: Optional[float] = None,
     ) -> List[concurrent.futures.Future]:
         """Queue several requests atomically; returns one future per row.
 
         All-or-nothing: either every row fits in the queue or none is
         accepted and :class:`BackpressureError` is raised — a partially
         admitted multi-image request would occupy queue capacity for
-        results its (retrying) caller will discard.
+        results its (retrying) caller will discard.  ``timeout_ms``
+        applies the same dispatch deadline to every row.
         """
         codes_batch = np.asarray(codes_batch, dtype=np.int64)
         if codes_batch.ndim != 2 or codes_batch.shape[1] != self.amm.crossbar.rows:
@@ -161,6 +194,8 @@ class RecognitionService:
             raise ValueError(f"codes must be in [0, {max_code}]")
         if any(seed < 0 for seed in seeds):
             raise ValueError("seeds must be non-negative")
+        if timeout_ms is not None and not timeout_ms > 0:
+            raise ValueError(f"timeout_ms must be > 0, got {timeout_ms}")
         if codes_batch.shape[0] > self.max_queue_depth:
             # Never admittable, even on an idle service: a permanent-error
             # ValueError (HTTP 400), not a retry-later BackpressureError.
@@ -168,8 +203,16 @@ class RecognitionService:
                 f"request holds {codes_batch.shape[0]} rows but the queue admits "
                 f"at most {self.max_queue_depth}; split the request"
             )
+        deadline = (
+            None if timeout_ms is None else time.monotonic() + timeout_ms * 1e-3
+        )
         batch = [
-            PendingRequest(codes=codes, seed=int(seed), future=concurrent.futures.Future())
+            PendingRequest(
+                codes=codes,
+                seed=int(seed),
+                future=concurrent.futures.Future(),
+                deadline=deadline,
+            )
             for codes, seed in zip(codes_batch, seeds)
         ]
         with self._arrived:
@@ -188,16 +231,21 @@ class RecognitionService:
         return [pending.future for pending in batch]
 
     def recognise(
-        self, codes: np.ndarray, seed: int = 0, timeout: Optional[float] = None
+        self,
+        codes: np.ndarray,
+        seed: int = 0,
+        timeout: Optional[float] = None,
+        timeout_ms: Optional[float] = None,
     ) -> RecognitionResult:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(codes, seed=seed).result(timeout)
+        return self.submit(codes, seed=seed, timeout_ms=timeout_ms).result(timeout)
 
     def recognise_many(
         self,
         codes_batch: np.ndarray,
         seeds: Optional[Sequence[int]] = None,
         timeout: Optional[float] = None,
+        timeout_ms: Optional[float] = None,
     ) -> List[RecognitionResult]:
         """Submit each row as its own request and gather the results.
 
@@ -205,9 +253,10 @@ class RecognitionService:
         (atomically, via :meth:`submit_many`), so they coalesce with
         whatever other traffic is in flight — this is the multi-image
         HTTP request path, not a private batch.  ``timeout`` bounds the
-        *whole* gather, not each row.
+        *whole* gather (client-side wait); ``timeout_ms`` is the
+        server-side dispatch deadline applied to every row.
         """
-        futures = self.submit_many(codes_batch, seeds=seeds)
+        futures = self.submit_many(codes_batch, seeds=seeds, timeout_ms=timeout_ms)
         deadline = None if timeout is None else time.monotonic() + timeout
         results = []
         for future in futures:
@@ -274,9 +323,12 @@ class RecognitionService:
 
     def health(self) -> dict:
         """Liveness summary consumed by the HTTP ``/healthz`` endpoint."""
+        capabilities = self.pool.backend.capabilities()
         return {
             "status": "closed" if self._closed else "ok",
             "workers": len(self.pool),
+            "backend": capabilities.name,
+            "backend_escapes_gil": capabilities.escapes_gil,
             "queue_depth": self.queue_depth,
             "max_batch_size": self.max_batch_size,
             "max_wait_seconds": self.max_wait,

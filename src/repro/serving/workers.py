@@ -1,26 +1,26 @@
-"""Sharded worker pool executing micro-batched recalls.
+"""Dispatch adapter between the micro-batcher and the execution backends.
 
-Each :class:`RecallWorker` is one shard of the pool: it owns a private,
-pre-factorised :class:`~repro.crossbar.batched.BatchedCrossbarEngine`
-replica of the served module's network (the expensive static state —
-sparse LU of the 10 240-node reference network plus the Woodbury update
-operators — cached once per worker at startup, the idiom the memristor
-crossbar reference repos use for static network state) and recalls whole
-micro-batches through
-:meth:`~repro.core.amm.AssociativeMemoryModule.recognise_batch_seeded`.
-Because the seeded path derives all per-request randomness from the
-request's own substream and mutates no module state, the (read-only)
-module can be shared by every worker while results stay independent of
-which worker served a request.
+PR 2's sharded thread pool lived here; the execution strategy has since
+been extracted into :mod:`repro.backends` (serial / threads / processes,
+chosen by name through the registry) so offline sweeps can use it too.
+What remains is the *serving* half of the old pool, everything about
+request lifecycle rather than execution:
 
-:class:`ShardedWorkerPool` runs one thread per worker behind a *bounded*
-dispatch queue: when every worker is busy the micro-batcher blocks on
-dispatch, the service queue fills, and the front end starts rejecting
-with a clean backpressure error instead of buffering without limit.  A
-large micro-batch is optionally split into contiguous shards dispatched
-to several workers at once, spreading the batch's independent per-sample
-Woodbury updates across cores (the solves run in LAPACK/BLAS, which
-releases the GIL).
+* a **bounded dispatch queue** (``DISPATCH_SLOTS_PER_WORKER`` slots per
+  execution unit): when every slot is busy the micro-batcher blocks on
+  :meth:`~ShardedWorkerPool.dispatch`, the service queue fills, and the
+  front end starts rejecting with a clean backpressure error;
+* **dispatcher threads** (one per execution unit, so whole micro-batches
+  pipeline while the backend shards each of them internally) that resolve
+  every request's future with its own result slice, record queue-to-
+  response latencies, and map deadline-expired requests to
+  :class:`~repro.serving.service.DeadlineExceededError` *before* the
+  batch reaches the backend;
+* **error containment**: a failed batch resolves every caller's future
+  with the error (retryable :class:`~repro.backends.base.WorkerCrashedError`
+  included — the process backend has already respawned the worker by the
+  time it surfaces) and the dispatcher thread survives to serve the next
+  batch.
 """
 
 from __future__ import annotations
@@ -30,12 +30,13 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.core.amm import AssociativeMemoryModule, BatchRecognitionResult
-from repro.crossbar.batched import BatchedCrossbarEngine
+from repro.backends.base import RecallBackend
+from repro.backends.registry import resolve_backend
+from repro.core.amm import AssociativeMemoryModule
 from repro.serving.metrics import ServiceMetrics
 from repro.utils.validation import check_integer
 
@@ -47,84 +48,51 @@ class PendingRequest:
     ``future`` resolves to the request's scalar
     :class:`~repro.core.amm.RecognitionResult` (or to the error that
     prevented it).  ``enqueued_at`` anchors the queue-to-response latency
-    reported through the metrics.
+    reported through the metrics; ``deadline`` (monotonic seconds, or
+    ``None``) is the instant after which the request must not be
+    dispatched.
     """
 
     codes: np.ndarray
     seed: int
     future: concurrent.futures.Future
     enqueued_at: float = field(default_factory=time.monotonic)
+    deadline: Optional[float] = None
 
-
-class RecallWorker:
-    """One pool shard: a pre-factorised engine bound to the served module.
-
-    Parameters
-    ----------
-    amm:
-        The (shared, read-only) associative memory module being served.
-        Must use deterministic neurons — the seeded recall path refuses
-        stochastic DWN switching.
-    name:
-        Identifier used in health reporting.
-    """
-
-    def __init__(self, amm: AssociativeMemoryModule, name: str = "worker-0") -> None:
-        self.amm = amm
-        self.name = name
-        self.batches_processed = 0
-        self.requests_processed = 0
-        self.engine = BatchedCrossbarEngine(
-            amm.crossbar,
-            delta_v=amm.solver.delta_v,
-            termination_resistance=amm.solver.termination_resistance,
-        ).prepare(amm.include_parasitics)
-
-    def recall(
-        self, codes_batch: np.ndarray, request_seeds: Sequence[int]
-    ) -> BatchRecognitionResult:
-        """Recall one micro-batch through this worker's engine."""
-        result = self.amm.recognise_batch_seeded(
-            codes_batch, request_seeds, engine=self.engine
-        )
-        self.batches_processed += 1
-        self.requests_processed += len(result)
-        return result
-
-    def recall_per_sample(self, codes_batch: np.ndarray) -> List:
-        """Legacy reference dispatch: one full sparse MNA solve per request.
-
-        Mirrors the repository-wide convention that ``batch_size=1`` means
-        the per-sample :meth:`~repro.core.amm.AssociativeMemoryModule.recognise`
-        loop; kept as the baseline the serving benchmark quantifies
-        micro-batching against.  Unlike the seeded path this advances the
-        module's sequential random streams.
-        """
-        results = [self.amm.recognise(codes) for codes in codes_batch]
-        self.batches_processed += 1
-        self.requests_processed += len(results)
-        return results
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the request's deadline has passed."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
 
 
 class ShardedWorkerPool:
-    """Worker threads consuming micro-batches from a bounded dispatch queue.
+    """Backend-agnostic micro-batch dispatcher with bounded work in flight.
 
     Parameters
     ----------
     amm:
-        The served module; each worker builds its own engine replica from
-        its network.
+        The served module; the backend builds its engine replicas from
+        its network.  Must use deterministic neurons — the seeded recall
+        path refuses stochastic DWN.
     workers:
-        Number of shards (threads).
+        Execution units requested from the backend (engine replicas /
+        threads / processes) and concurrent dispatcher threads.
     metrics:
         Sink for completion counts and latencies.
     legacy_per_sample:
         Dispatch every request through the legacy per-sample sparse solve
-        instead of the seeded batched engine (benchmark baseline only).
+        instead of a backend (benchmark baseline only).
     min_shard_size:
-        A micro-batch is split across idle-capacity workers only when the
-        resulting shards would hold at least this many requests each, so
-        small batches keep their full Woodbury-chunk amortisation.
+        Forwarded to the backend: a micro-batch is split across execution
+        units only when the resulting shards would hold at least this
+        many requests each.
+    backend:
+        A :mod:`repro.backends` registry name (``"serial"``,
+        ``"threads"``, ``"processes"``) — the pool then owns and closes
+        the created backend — or an already-prepared
+        :class:`~repro.backends.base.RecallBackend` shared with other
+        consumers (left open on :meth:`close`).
     """
 
     #: Dispatch slots per worker; bounds work-in-flight so a saturated
@@ -138,74 +106,117 @@ class ShardedWorkerPool:
         metrics: Optional[ServiceMetrics] = None,
         legacy_per_sample: bool = False,
         min_shard_size: int = 16,
+        backend: Union[str, RecallBackend, None] = "threads",
     ) -> None:
         check_integer("workers", workers, minimum=1)
         check_integer("min_shard_size", min_shard_size, minimum=1)
+        self.amm = amm
         self.metrics = metrics or ServiceMetrics()
         self.legacy_per_sample = legacy_per_sample
-        self.min_shard_size = min_shard_size
         # The legacy path runs amm.recognise(), which draws from the
         # module's shared numpy Generator and mutates neuron state —
         # neither is thread-safe, so per-sample recalls serialise.
         self._legacy_lock = threading.Lock()
-        self._queue: "queue.Queue" = queue.Queue(
-            maxsize=workers * self.DISPATCH_SLOTS_PER_WORKER
+        if backend is None:
+            backend = "threads"
+        if legacy_per_sample and isinstance(backend, str):
+            # The legacy path never touches a backend (every request is
+            # one locked amm.recognise() sparse solve); keep an unprepared
+            # serial backend for the capability surface instead of paying
+            # for engine replicas or worker processes nothing will use.
+            backend = "serial"
+        self.backend, self._owns_backend = resolve_backend(
+            backend, amm, workers=workers, min_shard_size=min_shard_size
         )
-        self.workers: List[RecallWorker] = [
-            RecallWorker(amm, name=f"worker-{index}") for index in range(workers)
-        ]
+        if not legacy_per_sample:
+            self.backend.prepare()
+        self.workers = max(1, self.backend.capabilities().workers)
+        self._queue: "queue.Queue" = queue.Queue(
+            maxsize=self.workers * self.DISPATCH_SLOTS_PER_WORKER
+        )
         self._threads = [
             threading.Thread(
-                target=self._run, args=(worker,), name=worker.name, daemon=True
+                target=self._run, name=f"dispatcher-{index}", daemon=True
             )
-            for worker in self.workers
+            for index in range(self.workers)
         ]
         self._closed = False
         for thread in self._threads:
             thread.start()
 
     def __len__(self) -> int:
-        return len(self.workers)
+        return self.workers
+
+    @property
+    def min_shard_size(self) -> int:
+        """The backend's live sharding threshold (1 when it never shards)."""
+        return getattr(self.backend, "min_shard_size", 1)
+
+    @min_shard_size.setter
+    def min_shard_size(self, value: int) -> None:
+        # Sharding lives in the backend now; keep the pre-refactor pool
+        # attribute as a delegating alias rather than a silent no-op.
+        check_integer("min_shard_size", value, minimum=1)
+        if not hasattr(self.backend, "min_shard_size"):
+            raise AttributeError(
+                f"backend {self.backend.capabilities().name!r} does not shard"
+            )
+        self.backend.min_shard_size = value
 
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
     def dispatch(self, batch: List[PendingRequest]) -> None:
-        """Hand one micro-batch to the pool, sharding it when worthwhile.
+        """Hand one micro-batch to a dispatcher thread.
 
         Blocks while every dispatch slot is taken — the backpressure
-        signal the micro-batcher relies on.  Sharding splits the batch
-        into contiguous runs of at least ``min_shard_size`` requests, at
-        most one per worker; each request's future is resolved by the
-        worker that served its shard.
+        signal the micro-batcher relies on.  The backend shards the batch
+        across its execution units internally (contiguous runs of at
+        least ``min_shard_size`` requests), so one dispatcher per
+        execution unit keeps the units busy without double-sharding.
         """
         if not batch:
             return
         if self._closed:
             raise RuntimeError("worker pool is closed")
-        shards = min(len(self.workers), max(1, len(batch) // self.min_shard_size))
-        if shards <= 1 or self.legacy_per_sample:
-            self._queue.put(batch)
-            return
-        bounds = np.linspace(0, len(batch), shards + 1).round().astype(int)
-        for begin, end in zip(bounds[:-1], bounds[1:]):
-            if end > begin:
-                self._queue.put(batch[begin:end])
+        self._queue.put(batch)
 
-    def _run(self, worker: RecallWorker) -> None:
+    def _run(self) -> None:
         while True:
             batch = self._queue.get()
             if batch is None:
                 break
-            self._process(worker, batch)
+            self._process(batch)
 
-    def _process(self, worker: RecallWorker, batch: List[PendingRequest]) -> None:
+    def _drop_expired(self, batch: List[PendingRequest]) -> List[PendingRequest]:
+        """Resolve deadline-expired requests before they reach the backend."""
+        from repro.serving.service import DeadlineExceededError
+
+        now = time.monotonic()
+        live: List[PendingRequest] = []
+        expired = 0
+        for pending in batch:
+            if pending.expired(now):
+                if pending.future.set_running_or_notify_cancel():
+                    pending.future.set_exception(
+                        DeadlineExceededError(
+                            "request deadline expired before dispatch"
+                        )
+                    )
+                expired += 1
+            else:
+                live.append(pending)
+        if expired:
+            self.metrics.record_expired(expired)
+        return live
+
+    def _process(self, batch: List[PendingRequest]) -> None:
         # Claim each future before computing: a caller may have cancelled
         # a queued request, and resolving a cancelled future raises
-        # InvalidStateError, which would kill the worker thread.
+        # InvalidStateError, which would kill the dispatcher thread.
         live = [
             pending
-            for pending in batch
+            for pending in self._drop_expired(batch)
             if pending.future.set_running_or_notify_cancel()
         ]
         if not live:
@@ -214,10 +225,10 @@ class ShardedWorkerPool:
             codes = np.stack([pending.codes for pending in live])
             if self.legacy_per_sample:
                 with self._legacy_lock:
-                    results = worker.recall_per_sample(codes)
+                    results = [self.amm.recognise(sample) for sample in codes]
             else:
                 seeds = [pending.seed for pending in live]
-                results = list(worker.recall(codes, seeds))
+                results = list(self.backend.recall_batch_seeded(codes, seeds))
         except Exception as error:  # resolve every caller, never swallow
             for pending in live:
                 pending.future.set_exception(error)
@@ -246,3 +257,5 @@ class ShardedWorkerPool:
             self._queue.put(None)
         for thread in self._threads:
             thread.join()
+        if self._owns_backend:
+            self.backend.close()

@@ -1,0 +1,59 @@
+"""Shared fixtures for the execution-backend tests.
+
+Same reduced 32x6 geometry as the serving suite, with input variation on
+so both per-request noise substreams (input variation, latch offsets) are
+exercised by every backend.  The process-pool backend is expensive to
+boot (each worker is a fresh interpreter importing numpy/scipy), so one
+two-worker pool is shared across the whole module run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import ProcessPoolBackend
+from repro.core.amm import AssociativeMemoryModule
+
+FEATURES = 32
+TEMPLATES = 6
+SEED = 3
+
+
+def build_amm(**kwargs) -> AssociativeMemoryModule:
+    """A fresh reduced module; identical for identical keyword arguments."""
+    rng = np.random.default_rng(SEED)
+    templates = rng.integers(0, 32, size=(FEATURES, TEMPLATES))
+    return AssociativeMemoryModule.from_templates(templates, seed=SEED, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def backend_amm() -> AssociativeMemoryModule:
+    return build_amm(include_parasitics=True, input_variation=0.05)
+
+
+@pytest.fixture(scope="session")
+def request_codes() -> np.ndarray:
+    rng = np.random.default_rng(SEED + 2000)
+    return rng.integers(0, 32, size=(24, FEATURES))
+
+
+@pytest.fixture(scope="session")
+def request_seeds(request_codes) -> np.ndarray:
+    return np.arange(request_codes.shape[0], dtype=np.int64) + 700
+
+
+@pytest.fixture(scope="session")
+def reference_results(backend_amm, request_codes, request_seeds):
+    """Ground truth: the module's own seeded engine, one batch."""
+    return backend_amm.recognise_batch_seeded(request_codes, request_seeds)
+
+
+@pytest.fixture(scope="session")
+def process_pool(backend_amm):
+    """One shared two-worker process pool (spawning workers is slow)."""
+    backend = ProcessPoolBackend(
+        backend_amm, workers=2, min_shard_size=4, max_batch_size=64
+    ).prepare()
+    yield backend
+    backend.close()

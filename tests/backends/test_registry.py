@@ -1,0 +1,163 @@
+"""Registry, EngineSpec and capability-surface tests."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendCapabilities,
+    EngineSpec,
+    RecallBackend,
+    SerialBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends import registry as registry_module
+
+
+class TestRegistry:
+    def test_builtin_names_registered(self):
+        names = backend_names()
+        for name in ("serial", "threads", "processes"):
+            assert name in names
+
+    def test_create_unknown_backend_raises(self, backend_amm):
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("bogus", backend_amm)
+
+    def test_create_builds_requested_type(self, backend_amm):
+        backend = create_backend("serial", backend_amm)
+        assert isinstance(backend, SerialBackend)
+        backend.close()
+
+    def test_resolve_none_uses_default(self, backend_amm):
+        backend, owned = resolve_backend(None, backend_amm)
+        try:
+            assert backend.capabilities().name == registry_module.DEFAULT_BACKEND
+            assert owned is True
+        finally:
+            backend.close()
+
+    def test_resolve_instance_passthrough(self, backend_amm):
+        instance = SerialBackend(backend_amm)
+        resolved, owned = resolve_backend(instance, backend_amm)
+        assert resolved is instance
+        assert owned is False
+        instance.close()
+
+    def test_resolve_rejects_other_types(self, backend_amm):
+        with pytest.raises(TypeError):
+            resolve_backend(42, backend_amm)
+
+    def test_custom_backend_registration(self, backend_amm, request_codes, request_seeds):
+        class RecordingBackend(SerialBackend):
+            name = "recording"
+            calls = 0
+
+            def recall_batch_seeded(self, codes_batch, request_seeds):
+                type(self).calls += 1
+                return super().recall_batch_seeded(codes_batch, request_seeds)
+
+        register_backend("recording", RecordingBackend)
+        try:
+            assert "recording" in backend_names()
+            backend = create_backend("recording", backend_amm)
+            try:
+                backend.recall_batch_seeded(request_codes[:2], request_seeds[:2])
+                assert RecordingBackend.calls == 1
+            finally:
+                backend.close()
+        finally:
+            registry_module._REGISTRY.pop("recording", None)
+
+    def test_register_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            register_backend("", SerialBackend)
+
+
+class TestEngineSpec:
+    def test_spec_pickles_without_factorisation(self, backend_amm):
+        # Force a factorised engine into the module's solver first.
+        backend_amm.solver.batch_engine.prepare(True)
+        spec = EngineSpec.from_module(backend_amm, chunk_size=32)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.chunk_size == 32
+        engine = clone.build_engine(prepare=False)
+        assert not engine.prepared  # the factorisation never crossed the pickle
+        engine.prepare(True)
+        assert engine.prepared
+
+    def test_rebuilt_engine_matches(self, backend_amm, request_codes, request_seeds):
+        spec = pickle.loads(pickle.dumps(EngineSpec.from_module(backend_amm)))
+        engine = spec.build_engine()
+        rebuilt = spec.module.recognise_batch_seeded(
+            request_codes, request_seeds, engine=engine
+        )
+        reference = backend_amm.recognise_batch_seeded(request_codes, request_seeds)
+        assert np.array_equal(rebuilt.winner_column, reference.winner_column)
+        assert np.array_equal(rebuilt.codes, reference.codes)
+        np.testing.assert_allclose(
+            rebuilt.column_currents, reference.column_currents, rtol=1e-12
+        )
+
+    def test_engine_getstate_drops_woodbury(self, backend_amm):
+        engine = backend_amm.solver.batch_engine.prepare(True)
+        state = engine.__getstate__()
+        assert state["_woodbury_ready"] is False
+        for key in ("_w_matrix", "_z_outputs", "_identity", "_g_term"):
+            assert key not in state
+
+
+class TestChunkTuning:
+    def test_explicit_chunk_size_respected(self, backend_amm):
+        spec = EngineSpec.from_module(backend_amm, chunk_size=7)
+        engine = spec.build_engine()
+        assert engine.chunk_size == 7
+
+    def test_autotune_picks_candidate(self, backend_amm):
+        engine = EngineSpec.from_module(backend_amm).build_engine()
+        assert engine.chunk_size in engine.CHUNK_CANDIDATES
+
+    def test_chunk_size_never_changes_outcomes(self, backend_amm, request_codes):
+        """Chunking shifts BLAS rounding paths (GEMV vs GEMM) at the
+        1e-16 level but never the solution: analog outputs agree to
+        solver precision and the recognised winners are identical."""
+        conductances = backend_amm.input_dacs.conductances(request_codes)
+        solutions = []
+        for chunk in (1, 5, 64):
+            engine = EngineSpec.from_module(backend_amm, chunk_size=chunk).build_engine()
+            solutions.append(engine.solve_batch(conductances))
+        for other in solutions[1:]:
+            np.testing.assert_allclose(
+                solutions[0].column_currents, other.column_currents, rtol=1e-12
+            )
+            np.testing.assert_allclose(
+                solutions[0].supply_current, other.supply_current, rtol=1e-12
+            )
+            assert np.array_equal(
+                solutions[0].column_currents.argmax(axis=1),
+                other.column_currents.argmax(axis=1),
+            )
+
+
+class TestCapabilities:
+    def test_capability_shapes(self, backend_amm, process_pool):
+        serial = SerialBackend(backend_amm)
+        capabilities = serial.capabilities()
+        assert capabilities == BackendCapabilities(
+            name="serial", workers=1, shards_batches=False, escapes_gil=False
+        )
+        serial.close()
+        processes = process_pool.capabilities()
+        assert processes.name == "processes"
+        assert processes.workers == 2
+        assert processes.escapes_gil
+
+    def test_backend_is_abstract(self):
+        with pytest.raises(TypeError):
+            RecallBackend()

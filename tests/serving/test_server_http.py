@@ -153,16 +153,16 @@ class TestErrorMapping:
         import threading
 
         import repro.serving.server as server_module
-        from repro.serving.workers import RecallWorker
+        from repro.backends.threaded import ThreadedBackend
 
         gate = threading.Event()
-        original = RecallWorker.recall
+        original = ThreadedBackend.recall_batch_seeded
 
         def gated_recall(self, codes_batch, request_seeds):
             gate.wait(timeout=20.0)
             return original(self, codes_batch, request_seeds)
 
-        monkeypatch.setattr(RecallWorker, "recall", gated_recall)
+        monkeypatch.setattr(ThreadedBackend, "recall_batch_seeded", gated_recall)
         monkeypatch.setattr(server_module, "DEFAULT_REQUEST_TIMEOUT", 0.05)
         try:
             body = json.dumps({"codes": request_codes[0].tolist()}).encode()

@@ -1,54 +1,63 @@
-"""Worker-pool tests: engine ownership, sharding, error propagation."""
+"""Dispatch-adapter tests: backend wiring, error propagation, deadlines."""
 
 import concurrent.futures
+import time
 
 import numpy as np
 import pytest
 
+from repro.backends import SerialBackend, ThreadedBackend
 from repro.serving.metrics import ServiceMetrics
-from repro.serving.workers import PendingRequest, RecallWorker, ShardedWorkerPool
+from repro.serving.service import DeadlineExceededError
+from repro.serving.workers import PendingRequest, ShardedWorkerPool
 
 
-def make_pending(codes, seed):
+def make_pending(codes, seed, deadline=None):
     return PendingRequest(
         codes=np.asarray(codes, dtype=np.int64),
         seed=seed,
         future=concurrent.futures.Future(),
+        deadline=deadline,
     )
 
 
-class TestRecallWorker:
-    def test_engine_prefactorised_at_startup(self, serving_amm):
-        worker = RecallWorker(serving_amm, name="w")
-        assert worker.engine.prepared
-        assert worker.engine is not serving_amm.solver.batch_engine
+class TestBackendWiring:
+    def test_default_backend_is_threads(self, serving_amm):
+        pool = ShardedWorkerPool(serving_amm, workers=2)
+        try:
+            capabilities = pool.backend.capabilities()
+            assert capabilities.name == "threads"
+            assert capabilities.workers == 2
+            assert len(pool) == 2
+        finally:
+            pool.close()
 
-    def test_recall_matches_module_engine(self, serving_amm, request_codes, request_seeds):
-        worker = RecallWorker(serving_amm)
-        via_worker = worker.recall(request_codes, request_seeds)
-        reference = serving_amm.recognise_batch_seeded(request_codes, request_seeds)
-        assert np.array_equal(via_worker.winner_column, reference.winner_column)
-        assert np.array_equal(via_worker.dom_code, reference.dom_code)
-        np.testing.assert_allclose(
-            via_worker.column_currents, reference.column_currents, rtol=0
-        )
-        assert worker.batches_processed == 1
-        assert worker.requests_processed == len(request_seeds)
+    def test_backend_name_resolved_through_registry(self, serving_amm):
+        pool = ShardedWorkerPool(serving_amm, workers=1, backend="serial")
+        try:
+            assert pool.backend.capabilities().name == "serial"
+        finally:
+            pool.close()
 
-    def test_legacy_per_sample_path(self, request_codes):
-        from tests.serving.conftest import build_amm
+    def test_unknown_backend_rejected(self, serving_amm):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ShardedWorkerPool(serving_amm, backend="not-a-backend")
 
-        amm = build_amm(include_parasitics=True)
-        worker = RecallWorker(amm)
-        results = worker.recall_per_sample(request_codes[:3])
-        twin = build_amm(include_parasitics=True)
-        for codes, result in zip(request_codes[:3], results):
-            expected = twin.recognise(codes)
-            assert result.winner_column == expected.winner_column
-            assert result.dom_code == expected.dom_code
+    def test_shared_backend_instance_left_open(self, serving_amm):
+        backend = ThreadedBackend(serving_amm, workers=1).prepare()
+        try:
+            pool = ShardedWorkerPool(serving_amm, backend=backend)
+            pool.close()
+            # The pool must not close a backend it does not own.
+            result = backend.recall_batch_seeded(
+                np.zeros((1, serving_amm.crossbar.rows), dtype=np.int64), [1]
+            )
+            assert len(result) == 1
+        finally:
+            backend.close()
 
 
-class TestShardedWorkerPool:
+class TestDispatch:
     def test_dispatch_resolves_every_future(self, serving_amm, request_codes, request_seeds):
         pool = ShardedWorkerPool(serving_amm, workers=2)
         try:
@@ -65,10 +74,13 @@ class TestShardedWorkerPool:
         finally:
             pool.close()
 
-    def test_sharding_splits_large_batches(self, serving_amm, request_codes, request_seeds):
-        metrics = ServiceMetrics()
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_results_identical_across_backends(
+        self, serving_amm, request_codes, request_seeds, backend
+    ):
+        reference = serving_amm.recognise_batch_seeded(request_codes, request_seeds)
         pool = ShardedWorkerPool(
-            serving_amm, workers=3, metrics=metrics, min_shard_size=4
+            serving_amm, workers=2, backend=backend, min_shard_size=4
         )
         try:
             batch = [
@@ -76,24 +88,37 @@ class TestShardedWorkerPool:
                 for codes, seed in zip(request_codes, request_seeds)
             ]
             pool.dispatch(batch)
-            for pending in batch:
-                pending.future.result(timeout=20.0)
-            # 24 requests / min shard 4 capped at 3 workers -> 3 shards.
-            assert sum(worker.batches_processed for worker in pool.workers) == 3
-            assert sum(worker.requests_processed for worker in pool.workers) == 24
+            for index, pending in enumerate(batch):
+                result = pending.future.result(timeout=20.0)
+                assert result.winner_column == reference[index].winner_column
+                assert result.dom_code == reference[index].dom_code
+                # Analog outputs to solver precision: the replica's
+                # autotuned chunk may take a different BLAS kernel path
+                # than the reference engine in the last few ulps.
+                np.testing.assert_allclose(
+                    result.column_currents,
+                    reference[index].column_currents,
+                    rtol=1e-12,
+                )
         finally:
             pool.close()
 
-    def test_small_batches_stay_whole(self, serving_amm, request_codes):
-        pool = ShardedWorkerPool(serving_amm, workers=3, min_shard_size=16)
+    def test_legacy_per_sample_path(self, request_codes):
+        from tests.serving.conftest import build_amm
+
+        amm = build_amm(include_parasitics=True)
+        pool = ShardedWorkerPool(amm, workers=1, legacy_per_sample=True)
         try:
-            batch = [make_pending(codes, 1) for codes in request_codes[:6]]
+            batch = [make_pending(codes, 1) for codes in request_codes[:3]]
             pool.dispatch(batch)
-            for pending in batch:
-                pending.future.result(timeout=20.0)
-            assert sum(worker.batches_processed for worker in pool.workers) == 1
+            results = [pending.future.result(timeout=20.0) for pending in batch]
         finally:
             pool.close()
+        twin = build_amm(include_parasitics=True)
+        for codes, result in zip(request_codes[:3], results):
+            expected = twin.recognise(codes)
+            assert result.winner_column == expected.winner_column
+            assert result.dom_code == expected.dom_code
 
     def test_worker_error_propagates_to_futures(self, serving_amm, request_codes):
         pool = ShardedWorkerPool(serving_amm, workers=1)
@@ -103,7 +128,7 @@ class TestShardedWorkerPool:
             with pytest.raises(ValueError):
                 bad[0].future.result(timeout=20.0)
             assert pool.metrics.failed == 1
-            # The worker thread survives the error and serves the next batch.
+            # The dispatcher thread survives the error and serves the next batch.
             good = [make_pending(request_codes[0], 1)]
             pool.dispatch(good)
             good[0].future.result(timeout=20.0)
@@ -117,15 +142,15 @@ class TestShardedWorkerPool:
         with pytest.raises(RuntimeError):
             pool.dispatch([make_pending(request_codes[0], 1)])
 
-    def test_cancelled_future_does_not_kill_worker(self, serving_amm, request_codes):
+    def test_cancelled_future_does_not_kill_dispatcher(self, serving_amm, request_codes):
         pool = ShardedWorkerPool(serving_amm, workers=1)
         try:
             cancelled = make_pending(request_codes[0], 1)
             assert cancelled.future.cancel()
             survivor = make_pending(request_codes[1], 2)
             pool.dispatch([cancelled, survivor])
-            # The worker must skip the cancelled future, serve the rest,
-            # and stay alive for later batches.
+            # The dispatcher must skip the cancelled future, serve the
+            # rest, and stay alive for later batches.
             assert survivor.future.result(timeout=20.0) is not None
             later = make_pending(request_codes[2], 3)
             pool.dispatch([later])
@@ -139,3 +164,46 @@ class TestShardedWorkerPool:
             pool.dispatch([])
         finally:
             pool.close()
+
+
+class TestDeadlines:
+    def test_expired_requests_dropped_before_dispatch(
+        self, serving_amm, request_codes
+    ):
+        metrics = ServiceMetrics()
+        pool = ShardedWorkerPool(serving_amm, workers=1, metrics=metrics)
+        try:
+            expired = make_pending(
+                request_codes[0], 1, deadline=time.monotonic() - 0.01
+            )
+            live = make_pending(request_codes[1], 2)
+            pool.dispatch([expired, live])
+            with pytest.raises(DeadlineExceededError):
+                expired.future.result(timeout=20.0)
+            assert live.future.result(timeout=20.0) is not None
+            assert metrics.expired == 1
+            assert metrics.completed == 1
+        finally:
+            pool.close()
+
+    def test_unexpired_deadline_served_normally(self, serving_amm, request_codes):
+        pool = ShardedWorkerPool(serving_amm, workers=1)
+        try:
+            pending = make_pending(
+                request_codes[0], 1, deadline=time.monotonic() + 30.0
+            )
+            pool.dispatch([pending])
+            assert pending.future.result(timeout=20.0) is not None
+            assert pool.metrics.expired == 0
+        finally:
+            pool.close()
+
+
+class TestSerialBackendEngines:
+    def test_backend_engine_is_private_and_prefactorised(self, serving_amm):
+        backend = SerialBackend(serving_amm).prepare()
+        try:
+            assert backend._engine.prepared
+            assert backend._engine is not serving_amm.solver.batch_engine
+        finally:
+            backend.close()
