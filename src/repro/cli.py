@@ -14,13 +14,18 @@ without writing any code:
   and report images/second (``--backend serial|threads|processes``
   recalls through a named execution backend with ``--workers`` units);
 * ``serve`` — boot the micro-batching recognition service
-  (:mod:`repro.serving`) behind its JSON HTTP API (``POST /recognise``,
-  ``GET /healthz``, ``GET /stats``) on the execution backend named by
-  ``--backend`` and serve until interrupted;
+  (:mod:`repro.serving`) behind its JSON HTTP API (``POST /recognise``
+  with request priorities and streaming mode, ``GET /healthz``,
+  ``GET /stats``) on the execution backend named by ``--backend``,
+  optionally with per-client token-bucket quotas (``--quota-rate`` /
+  ``--quota-burst`` / ``--quota-max-inflight``), and serve until
+  interrupted;
 * ``loadtest`` — drive an offered-load experiment (concurrent clients,
-  multi-image requests) against ``--url`` or against a server booted
-  in-process, and report end-to-end images/second with latency
-  percentiles plus the server-side ``/stats`` summary.
+  multi-image requests, optionally ``--stream`` chunked responses and a
+  ``--priorities`` mix striped across client threads) against ``--url``
+  or against a server booted in-process, and report end-to-end
+  images/second with latency percentiles (per priority level for mixed
+  loads) plus the server-side ``/stats`` summary.
 
 Every command prints a plain-text table (the same formatters the
 benchmarks use) and returns a process exit code of 0 on success.
@@ -156,6 +161,27 @@ def _command_throughput(arguments: argparse.Namespace) -> str:
     return format_table(["Quantity", "Value"], rows)
 
 
+def _build_quota(arguments: argparse.Namespace):
+    """The per-client QuotaConfig named by the CLI flags (None = disabled)."""
+    if (
+        arguments.quota_rate is None
+        and arguments.quota_burst is None
+        and arguments.quota_max_inflight is None
+    ):
+        return None
+    import math
+
+    from repro.serving import QuotaConfig
+
+    rate = math.inf if arguments.quota_rate is None else arguments.quota_rate
+    burst = arguments.quota_burst
+    if burst is None:
+        burst = max(1, int(rate)) if math.isfinite(rate) else 256
+    return QuotaConfig(
+        rate=rate, burst=burst, max_inflight=arguments.quota_max_inflight
+    )
+
+
 def _build_service(arguments: argparse.Namespace):
     """Build the pipeline named by the CLI flags and wrap it in a service."""
     from repro.serving import RecognitionService
@@ -170,6 +196,7 @@ def _build_service(arguments: argparse.Namespace):
         workers=arguments.workers,
         legacy_per_sample=getattr(arguments, "per_sample", False),
         backend=arguments.backend,
+        quota=_build_quota(arguments),
     )
     return dataset, pipeline, service
 
@@ -221,6 +248,9 @@ def _command_loadtest(arguments: argparse.Namespace) -> str:
         server = start_server(service, host="127.0.0.1", port=0)
         host, port = "127.0.0.1", server.port
     codes = extractor.extract_many(dataset.test_images)
+    priorities = None
+    if arguments.priorities:
+        priorities = [int(token) for token in arguments.priorities.split(",")]
     try:
         report = run_load(
             host,
@@ -230,6 +260,8 @@ def _command_loadtest(arguments: argparse.Namespace) -> str:
             concurrency=arguments.concurrency,
             images_per_request=arguments.images_per_request,
             base_seed=arguments.seed,
+            priorities=priorities,
+            stream=arguments.stream,
         )
         with RecognitionClient(host, port) as client:
             stats = client.stats()
@@ -241,18 +273,27 @@ def _command_loadtest(arguments: argparse.Namespace) -> str:
         ["Requests", str(report.requests)],
         ["Concurrency", str(report.concurrency)],
         ["Images/request", str(report.images_per_request)],
+        ["Mode", "streaming" if report.stream else "buffered"],
         ["Images recalled", str(report.images)],
         ["Elapsed", f"{report.elapsed_seconds:.3f} s"],
         ["Throughput", f"{report.images_per_second:.1f} images/s"],
         ["Latency p50", f"{latency['p50_ms']:.2f} ms"],
         ["Latency p90", f"{latency['p90_ms']:.2f} ms"],
         ["Latency p99", f"{latency['p99_ms']:.2f} ms"],
-        ["Errors / rejected", f"{report.errors} / {report.rejected}"],
+        [
+            "Errors / rejected / quota / row errors",
+            f"{report.errors} / {report.rejected} / {report.quota_rejected} "
+            f"/ {report.row_errors}",
+        ],
         ["Server batches", str(stats["batches"]["dispatched"])],
         ["Server mean batch fill", f"{stats['batches']['mean_fill']:.1f}"],
         ["Server queue depth max", str(stats["queue_depth"]["max"])],
         ["Server p99 latency", f"{stats['latency']['p99_ms']:.2f} ms"],
     ]
+    for priority, summary in report.priority_latency_percentiles().items():
+        rows.append(
+            [f"Latency p50 (priority {priority})", f"{summary['p50_ms']:.2f} ms"]
+        )
     return format_table(["Quantity", "Value"], rows)
 
 
@@ -288,6 +329,26 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1024,
         help="queued requests beyond which submissions are rejected (HTTP 429)",
+    )
+    parser.add_argument(
+        "--quota-rate",
+        type=float,
+        default=None,
+        help="per-client admitted rows/second (token-bucket refill); "
+        "unset = no rate limit",
+    )
+    parser.add_argument(
+        "--quota-burst",
+        type=int,
+        default=None,
+        help="per-client token-bucket capacity in rows "
+        "(default: one second of --quota-rate)",
+    )
+    parser.add_argument(
+        "--quota-max-inflight",
+        type=int,
+        default=None,
+        help="per-client cap on rows queued or being solved (HTTP 429 beyond)",
     )
 
 
@@ -381,6 +442,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-sample",
         action="store_true",
         help="dispatch through the legacy per-sample solver (batch_size=1 reference)",
+    )
+    loadtest.add_argument(
+        "--stream",
+        action="store_true",
+        help="post requests in streaming mode (chunked NDJSON responses)",
+    )
+    loadtest.add_argument(
+        "--priorities",
+        default=None,
+        help="comma-separated priority levels striped across client threads "
+        "(e.g. '0,5' = half the threads low, half high); the report then "
+        "segments latency per priority",
     )
     _add_serving_options(loadtest)
     loadtest.set_defaults(handler=_command_loadtest)

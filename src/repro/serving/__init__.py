@@ -33,12 +33,37 @@ traffic, where callers arrive one image at a time:
     ``GET /stats``) on :class:`http.server.ThreadingHTTPServer`, plus a
     keep-alive client and the :func:`~repro.serving.client.run_load`
     offered-load generator behind ``python -m repro serve`` and
-    ``python -m repro loadtest``.
+    ``python -m repro loadtest``.  Large multi-image requests can set
+    ``"stream": true`` for a chunked NDJSON response: one line per row
+    as its future resolves, per-row error objects on partial failure,
+    and a terminal summary line — served with bounded buffering however
+    many rows the request holds.
+
+``quotas``
+    :class:`~repro.serving.quotas.ClientQuotas` — per-``client_id``
+    token-bucket admission (``rate`` / ``burst``) plus an in-flight cap
+    (``max_inflight``), checked in the submit path before a request
+    occupies queue capacity.  Denials map to HTTP 429 with a distinct
+    ``requests.quota_rejected`` counter so noisy tenants are visible.
 
 ``metrics``
     :class:`~repro.serving.metrics.ServiceMetrics` — queue depth,
-    batch-fill histogram, latency percentiles and throughput counters,
-    surfaced verbatim through ``/stats``.
+    batch-fill histogram (dispatched live sizes), latency percentiles
+    (overall and per priority level), per-client counters and
+    throughput/shedding/quota counters, surfaced verbatim through
+    ``/stats``.
+
+Admission priorities
+--------------------
+
+Every request carries a ``priority`` (0–9, default 0).  The pending
+queue drains highest-priority-first (FIFO within a level), the worker
+pool's dispatch slots are consumed in the same order, and when the
+bounded queue is full an arriving request sheds queued *lower*-priority
+requests (their futures fail with ``BackpressureError``, counted under
+``requests.shed``) before it is ever rejected itself.  Priorities
+reorder and shed work; they never change answers — the determinism
+contract below is priority-independent.
 
 Determinism contract
 --------------------
@@ -69,26 +94,41 @@ Quickstart
 """
 
 from repro.serving.client import LoadReport, RecognitionClient, ServerError, run_load
+from repro.serving.errors import (
+    BackpressureError,
+    DeadlineExceededError,
+    QuotaExceededError,
+    ServiceClosedError,
+)
 from repro.serving.metrics import ServiceMetrics, latency_summary, percentile
+from repro.serving.quotas import ANONYMOUS_CLIENT, ClientQuotas, QuotaConfig
 from repro.serving.server import (
     RecognitionServer,
     result_to_json,
+    row_error_to_json,
     start_server,
     stop_server,
 )
 from repro.serving.service import (
-    BackpressureError,
-    DeadlineExceededError,
+    DEFAULT_PRIORITY,
+    MAX_PRIORITY,
+    MIN_PRIORITY,
     RecognitionService,
-    ServiceClosedError,
 )
 from repro.serving.workers import PendingRequest, ShardedWorkerPool
 
 __all__ = [
+    "ANONYMOUS_CLIENT",
     "BackpressureError",
+    "ClientQuotas",
+    "DEFAULT_PRIORITY",
     "DeadlineExceededError",
     "LoadReport",
+    "MAX_PRIORITY",
+    "MIN_PRIORITY",
     "PendingRequest",
+    "QuotaConfig",
+    "QuotaExceededError",
     "RecognitionClient",
     "RecognitionServer",
     "RecognitionService",
@@ -99,6 +139,7 @@ __all__ = [
     "latency_summary",
     "percentile",
     "result_to_json",
+    "row_error_to_json",
     "run_load",
     "start_server",
     "stop_server",

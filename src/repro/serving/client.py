@@ -3,14 +3,21 @@
 :class:`RecognitionClient` is a small keep-alive JSON client on
 ``http.client`` (stdlib only); one instance wraps one connection and is
 *not* thread-safe — concurrent load uses one client per thread, which is
-exactly what :func:`run_load` does.
+exactly what :func:`run_load` does.  Besides the buffered calls it can
+consume the server's streaming mode: :meth:`RecognitionClient.recognise_stream`
+posts ``"stream": true`` and yields each NDJSON line (per-row result or
+error object, then the ``done`` summary) as the chunked response arrives.
 
 :func:`run_load` drives an offered-load experiment against a running
 server: ``concurrency`` threads each post ``images_per_request`` code
 vectors per request (an edge node aggregating its users) until the shared
 request budget is spent, and the aggregated wall-clock throughput and
 client-observed latency percentiles come back as a :class:`LoadReport`.
-It backs ``python -m repro loadtest`` and ``benchmarks/test_serving.py``.
+Threads can be striped across ``priorities`` (and ``client_ids``) to
+offer mixed-priority multi-tenant load, with the report segmenting
+latencies per priority level; ``stream=True`` drives the chunked
+streaming path instead of buffered responses.  It backs
+``python -m repro loadtest`` and ``benchmarks/test_serving.py``.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,9 +38,12 @@ from repro.utils.validation import check_integer
 class ServerError(RuntimeError):
     """The server answered with a non-success status."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, reason: Optional[str] = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        #: The server's error taxonomy tag (``"quota"``, ``"backpressure"``,
+        #: ``"deadline"``, ...), when it sent one.
+        self.reason = reason
 
 
 class RecognitionClient:
@@ -45,20 +55,33 @@ class RecognitionClient:
         Server address.
     timeout:
         Socket timeout (s) for connect and each request.
+    client_id:
+        When set, sent as the ``X-Client-Id`` header on every request so
+        the server's per-client quotas and stats see one stable tenant.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        client_id: Optional[str] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.client_id = client_id
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
-    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+    def _send(self, method: str, path: str, payload: Optional[dict] = None):
+        """Issue one request and return the (unread) response object."""
         body = None
         headers = {}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
         if payload is not None:
             body = json.dumps(payload)
             headers["Content-Type"] = "application/json"
@@ -68,15 +91,26 @@ class RecognitionClient:
             )
         try:
             self._connection.request(method, path, body=body, headers=headers)
-            response = self._connection.getresponse()
-            raw = response.read()
+            return self._connection.getresponse()
         except (http.client.HTTPException, OSError):
             # Drop the (possibly half-closed) connection; the caller may retry.
             self.close()
             raise
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        response = self._send(method, path, payload)
+        try:
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            self.close()
+            raise
         decoded = json.loads(raw) if raw else {}
         if response.status >= 400:
-            raise ServerError(response.status, decoded.get("error", raw.decode("utf-8", "replace")))
+            raise ServerError(
+                response.status,
+                decoded.get("error", raw.decode("utf-8", "replace")),
+                reason=decoded.get("reason"),
+            )
         return decoded
 
     def close(self) -> None:
@@ -93,23 +127,41 @@ class RecognitionClient:
     # ------------------------------------------------------------------ #
     # API
     # ------------------------------------------------------------------ #
+    def _decorate(
+        self,
+        payload: Dict[str, object],
+        timeout_ms: Optional[float],
+        priority: Optional[int],
+        client_id: Optional[str],
+    ) -> Dict[str, object]:
+        if timeout_ms is not None:
+            payload["timeout_ms"] = float(timeout_ms)
+        if priority is not None:
+            payload["priority"] = int(priority)
+        if client_id is not None:
+            payload["client_id"] = client_id
+        return payload
+
     def recognise(
         self,
         codes: np.ndarray,
         seed: int = 0,
         timeout_ms: Optional[float] = None,
+        priority: Optional[int] = None,
+        client_id: Optional[str] = None,
     ) -> dict:
         """Recall one ``(features,)`` code vector; returns the result dict.
 
         ``timeout_ms`` is the server-side dispatch deadline: a request
         still queued when it expires is dropped and answered HTTP 504.
+        ``priority`` (higher first) and ``client_id`` feed the server's
+        admission control; both default to the server's defaults.
         """
         payload: Dict[str, object] = {
             "codes": np.asarray(codes).tolist(),
             "seed": int(seed),
         }
-        if timeout_ms is not None:
-            payload["timeout_ms"] = float(timeout_ms)
+        self._decorate(payload, timeout_ms, priority, client_id)
         return self._request("POST", "/recognise", payload)["result"]
 
     def recognise_many(
@@ -117,14 +169,73 @@ class RecognitionClient:
         codes_batch: np.ndarray,
         seeds: Optional[Sequence[int]] = None,
         timeout_ms: Optional[float] = None,
+        priority: Optional[int] = None,
+        client_id: Optional[str] = None,
     ) -> List[dict]:
         """Recall a ``(B, features)`` batch; each row is one queued request."""
         payload: Dict[str, object] = {"codes": np.asarray(codes_batch).tolist()}
         if seeds is not None:
             payload["seeds"] = [int(seed) for seed in seeds]
-        if timeout_ms is not None:
-            payload["timeout_ms"] = float(timeout_ms)
+        self._decorate(payload, timeout_ms, priority, client_id)
         return self._request("POST", "/recognise", payload)["results"]
+
+    def recognise_stream(
+        self,
+        codes_batch: np.ndarray,
+        seeds: Optional[Sequence[int]] = None,
+        timeout_ms: Optional[float] = None,
+        priority: Optional[int] = None,
+        client_id: Optional[str] = None,
+    ) -> Iterator[dict]:
+        """Stream a ``(B, features)`` batch; yields one dict per NDJSON line.
+
+        Rows arrive in index order as the server resolves them, each
+        ``{"index": i, "result": {...}}`` or — partial failure —
+        ``{"index": i, "error": {"status": ..., "reason": ..., ...}}``;
+        the final line is the ``{"done": true, "count": ..., "ok": ...,
+        "failed": ...}`` summary.  An admission-level rejection (the
+        server refused the whole stream) raises :class:`ServerError`
+        before the first line, exactly like the buffered call.  Breaking
+        out of the iteration early drops the connection, which makes the
+        server cancel the request's still-queued rows.
+        """
+        payload: Dict[str, object] = {
+            "codes": np.asarray(codes_batch).tolist(),
+            "stream": True,
+        }
+        if seeds is not None:
+            payload["seeds"] = [int(seed) for seed in seeds]
+        self._decorate(payload, timeout_ms, priority, client_id)
+        response = self._send("POST", "/recognise", payload)
+        if response.status >= 400:
+            try:
+                decoded = json.loads(response.read() or b"{}")
+            except json.JSONDecodeError:
+                decoded = {}
+            raise ServerError(
+                response.status,
+                decoded.get("error", f"status {response.status}"),
+                reason=decoded.get("reason"),
+            )
+        finished = False
+        try:
+            for raw_line in response:
+                line = raw_line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                yield event
+                if event.get("done"):
+                    # Drain the chunked terminator so the keep-alive
+                    # connection is reusable for the next request.
+                    response.read()
+                    finished = True
+                    break
+        finally:
+            if not finished:
+                # Mid-stream abandonment: the connection is no longer in
+                # a reusable state (undrained chunks), drop it.
+                self.close()
 
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
@@ -139,7 +250,10 @@ class LoadReport:
 
     ``latencies`` are client-observed per-HTTP-request round-trip times
     (seconds); ``images`` counts individual code vectors recalled, the
-    unit of the throughput figure.
+    unit of the throughput figure.  ``latencies_by_priority`` segments
+    the same round-trip times by the request's priority level (only
+    populated for mixed-priority runs); ``row_errors`` counts per-row
+    error objects inside otherwise-successful streaming responses.
     """
 
     concurrency: int
@@ -149,7 +263,13 @@ class LoadReport:
     elapsed_seconds: float
     errors: int
     rejected: int
+    quota_rejected: int = 0
+    row_errors: int = 0
+    stream: bool = False
     latencies: List[float] = field(repr=False, default_factory=list)
+    latencies_by_priority: Dict[int, List[float]] = field(
+        repr=False, default_factory=dict
+    )
 
     @property
     def images_per_second(self) -> float:
@@ -159,9 +279,16 @@ class LoadReport:
         """p50/p90/p99/max of the round-trip latencies, in milliseconds."""
         return latency_summary(self.latencies)
 
+    def priority_latency_percentiles(self) -> Dict[int, Dict[str, float]]:
+        """Per-priority p50/p90/p99/max (ms) for mixed-priority runs."""
+        return {
+            priority: latency_summary(samples)
+            for priority, samples in sorted(self.latencies_by_priority.items())
+        }
+
     def as_dict(self) -> dict:
         """JSON-serialisable summary (for BENCH_serving.json)."""
-        return {
+        summary = {
             "concurrency": self.concurrency,
             "images_per_request": self.images_per_request,
             "requests": self.requests,
@@ -170,8 +297,17 @@ class LoadReport:
             "images_per_second": self.images_per_second,
             "errors": self.errors,
             "rejected": self.rejected,
+            "quota_rejected": self.quota_rejected,
+            "row_errors": self.row_errors,
+            "stream": self.stream,
             "latency": self.latency_percentiles(),
         }
+        if self.latencies_by_priority:
+            summary["latency_by_priority"] = {
+                str(priority): latency_summary(samples)
+                for priority, samples in sorted(self.latencies_by_priority.items())
+            }
+        return summary
 
 
 def run_load(
@@ -183,14 +319,23 @@ def run_load(
     images_per_request: int = 16,
     base_seed: int = 0,
     timeout: float = 30.0,
+    priorities: Optional[Sequence[int]] = None,
+    client_ids: Optional[Sequence[str]] = None,
+    stream: bool = False,
 ) -> LoadReport:
     """Drive ``requests`` HTTP recalls from ``concurrency`` client threads.
 
     Each request draws its ``images_per_request`` code vectors round-robin
     from ``codes_pool`` and tags every image with a deterministic seed
     derived from ``base_seed`` and the image's global index, so repeated
-    runs offer identical work.  Rejections (HTTP 429) are counted, not
-    retried — the report shows how much load the server actually absorbed.
+    runs offer identical work.  ``priorities`` / ``client_ids`` are
+    striped across the client threads (thread ``i`` uses entry ``i % len``)
+    to offer mixed-priority, multi-tenant load; ``stream=True`` posts
+    each request in streaming mode and consumes the chunked NDJSON
+    response.  Rejections (HTTP 429) are counted, not retried — the
+    report shows how much load the server actually absorbed — with
+    quota denials (``"reason": "quota"``) tallied separately from
+    shared-queue backpressure.
     """
     check_integer("requests", requests, minimum=1)
     check_integer("concurrency", concurrency, minimum=1)
@@ -198,11 +343,17 @@ def run_load(
     codes_pool = np.asarray(codes_pool, dtype=np.int64)
     if codes_pool.ndim != 2 or codes_pool.shape[0] == 0:
         raise ValueError("codes_pool must be a non-empty 2-D code batch")
+    if priorities is not None and len(priorities) == 0:
+        raise ValueError("priorities must be a non-empty sequence or None")
+    if client_ids is not None and len(client_ids) == 0:
+        raise ValueError("client_ids must be a non-empty sequence or None")
 
     counter = {"next": 0}
     counter_lock = threading.Lock()
     latencies: List[float] = []
-    outcomes = {"images": 0, "errors": 0, "rejected": 0}
+    latencies_by_priority: Dict[int, List[float]] = {}
+    outcomes = {"images": 0, "errors": 0, "rejected": 0, "quota_rejected": 0,
+                "row_errors": 0}
     results_lock = threading.Lock()
 
     def next_request_index() -> Optional[int]:
@@ -213,8 +364,20 @@ def run_load(
             counter["next"] += 1
             return index
 
-    def drive() -> None:
-        with RecognitionClient(host, port, timeout=timeout) as client:
+    def drive(thread_index: int) -> None:
+        priority = (
+            None
+            if priorities is None
+            else int(priorities[thread_index % len(priorities)])
+        )
+        client_id = (
+            None
+            if client_ids is None
+            else client_ids[thread_index % len(client_ids)]
+        )
+        with RecognitionClient(
+            host, port, timeout=timeout, client_id=client_id
+        ) as client:
             while True:
                 request_index = next_request_index()
                 if request_index is None:
@@ -230,10 +393,36 @@ def run_load(
                 ]
                 begin = time.perf_counter()
                 try:
-                    client.recognise_many(np.stack(rows), seeds=seeds)
+                    if stream:
+                        served = bad_rows = 0
+                        truncated = True  # until the clean summary arrives
+                        for event in client.recognise_stream(
+                            np.stack(rows), seeds=seeds, priority=priority
+                        ):
+                            if event.get("done"):
+                                # An "error" on the summary line marks an
+                                # abnormally-terminated stream, not a row.
+                                truncated = "error" in event
+                            elif "result" in event:
+                                served += 1
+                            elif "error" in event:
+                                bad_rows += 1
+                        if truncated:
+                            with results_lock:
+                                outcomes["errors"] += 1
+                            continue
+                    else:
+                        served = len(
+                            client.recognise_many(
+                                np.stack(rows), seeds=seeds, priority=priority
+                            )
+                        )
+                        bad_rows = 0
                 except ServerError as error:
                     with results_lock:
-                        if error.status == 429:
+                        if error.status == 429 and error.reason == "quota":
+                            outcomes["quota_rejected"] += 1
+                        elif error.status == 429:
                             outcomes["rejected"] += 1
                         else:
                             outcomes["errors"] += 1
@@ -244,11 +433,14 @@ def run_load(
                     continue
                 elapsed = time.perf_counter() - begin
                 with results_lock:
-                    outcomes["images"] += images_per_request
+                    outcomes["images"] += served
+                    outcomes["row_errors"] += bad_rows
                     latencies.append(elapsed)
+                    if priority is not None:
+                        latencies_by_priority.setdefault(priority, []).append(elapsed)
 
     threads = [
-        threading.Thread(target=drive, name=f"load-{index}")
+        threading.Thread(target=drive, args=(index,), name=f"load-{index}")
         for index in range(concurrency)
     ]
     begin = time.perf_counter()
@@ -265,5 +457,9 @@ def run_load(
         elapsed_seconds=elapsed,
         errors=outcomes["errors"],
         rejected=outcomes["rejected"],
+        quota_rejected=outcomes["quota_rejected"],
+        row_errors=outcomes["row_errors"],
+        stream=stream,
         latencies=latencies,
+        latencies_by_priority=latencies_by_priority,
     )

@@ -1,34 +1,54 @@
 """Observability for the recognition service.
 
 :class:`ServiceMetrics` is the single thread-safe sink every serving
-component reports into: the front end counts submissions and rejections,
-the micro-batcher records queue depth and batch fill, and the worker pool
-records completions with per-request latencies.  ``snapshot()`` renders
-the whole state as a JSON-serialisable dictionary — the payload of the
-HTTP ``GET /stats`` endpoint and of the load-test summaries.
+component reports into: the front end counts submissions, rejections,
+quota denials and priority sheds, the micro-batcher records queue depth,
+the worker pool records dispatched batch fill and completions with
+per-request latencies.  ``snapshot()`` renders the whole state as a
+JSON-serialisable dictionary — the payload of the HTTP ``GET /stats``
+endpoint and of the load-test summaries.
 
-Latencies are kept in a bounded reservoir (most recent ``max_latency_samples``
-completions) so a long-running server's memory stays flat; percentiles are
-nearest-rank over that reservoir.
+Latencies are kept in bounded reservoirs (most recent
+``max_latency_samples`` completions, one shared reservoir plus one per
+priority level) so a long-running server's memory stays flat;
+percentiles are nearest-rank over the reservoir.  Per-client counters
+are capped at :data:`MAX_TRACKED_CLIENTS` distinct ids — beyond that,
+new clients aggregate under ``"_overflow"`` so a client-id-spraying
+caller cannot grow the table without bound.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import Counter, deque
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
+
+#: Distinct client ids tracked individually before aggregation.
+MAX_TRACKED_CLIENTS = 256
+
+#: Aggregation bucket for clients beyond :data:`MAX_TRACKED_CLIENTS`.
+OVERFLOW_CLIENT = "_overflow"
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1]).
+
+    Uses the canonical nearest-rank definition — the ``ceil(fraction * n)``-th
+    order statistic — rather than ``int(round(...))``, whose banker's
+    rounding (round-half-even) picked a different side of the median
+    depending on whether the sample count was odd or even.  With this
+    definition p50 of ``n`` samples is always the ``ceil(n / 2)``-th
+    smallest, consistent across odd and even ``n``.
+    """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
     ordered = sorted(samples)
     if not ordered:
         return 0.0
-    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
-    return float(ordered[rank])
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return float(ordered[rank - 1])
 
 
 def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
@@ -45,13 +65,24 @@ def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
     }
 
 
+class _PriorityStats:
+    """Per-priority counters and a bounded latency reservoir."""
+
+    __slots__ = ("submitted", "completed", "latencies")
+
+    def __init__(self, max_latency_samples: int) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.latencies: deque = deque(maxlen=max_latency_samples)
+
+
 class ServiceMetrics:
     """Thread-safe counters, gauges and histograms for one service instance.
 
     Parameters
     ----------
     max_latency_samples:
-        Size of the latency reservoir backing the percentile estimates.
+        Size of the latency reservoirs backing the percentile estimates.
     clock:
         Monotonic time source, injectable for tests.
     """
@@ -64,34 +95,87 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._clock = clock
         self._started = clock()
+        self._max_latency_samples = max_latency_samples
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.rejected = 0
+        self.quota_rejected = 0
+        self.shed = 0
         self.expired = 0
+        self.cancelled = 0
         self.batches = 0
         self._batch_fill: Counter = Counter()
         self._queue_depth = 0
         self._queue_depth_max = 0
         self._latencies: deque = deque(maxlen=max_latency_samples)
+        self._by_priority: Dict[int, _PriorityStats] = {}
+        self._by_client: Dict[str, Counter] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
-    def record_submitted(self, count: int = 1) -> None:
+    def _priority_stats(self, priority: int) -> _PriorityStats:
+        stats = self._by_priority.get(priority)
+        if stats is None:
+            stats = _PriorityStats(self._max_latency_samples)
+            self._by_priority[priority] = stats
+        return stats
+
+    def _client_counter(self, client_id: str) -> Counter:
+        counter = self._by_client.get(client_id)
+        if counter is None:
+            if len(self._by_client) >= MAX_TRACKED_CLIENTS:
+                client_id = OVERFLOW_CLIENT
+                counter = self._by_client.get(client_id)
+                if counter is None:
+                    counter = self._by_client[client_id] = Counter()
+                return counter
+            counter = self._by_client[client_id] = Counter()
+        return counter
+
+    def record_submitted(
+        self,
+        count: int = 1,
+        priority: Optional[int] = None,
+        client_id: Optional[str] = None,
+    ) -> None:
         """Count requests accepted into the queue."""
         with self._lock:
             self.submitted += count
+            if priority is not None:
+                self._priority_stats(priority).submitted += count
+            if client_id is not None:
+                self._client_counter(client_id)["submitted"] += count
 
     def record_rejected(self, count: int = 1) -> None:
-        """Count requests turned away by backpressure."""
+        """Count requests turned away by shared-queue backpressure."""
         with self._lock:
             self.rejected += count
+
+    def record_quota_rejected(
+        self, count: int = 1, client_id: Optional[str] = None
+    ) -> None:
+        """Count requests denied by a per-client quota (not backpressure)."""
+        with self._lock:
+            self.quota_rejected += count
+            if client_id is not None:
+                self._client_counter(client_id)["quota_rejected"] += count
+
+    def record_shed(self, count: int = 1) -> None:
+        """Count queued low-priority requests evicted for higher-priority ones."""
+        with self._lock:
+            self.shed += count
 
     def record_expired(self, count: int = 1) -> None:
         """Count requests dropped because their deadline passed in queue."""
         with self._lock:
             self.expired += count
+
+    def record_cancelled(self, count: int = 1) -> None:
+        """Count requests whose futures were cancelled before dispatch."""
+        with self._lock:
+            self.cancelled += count
 
     def record_queue_depth(self, depth: int) -> None:
         """Update the queue-depth gauge (and its high-water mark)."""
@@ -100,16 +184,42 @@ class ServiceMetrics:
             self._queue_depth_max = max(self._queue_depth_max, depth)
 
     def record_batch(self, size: int) -> None:
-        """Count one dispatched micro-batch of ``size`` requests."""
+        """Count one dispatched micro-batch of ``size`` *live* requests.
+
+        Recorded at dispatch time by the worker pool, after expired and
+        cancelled requests have been dropped, so the fill histogram
+        reflects rows the engine actually solved — not what the batcher
+        collected.
+        """
         with self._lock:
             self.batches += 1
             self._batch_fill[size] += 1
 
-    def record_completed(self, latencies: Sequence[float]) -> None:
-        """Count resolved requests with their queue-to-response latencies (s)."""
+    def record_completed(
+        self,
+        latencies: Sequence[float],
+        priorities: Optional[Sequence[int]] = None,
+        client_ids: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        """Count resolved requests with their queue-to-response latencies (s).
+
+        ``priorities`` / ``client_ids`` (parallel to ``latencies``, when
+        given) segment the completion counters and latency reservoirs so
+        ``/stats`` can show per-priority percentiles and per-client
+        throughput.
+        """
         with self._lock:
             self.completed += len(latencies)
             self._latencies.extend(latencies)
+            if priorities is not None:
+                for priority, latency in zip(priorities, latencies):
+                    stats = self._priority_stats(priority)
+                    stats.completed += 1
+                    stats.latencies.append(latency)
+            if client_ids is not None:
+                for client_id in client_ids:
+                    if client_id is not None:
+                        self._client_counter(client_id)["completed"] += 1
 
     def record_failed(self, count: int = 1) -> None:
         """Count requests resolved with an error."""
@@ -126,7 +236,7 @@ class ServiceMetrics:
             return self._queue_depth
 
     def latency_percentiles(self) -> Dict[str, float]:
-        """p50/p90/p99/max of the reservoir, in milliseconds."""
+        """p50/p90/p99/max of the shared reservoir, in milliseconds."""
         with self._lock:
             samples: List[float] = list(self._latencies)
         summary = latency_summary(samples)
@@ -139,6 +249,20 @@ class ServiceMetrics:
             uptime = max(self._clock() - self._started, 1e-9)
             fill = dict(sorted(self._batch_fill.items()))
             total_batched = sum(size * count for size, count in fill.items())
+            priorities = {}
+            for priority in sorted(self._by_priority):
+                stats = self._by_priority[priority]
+                summary = latency_summary(list(stats.latencies))
+                summary["samples"] = len(stats.latencies)
+                priorities[str(priority)] = {
+                    "submitted": stats.submitted,
+                    "completed": stats.completed,
+                    "latency": summary,
+                }
+            clients = {
+                client_id: dict(counter)
+                for client_id, counter in sorted(self._by_client.items())
+            }
             state = {
                 "uptime_seconds": uptime,
                 "requests": {
@@ -146,7 +270,10 @@ class ServiceMetrics:
                     "completed": self.completed,
                     "failed": self.failed,
                     "rejected": self.rejected,
+                    "quota_rejected": self.quota_rejected,
+                    "shed": self.shed,
                     "expired": self.expired,
+                    "cancelled": self.cancelled,
                     "in_queue": self._queue_depth,
                 },
                 "throughput": {
@@ -161,6 +288,8 @@ class ServiceMetrics:
                     "mean_fill": (total_batched / self.batches) if self.batches else 0.0,
                     "fill_histogram": {str(k): v for k, v in fill.items()},
                 },
+                "priorities": priorities,
+                "clients": clients,
             }
         state["latency"] = self.latency_percentiles()
         return state

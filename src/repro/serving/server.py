@@ -7,17 +7,34 @@ stdlib only):
 * ``POST /recognise`` — body ``{"codes": [...], "seed": 0}`` for one
   request or ``{"codes": [[...], ...], "seeds": [...]}`` for several;
   each code vector is submitted to the service *individually* so it
-  coalesces with concurrent traffic in the micro-batch queue.  An
-  optional ``"timeout_ms"`` sets the request's dispatch deadline: a
-  request still queued when it expires is dropped (no engine time spent)
-  and answered ``504``.  Responds ``{"results": [...], "count": n}``
-  (plus ``"result"`` for the single form).  Backpressure maps to ``429``
-  with a ``Retry-After`` hint; a retryable backend-worker crash maps to
-  ``503``.
+  coalesces with concurrent traffic in the micro-batch queue.  Optional
+  fields: ``"timeout_ms"`` (dispatch deadline — a request still queued
+  when it expires is dropped, no engine time spent, and answered
+  ``504``), ``"priority"`` (0–9, higher dispatches first and survives
+  shedding), ``"client_id"`` (also the ``X-Client-Id`` header; names the
+  caller for quota admission and per-client stats) and ``"stream"``
+  (chunked NDJSON response, below).  Buffered responses are
+  ``{"results": [...], "count": n}`` (plus ``"result"`` for the single
+  form).
+* ``POST /recognise`` with ``"stream": true`` — the response is
+  ``Transfer-Encoding: chunked`` ``application/x-ndjson``: one JSON line
+  per row, emitted as that row's future resolves, each either
+  ``{"index": i, "result": {...}}`` or ``{"index": i, "error": {status,
+  reason, type, message}}`` (partial failure is per-row), terminated by
+  a ``{"done": true, "count": n, "ok": k, "failed": m}`` summary line.
+  A 1000-image request streams incrementally instead of being buffered.
 * ``GET /healthz`` — liveness (status, worker count, queue depth).
 * ``GET /stats`` — the full :class:`~repro.serving.metrics.ServiceMetrics`
-  snapshot: throughput counters, queue depth, batch-fill histogram and
-  latency percentiles.
+  snapshot: throughput counters (including ``quota_rejected`` and
+  ``shed``), queue depth, batch-fill histogram, per-priority and
+  per-client sections, latency percentiles.
+
+Error taxonomy (shared by whole-request statuses and per-row stream
+errors): ``400`` malformed/never-admittable, ``429`` with ``"reason":
+"quota"`` for per-client quota denials and ``"reason": "backpressure"``
+for shared-queue rejections (both with ``Retry-After``), ``503`` closed
+service or retryable backend crash, ``504`` expired or unserved
+deadline.
 
 :func:`start_server` boots a server on a background thread (port ``0``
 picks a free port) and :func:`stop_server` shuts it down cleanly; both
@@ -29,6 +46,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -37,12 +55,14 @@ import numpy as np
 
 from repro.backends.base import WorkerCrashedError
 from repro.core.amm import RecognitionResult
-from repro.serving.service import (
+from repro.serving.errors import (
     BackpressureError,
     DeadlineExceededError,
-    RecognitionService,
+    QuotaExceededError,
     ServiceClosedError,
 )
+from repro.serving.quotas import validate_client_id
+from repro.serving.service import RecognitionService
 
 #: Largest accepted request body (bytes); 128-feature code vectors are a
 #: few hundred bytes each, so this admits ~1000-image requests.
@@ -72,10 +92,92 @@ def result_to_json(result: RecognitionResult) -> dict:
     }
 
 
+def classify_error(error: BaseException) -> Tuple[int, str]:
+    """Map an exception to its ``(HTTP status, reason)`` pair.
+
+    One mapping for whole-request statuses and per-row stream errors, so
+    the error taxonomy cannot drift between the buffered and streaming
+    paths.
+    """
+    if isinstance(error, QuotaExceededError):
+        return 429, "quota"
+    if isinstance(error, BackpressureError):
+        return 429, "backpressure"
+    if isinstance(error, (ServiceClosedError, WorkerCrashedError)):
+        return 503, "unavailable"
+    if isinstance(error, (DeadlineExceededError, concurrent.futures.TimeoutError)):
+        return 504, "deadline"
+    if isinstance(error, concurrent.futures.CancelledError):
+        return 503, "cancelled"
+    if isinstance(error, (ValueError, TypeError, OverflowError, json.JSONDecodeError)):
+        return 400, "invalid"
+    return 500, "internal"
+
+
+def _retry_after_header(error: BaseException) -> Tuple[Tuple[str, str], ...]:
+    """``Retry-After`` hint for retryable (429/503) rejections."""
+    retry_after = getattr(error, "retry_after", None)
+    seconds = 1 if retry_after is None else max(1, int(math.ceil(retry_after)))
+    return (("Retry-After", str(seconds)),)
+
+
+def row_error_to_json(index: int, error: BaseException) -> dict:
+    """The per-row error object of the streaming partial-failure contract."""
+    status, reason = classify_error(error)
+    return {
+        "index": index,
+        "error": {
+            "status": status,
+            "reason": reason,
+            "type": type(error).__name__,
+            "message": str(error),
+        },
+    }
+
+
+def _integral_array(name: str, values: object, dtype=np.int64) -> np.ndarray:
+    """Parse a JSON number (array) as integers, rejecting non-integral input.
+
+    ``np.asarray(..., dtype=np.int64)`` would silently truncate ``1.7``
+    to ``1`` and serve a wrong answer; here non-integral, boolean and
+    non-numeric payloads are rejected with a ``ValueError`` (HTTP 400).
+    Integral floats (``2.0``) are accepted — JSON clients cannot always
+    control number formatting.
+    """
+    array = np.asarray(values)
+    if array.dtype == object or np.issubdtype(array.dtype, np.bool_):
+        raise ValueError(f"{name} must be integers, got non-numeric values")
+    if np.issubdtype(array.dtype, np.floating):
+        if not np.all(np.isfinite(array)):
+            raise ValueError(f"{name} must be finite integers")
+        if np.any(array != np.floor(array)):
+            raise ValueError(
+                f"{name} must be integers, got non-integral values "
+                "(e.g. 1.7 would otherwise be silently truncated to 1)"
+            )
+        return array.astype(dtype)
+    if not np.issubdtype(array.dtype, np.integer):
+        raise ValueError(f"{name} must be integers, got dtype {array.dtype}")
+    return array.astype(dtype)
+
+
+def _integral_scalar(name: str, value: object) -> int:
+    """Parse one JSON number as an integer, rejecting non-integral input."""
+    if isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got a boolean")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value) or value != math.floor(value):
+            raise ValueError(f"{name} must be an integer, got {value!r}")
+        return int(value)
+    raise ValueError(f"{name} must be an integer, got {value!r}")
+
+
 class RecognitionRequestHandler(BaseHTTPRequestHandler):
     """Routes the three-endpoint JSON API onto the bound service."""
 
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/1.1"
     protocol_version = "HTTP/1.1"
     # Headers and body go out as separate small writes; without
     # TCP_NODELAY the Nagle / delayed-ACK interaction stalls every
@@ -107,6 +209,16 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _respond_error(self, error: BaseException) -> None:
+        status, reason = classify_error(error)
+        headers: Tuple = ()
+        if status in (429, 503) and reason != "invalid":
+            headers = _retry_after_header(error)
+        payload = {"error": str(error), "reason": reason}
+        if status == 500:
+            payload["error"] = f"{type(error).__name__}: {error}"
+        self._respond(status, payload, headers=headers)
+
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
         if length <= 0:
@@ -126,6 +238,93 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
+    def _parse_client_id(self, payload: dict) -> Optional[str]:
+        """Body ``client_id`` (authoritative) or the ``X-Client-Id`` header.
+
+        An explicit JSON ``null`` body field counts as absent — it must
+        not suppress the header fallback, or a tenant whose gateway
+        stamps ``X-Client-Id`` could opt out of its own quota bucket.
+        """
+        client_id = payload.get("client_id")
+        if client_id is None:
+            client_id = self.headers.get("X-Client-Id")
+        return validate_client_id(client_id)
+
+    # ------------------------------------------------------------------ #
+    # Chunked streaming
+    # ------------------------------------------------------------------ #
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+
+    def _stream_response(self, events, total: int) -> None:
+        """Emit one NDJSON line per resolved row, then a summary line.
+
+        ``events`` yields ``(row_index, result_or_exception)``; the first
+        event has already been pulled by the caller (so admission errors
+        could still become clean HTTP statuses) and is re-chained in.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            self._emit_events(events, total)
+        finally:
+            # A for-loop does NOT close its iterator on break/exception:
+            # without this, a mid-stream disconnect would leave the
+            # service generator's cleanup (cancelling the in-flight
+            # window) to garbage collection.
+            closer = getattr(events, "close", None)
+            if closer is not None:
+                closer()
+
+    def _emit_events(self, events, total: int) -> None:
+        ok = failed = 0
+        try:
+            for index, outcome in events:
+                if isinstance(outcome, BaseException):
+                    line = row_error_to_json(index, outcome)
+                    failed += 1
+                else:
+                    line = {"index": index, "result": result_to_json(outcome)}
+                    ok += 1
+                self._write_chunk((json.dumps(line) + "\n").encode("utf-8"))
+            summary = {"done": True, "count": total, "ok": ok, "failed": failed}
+            self._write_chunk((json.dumps(summary) + "\n").encode("utf-8"))
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # The client went away mid-stream; closing the generator
+            # (via the for-loop's GeneratorExit) cancels queued rows.
+            self.close_connection = True
+        except Exception as error:  # noqa: BLE001 — generator blew up
+            # The 200 status is already on the wire; the best remaining
+            # contract is a terminal error line and a *well-formed*
+            # chunked ending, so the client sees a clean summary instead
+            # of an IncompleteRead.
+            try:
+                status, reason = classify_error(error)
+                summary = {
+                    "done": True,
+                    "count": total,
+                    "ok": ok,
+                    "failed": failed + (total - ok - failed),
+                    "error": {
+                        "status": status,
+                        "reason": reason,
+                        "type": type(error).__name__,
+                        "message": str(error),
+                    },
+                }
+                self._write_chunk((json.dumps(summary) + "\n").encode("utf-8"))
+                self.wfile.write(b"0\r\n\r\n")
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                pass
+            self.close_connection = True
+
     # ------------------------------------------------------------------ #
     # Endpoints
     # ------------------------------------------------------------------ #
@@ -143,12 +342,32 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             payload = self._read_json_body()
-            codes = np.asarray(payload.get("codes"), dtype=np.int64)
+            codes = _integral_array("codes", payload.get("codes"))
             timeout_ms = payload.get("timeout_ms")
             if timeout_ms is not None:
                 timeout_ms = float(timeout_ms)
+            priority = payload.get("priority")
+            priority = 0 if priority is None else _integral_scalar("priority", priority)
+            client_id = self._parse_client_id(payload)
+            stream = payload.get("stream", False)
+            if not isinstance(stream, bool):
+                raise ValueError("stream must be a boolean")
+            single = codes.ndim == 1
+            if stream and single:
+                raise ValueError("stream mode requires a 2-D codes batch")
+            if single:
+                seeds = [_integral_scalar("seed", payload.get("seed", 0))]
+            elif codes.ndim == 2:
+                seeds = payload.get("seeds")
+                if seeds is None:
+                    seed = _integral_scalar("seed", payload.get("seed", 0))
+                    seeds = [seed] * codes.shape[0]
+                else:
+                    seeds = [int(s) for s in _integral_array("seeds", seeds)]
+            else:
+                raise ValueError("codes must be a 1-D vector or a 2-D batch")
         except (ValueError, TypeError, OverflowError, json.JSONDecodeError) as error:
-            self._respond(400, {"error": str(error)})
+            self._respond(400, {"error": str(error), "reason": "invalid"})
             return
         # The handler's wait tracks the request's own deadline: shorter
         # deadlines stop the client waiting long after its budget is
@@ -157,53 +376,47 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
         wait = DEFAULT_REQUEST_TIMEOUT
         if timeout_ms is not None and timeout_ms > 0:
             wait = min(timeout_ms * 1e-3 + DEADLINE_WAIT_SLACK, MAX_REQUEST_TIMEOUT)
-        single = codes.ndim == 1
+        if stream:
+            # ``timeout_ms`` is a *per-row* dispatch deadline; it must
+            # not shrink the whole-stream budget or a large request
+            # would mass-fail its tail with 504 rows even though every
+            # dispatched row met its own deadline.  Streams get the hard
+            # handler ceiling instead — they prove liveness row by row.
+            self._do_stream(
+                codes, seeds, MAX_REQUEST_TIMEOUT, timeout_ms, priority, client_id
+            )
+            return
         try:
             if single:
-                seed = int(payload.get("seed", 0))
                 results = [
                     self.service.recognise(
-                        codes, seed=seed, timeout=wait, timeout_ms=timeout_ms
+                        codes,
+                        seed=seeds[0],
+                        timeout=wait,
+                        timeout_ms=timeout_ms,
+                        priority=priority,
+                        client_id=client_id,
                     )
                 ]
-            elif codes.ndim == 2:
-                seeds = payload.get("seeds")
-                if seeds is None and "seed" in payload:
-                    seeds = [int(payload["seed"])] * codes.shape[0]
-                results = self.service.recognise_many(
-                    codes, seeds=seeds, timeout=wait, timeout_ms=timeout_ms
-                )
             else:
-                raise ValueError("codes must be a 1-D vector or a 2-D batch")
-        except BackpressureError as error:
-            self._respond(429, {"error": str(error)}, headers=(("Retry-After", "1"),))
-            return
-        except ServiceClosedError as error:
-            self._respond(503, {"error": str(error)})
-            return
-        except WorkerCrashedError as error:
-            # The backend has already respawned the worker; the request
-            # itself was not completed and is safe to retry.
-            self._respond(503, {"error": str(error)}, headers=(("Retry-After", "1"),))
-            return
-        except DeadlineExceededError as error:
-            self._respond(504, {"error": str(error)})
-            return
+                results = self.service.recognise_many(
+                    codes,
+                    seeds=seeds,
+                    timeout=wait,
+                    timeout_ms=timeout_ms,
+                    priority=priority,
+                    client_id=client_id,
+                )
         except concurrent.futures.TimeoutError:
             self._respond(
                 504,
-                {"error": f"request not served within {wait} s"},
+                {"error": f"request not served within {wait} s", "reason": "deadline"},
             )
             return
-        except (ValueError, TypeError, OverflowError) as error:
-            # Includes errors surfaced through a request's future (e.g. a
-            # seed too large for int64 raising in the worker).
-            self._respond(400, {"error": str(error)})
-            return
-        except Exception as error:  # noqa: BLE001 — any worker failure
+        except Exception as error:  # noqa: BLE001 — full taxonomy in one place
             # The client must always get an HTTP status, never a dropped
             # connection (e.g. a singular solve raising LinAlgError).
-            self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+            self._respond_error(error)
             return
         body = {
             "count": len(results),
@@ -212,6 +425,40 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
         if single:
             body["result"] = body["results"][0]
         self._respond(200, body)
+
+    def _do_stream(
+        self,
+        codes: np.ndarray,
+        seeds,
+        wait: float,
+        timeout_ms: Optional[float],
+        priority: int,
+        client_id: Optional[str],
+    ) -> None:
+        """The chunked-NDJSON arm of ``POST /recognise``."""
+        events = self.service.recognise_stream(
+            codes,
+            seeds=seeds,
+            timeout=wait,
+            timeout_ms=timeout_ms,
+            priority=priority,
+            client_id=client_id,
+        )
+        try:
+            # Pull the first event before committing to a 200: a request
+            # the service cannot admit at all still gets its clean
+            # 400/429 status instead of a mid-stream error line.
+            first = next(events, None)
+        except Exception as error:  # noqa: BLE001 — admission/validation
+            self._respond_error(error)
+            return
+
+        def chained():
+            if first is not None:
+                yield first
+            yield from events
+
+        self._stream_response(chained(), total=codes.shape[0])
 
 
 class RecognitionServer(ThreadingHTTPServer):

@@ -4,11 +4,16 @@
 concurrent callers and turns them into efficient work for the batched
 recall engine:
 
-1. ``submit()`` validates the request in the caller's thread and places
-   it on a bounded queue — when the queue is full the caller gets an
-   immediate :class:`BackpressureError` instead of unbounded buffering;
+1. ``submit()`` validates the request in the caller's thread, checks the
+   caller's per-client quota (when configured) and places the request on
+   a bounded, priority-ordered queue — when the queue is full the caller
+   gets an immediate :class:`BackpressureError` instead of unbounded
+   buffering, unless enough *lower*-priority requests are queued, in
+   which case those are shed (their futures fail with
+   :class:`BackpressureError`) to admit the higher-priority arrival;
 2. a micro-batcher thread coalesces queued requests into batches of up to
-   ``max_batch_size``, waiting at most ``max_wait`` seconds after the
+   ``max_batch_size``, draining strictly highest-priority-first (FIFO
+   within a priority) and waiting at most ``max_wait`` seconds after the
    first request of a batch arrives (the classic latency/throughput
    window knob);
 3. the batch goes to the :class:`~repro.serving.workers.ShardedWorkerPool`,
@@ -16,51 +21,148 @@ recall engine:
    and resolve each caller's future with its own
    :class:`~repro.core.amm.RecognitionResult` slice.
 
+Very large multi-image requests stream through
+:meth:`RecognitionService.recognise_stream`, which submits rows in
+bounded windows and yields each row's outcome as its future resolves —
+the HTTP front end turns that into a chunked NDJSON response, so a
+1000-image request is served incrementally with flat server-side memory.
+
 Every request carries a seed for its private random substream (see
 :meth:`~repro.core.amm.AssociativeMemoryModule.recognise_batch_seeded`),
-so a request's result is identical no matter when it arrives, how the
-micro-batcher groups it, or how many workers the pool runs.
+so a request's result is identical no matter when it arrives, what its
+priority is, how the micro-batcher groups it, or how many workers the
+pool runs — priorities and quotas reorder and shed *work*, never change
+*answers*.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import threading
 import time
 from collections import deque
-from typing import List, Optional, Sequence
+from typing import Dict, Generator, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.amm import AssociativeMemoryModule, RecognitionResult
+from repro.serving.errors import (
+    BackpressureError,
+    DeadlineExceededError,
+    QuotaExceededError,
+    ServiceClosedError,
+)
 from repro.serving.metrics import ServiceMetrics
+from repro.serving.quotas import (
+    ANONYMOUS_CLIENT,
+    ClientQuotas,
+    QuotaConfig,
+    validate_client_id,
+)
 from repro.serving.workers import PendingRequest, ShardedWorkerPool
 from repro.utils.validation import check_integer
 
+#: Admission-priority range: higher dispatches (and survives shedding)
+#: first.  The default priority is the floor, so plain traffic is the
+#: first to be shed under pressure.
+MIN_PRIORITY = 0
+MAX_PRIORITY = 9
+DEFAULT_PRIORITY = MIN_PRIORITY
 
-class BackpressureError(RuntimeError):
-    """The request queue is full; the caller should retry later.
+#: Outcome of one streamed row: its index and either a result or the
+#: error that resolved it.
+StreamEvent = Tuple[int, Union[RecognitionResult, BaseException]]
 
-    Raised synchronously by :meth:`RecognitionService.submit` so that an
-    overloaded service sheds load at the front door with a clean error
-    (mapped to HTTP 429 by the server) instead of deadlocking or growing
-    its queue without bound.
+
+def _consume_outcome(future: concurrent.futures.Future) -> None:
+    """Done-callback that retrieves (and discards) a future's outcome."""
+    if not future.cancelled():
+        future.exception()
+
+
+class _PriorityPending:
+    """The service's pending queue: FIFO per priority, drained high-first.
+
+    Also supports shedding — evicting queued low-priority requests
+    (newest first, lowest priority first) to admit a higher-priority
+    arrival when the queue is full.
     """
 
+    def __init__(self) -> None:
+        self._levels: Dict[int, deque] = {}
+        self._count = 0
 
-class DeadlineExceededError(RuntimeError):
-    """The request's deadline passed before it could be dispatched.
+    def __len__(self) -> int:
+        return self._count
 
-    Requests may carry a ``timeout_ms`` budget; one that is still queued
-    when the budget runs out is dropped *before* dispatch (no engine time
-    is spent on an answer nobody is waiting for) and its future resolves
-    with this error — mapped to HTTP 504 by the server and counted under
-    ``requests.expired`` in ``GET /stats``.
-    """
+    def extend(self, batch: Iterable[PendingRequest]) -> None:
+        for pending in batch:
+            level = self._levels.get(pending.priority)
+            if level is None:
+                level = self._levels[pending.priority] = deque()
+            level.append(pending)
+            self._count += 1
 
+    def pop_batch(self, limit: int) -> List[PendingRequest]:
+        """Drain up to ``limit`` requests, highest priority first."""
+        batch: List[PendingRequest] = []
+        for priority in sorted(self._levels, reverse=True):
+            level = self._levels[priority]
+            while level and len(batch) < limit:
+                batch.append(level.popleft())
+                self._count -= 1
+            if not level:
+                del self._levels[priority]
+            if len(batch) >= limit:
+                break
+        return batch
 
-class ServiceClosedError(RuntimeError):
-    """The service has been closed and accepts no further requests."""
+    def count_below(self, priority: int) -> int:
+        """Queued requests strictly below ``priority`` (shed candidates)."""
+        return sum(
+            len(level)
+            for level_priority, level in self._levels.items()
+            if level_priority < priority
+        )
+
+    def evict_below(self, priority: int, count: int) -> List[PendingRequest]:
+        """Remove at least ``count`` requests below ``priority``: lowest
+        priority first, newest first within a priority (they have waited
+        least).  A victim's whole submission group is evicted with it —
+        the caller's gather fails on the first shed row anyway, so
+        leaving siblings queued would only spend engine time on results
+        a retrying caller discards."""
+        evicted: List[PendingRequest] = []
+        for level_priority in sorted(self._levels):
+            if level_priority >= priority or len(evicted) >= count:
+                break
+            level = self._levels[level_priority]
+            while level and len(evicted) < count:
+                victim = level.pop()
+                evicted.append(victim)
+                self._count -= 1
+                if victim.group is not None:
+                    siblings = [
+                        pending for pending in level if pending.group == victim.group
+                    ]
+                    if siblings:
+                        survivors = [
+                            pending
+                            for pending in level
+                            if pending.group != victim.group
+                        ]
+                        level.clear()
+                        level.extend(survivors)
+                        evicted.extend(siblings)
+                        self._count -= len(siblings)
+            if not level:
+                del self._levels[level_priority]
+        return evicted
+
+    def drain(self) -> List[PendingRequest]:
+        """Remove and return everything (highest priority first)."""
+        return self.pop_batch(self._count)
 
 
 class RecognitionService:
@@ -80,7 +182,8 @@ class RecognitionService:
         arrivals before dispatching a partial batch.
     max_queue_depth:
         Bound on requests waiting for dispatch; beyond it ``submit``
-        raises :class:`BackpressureError`.
+        raises :class:`BackpressureError` — unless the arrival outranks
+        enough queued requests, which are then shed to make room.
     workers:
         Execution units in the pool (engine replicas — threads or
         processes, depending on the backend).
@@ -95,6 +198,14 @@ class RecognitionService:
         prepared :class:`~repro.backends.base.RecallBackend` instance.
         Because every request carries its own seed, the served results
         are identical for every backend choice.
+    quota:
+        Per-client admission budget — a
+        :class:`~repro.serving.quotas.QuotaConfig` (the service builds
+        the bucket table) or a prepared
+        :class:`~repro.serving.quotas.ClientQuotas` (shared / test
+        clock).  ``None`` (default) disables quotas; requests without a
+        ``client_id`` then share no budget at all, and with quotas they
+        share the anonymous bucket.
     """
 
     def __init__(
@@ -107,6 +218,7 @@ class RecognitionService:
         legacy_per_sample: bool = False,
         metrics: Optional[ServiceMetrics] = None,
         backend: str = "threads",
+        quota: Union[QuotaConfig, ClientQuotas, None] = None,
     ) -> None:
         check_integer("max_batch_size", max_batch_size, minimum=1)
         check_integer("max_queue_depth", max_queue_depth, minimum=1)
@@ -123,6 +235,9 @@ class RecognitionService:
         self.max_wait = max_wait
         self.max_queue_depth = max_queue_depth
         self.metrics = metrics or ServiceMetrics()
+        if isinstance(quota, QuotaConfig):
+            quota = ClientQuotas(quota)
+        self.quotas: Optional[ClientQuotas] = quota
         self.pool = ShardedWorkerPool(
             amm,
             workers=workers,
@@ -130,7 +245,8 @@ class RecognitionService:
             legacy_per_sample=legacy_per_sample,
             backend=backend,
         )
-        self._pending: deque = deque()
+        self._pending = _PriorityPending()
+        self._group_ids = itertools.count(1)
         self._state_lock = threading.Lock()
         self._arrived = threading.Condition(self._state_lock)
         self._closed = False
@@ -147,6 +263,8 @@ class RecognitionService:
         codes: np.ndarray,
         seed: int = 0,
         timeout_ms: Optional[float] = None,
+        priority: int = DEFAULT_PRIORITY,
+        client_id: Optional[str] = None,
     ) -> concurrent.futures.Future:
         """Queue one recall request; returns a future of its result.
 
@@ -155,28 +273,28 @@ class RecognitionService:
         codes and seed always produce equal results).  ``timeout_ms``
         optionally bounds the request's queue time: a request still
         undispatched when the budget expires is dropped and fails with
-        :class:`DeadlineExceededError`.  Raises
-        :class:`BackpressureError` when the queue is full and
-        :class:`ServiceClosedError` after :meth:`close`.
+        :class:`DeadlineExceededError`.  ``priority`` (``MIN_PRIORITY`` …
+        ``MAX_PRIORITY``, higher first) orders dispatch and shedding;
+        ``client_id`` names the caller for quota admission and per-client
+        metrics.  Raises :class:`BackpressureError` when the queue is
+        full, :class:`QuotaExceededError` when the caller's budget is
+        spent, and :class:`ServiceClosedError` after :meth:`close`.
         """
         return self.submit_many(
-            np.asarray(codes)[None, :], seeds=[seed], timeout_ms=timeout_ms
+            np.asarray(codes)[None, :],
+            seeds=[seed],
+            timeout_ms=timeout_ms,
+            priority=priority,
+            client_id=client_id,
         )[0]
 
-    def submit_many(
+    def _validate_rows(
         self,
         codes_batch: np.ndarray,
-        seeds: Optional[Sequence[int]] = None,
-        timeout_ms: Optional[float] = None,
-    ) -> List[concurrent.futures.Future]:
-        """Queue several requests atomically; returns one future per row.
-
-        All-or-nothing: either every row fits in the queue or none is
-        accepted and :class:`BackpressureError` is raised — a partially
-        admitted multi-image request would occupy queue capacity for
-        results its (retrying) caller will discard.  ``timeout_ms``
-        applies the same dispatch deadline to every row.
-        """
+        seeds: Optional[Sequence[int]],
+    ) -> Tuple[np.ndarray, Sequence[int]]:
+        """Shared request validation (shape, ranges, seeds) for the
+        buffered and streaming submission paths."""
         codes_batch = np.asarray(codes_batch, dtype=np.int64)
         if codes_batch.ndim != 2 or codes_batch.shape[1] != self.amm.crossbar.rows:
             raise ValueError(
@@ -194,6 +312,34 @@ class RecognitionService:
             raise ValueError(f"codes must be in [0, {max_code}]")
         if any(seed < 0 for seed in seeds):
             raise ValueError("seeds must be non-negative")
+        return codes_batch, seeds
+
+    def submit_many(
+        self,
+        codes_batch: np.ndarray,
+        seeds: Optional[Sequence[int]] = None,
+        timeout_ms: Optional[float] = None,
+        priority: int = DEFAULT_PRIORITY,
+        client_id: Optional[str] = None,
+    ) -> List[concurrent.futures.Future]:
+        """Queue several requests atomically; returns one future per row.
+
+        All-or-nothing: either every row fits in the queue (shedding
+        queued lower-priority requests when necessary) or none is
+        accepted and :class:`BackpressureError` is raised — a partially
+        admitted multi-image request would occupy queue capacity for
+        results its (retrying) caller will discard.  ``timeout_ms``
+        applies the same dispatch deadline, and ``priority`` /
+        ``client_id`` the same ordering and quota accounting, to every
+        row.
+        """
+        codes_batch, seeds = self._validate_rows(codes_batch, seeds)
+        check_integer("priority", priority, minimum=MIN_PRIORITY)
+        if priority > MAX_PRIORITY:
+            raise ValueError(
+                f"priority must be <= {MAX_PRIORITY}, got {priority}"
+            )
+        validate_client_id(client_id)
         if timeout_ms is not None and not timeout_ms > 0:
             raise ValueError(f"timeout_ms must be > 0, got {timeout_ms}")
         if codes_batch.shape[0] > self.max_queue_depth:
@@ -201,33 +347,80 @@ class RecognitionService:
             # ValueError (HTTP 400), not a retry-later BackpressureError.
             raise ValueError(
                 f"request holds {codes_batch.shape[0]} rows but the queue admits "
-                f"at most {self.max_queue_depth}; split the request"
+                f"at most {self.max_queue_depth}; split (or stream) the request"
             )
         deadline = (
             None if timeout_ms is None else time.monotonic() + timeout_ms * 1e-3
         )
+        metric_client = client_id if client_id is not None else ANONYMOUS_CLIENT
+        # Rows of one multi-row submission share a group id so shedding
+        # evicts the submission whole, never a partial request.
+        group = next(self._group_ids) if codes_batch.shape[0] > 1 else None
         batch = [
             PendingRequest(
                 codes=codes,
                 seed=int(seed),
                 future=concurrent.futures.Future(),
                 deadline=deadline,
+                priority=priority,
+                client_id=metric_client,
+                group=group,
             )
             for codes, seed in zip(codes_batch, seeds)
         ]
+        shed: List[PendingRequest] = []
         with self._arrived:
             if self._closed:
                 raise ServiceClosedError("service is closed")
-            if len(self._pending) + len(batch) > self.max_queue_depth:
-                self.metrics.record_rejected(len(batch))
-                raise BackpressureError(
-                    f"request queue cannot admit {len(batch)} more requests "
-                    f"({len(self._pending)}/{self.max_queue_depth} pending); retry later"
-                )
+            if self.quotas is not None:
+                try:
+                    self.quotas.admit(client_id, len(batch))
+                except QuotaExceededError:
+                    self.metrics.record_quota_rejected(len(batch), metric_client)
+                    raise
+                # From here on the rows own their in-flight slots; each
+                # row releases its slot as its future resolves.
+                for pending in batch:
+                    pending.future.add_done_callback(
+                        lambda future, client=client_id: self.quotas.release(client, 1)
+                    )
+            overflow = len(self._pending) + len(batch) - self.max_queue_depth
+            if overflow > 0:
+                if self._pending.count_below(priority) >= overflow:
+                    shed = self._pending.evict_below(priority, overflow)
+                else:
+                    if self.quotas is not None:
+                        # The rows never entered the queue: return the
+                        # tokens and the in-flight slots in one step (the
+                        # done callbacks of these unresolved futures will
+                        # never fire).
+                        self.quotas.cancel_admission(client_id, len(batch))
+                    self.metrics.record_rejected(len(batch))
+                    raise BackpressureError(
+                        f"request queue cannot admit {len(batch)} more requests "
+                        f"({len(self._pending)}/{self.max_queue_depth} pending); "
+                        "retry later"
+                    )
             self._pending.extend(batch)
-            self.metrics.record_submitted(len(batch))
+            self.metrics.record_submitted(
+                len(batch), priority=priority, client_id=metric_client
+            )
             self.metrics.record_queue_depth(len(self._pending))
             self._arrived.notify()
+        if shed:
+            # Outside the lock: resolving futures runs caller callbacks.
+            error = BackpressureError(
+                "request shed from the queue to admit higher-priority traffic; "
+                "retry later"
+            )
+            for pending in shed:
+                if self.quotas is not None:
+                    # Shed rows did no work: give their tokens back (the
+                    # in-flight slot is released by the done callback).
+                    self.quotas.refund_tokens(pending.client_id, 1)
+                if pending.future.set_running_or_notify_cancel():
+                    pending.future.set_exception(error)
+            self.metrics.record_shed(len(shed))
         return [pending.future for pending in batch]
 
     def recognise(
@@ -236,9 +429,17 @@ class RecognitionService:
         seed: int = 0,
         timeout: Optional[float] = None,
         timeout_ms: Optional[float] = None,
+        priority: int = DEFAULT_PRIORITY,
+        client_id: Optional[str] = None,
     ) -> RecognitionResult:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(codes, seed=seed, timeout_ms=timeout_ms).result(timeout)
+        return self.submit(
+            codes,
+            seed=seed,
+            timeout_ms=timeout_ms,
+            priority=priority,
+            client_id=client_id,
+        ).result(timeout)
 
     def recognise_many(
         self,
@@ -246,6 +447,8 @@ class RecognitionService:
         seeds: Optional[Sequence[int]] = None,
         timeout: Optional[float] = None,
         timeout_ms: Optional[float] = None,
+        priority: int = DEFAULT_PRIORITY,
+        client_id: Optional[str] = None,
     ) -> List[RecognitionResult]:
         """Submit each row as its own request and gather the results.
 
@@ -255,16 +458,185 @@ class RecognitionService:
         HTTP request path, not a private batch.  ``timeout`` bounds the
         *whole* gather (client-side wait); ``timeout_ms`` is the
         server-side dispatch deadline applied to every row.
+
+        When the gather fails part-way (a row error, or the ``timeout``
+        budget running out), the remaining rows are abandoned: still-
+        queued rows are cancelled so the engine never solves them, and
+        already-dispatched rows have their outcomes consumed on
+        resolution — no in-flight work keeps running for a caller that
+        already got its error.
         """
-        futures = self.submit_many(codes_batch, seeds=seeds, timeout_ms=timeout_ms)
+        futures = self.submit_many(
+            codes_batch,
+            seeds=seeds,
+            timeout_ms=timeout_ms,
+            priority=priority,
+            client_id=client_id,
+        )
         deadline = None if timeout is None else time.monotonic() + timeout
         results = []
-        for future in futures:
-            remaining = (
-                None if deadline is None else max(0.0, deadline - time.monotonic())
-            )
-            results.append(future.result(remaining))
+        try:
+            for future in futures:
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                results.append(future.result(remaining))
+        except BaseException:
+            # On a gather timeout the current future is still pending; on
+            # a row error its outcome is already consumed (abandoning a
+            # resolved future is a no-op) — either way, everything from
+            # the current row on is cancelled or drained.
+            self._abandon(futures[len(results):])
+            raise
         return results
+
+    @staticmethod
+    def _abandon(futures: Iterable[concurrent.futures.Future]) -> None:
+        """Cancel still-queued futures; drain the rest as they resolve.
+
+        Cancelled rows are skipped by the dispatcher (no engine time);
+        rows already dispatched cannot be stopped, so their outcome is
+        consumed by a done-callback instead — nothing blocks, and no
+        future is left unresolved or unretrieved.
+        """
+        for future in futures:
+            if not future.cancel():
+                future.add_done_callback(_consume_outcome)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def recognise_stream(
+        self,
+        codes_batch: np.ndarray,
+        seeds: Optional[Sequence[int]] = None,
+        timeout: Optional[float] = None,
+        timeout_ms: Optional[float] = None,
+        priority: int = DEFAULT_PRIORITY,
+        client_id: Optional[str] = None,
+        window: Optional[int] = None,
+    ) -> Generator[StreamEvent, None, None]:
+        """Stream a large multi-image request row by row, in row order.
+
+        Submits rows in bounded windows of at most ``window`` requests
+        (default: twice ``max_batch_size``, clamped to the queue depth
+        and the quota burst) and yields ``(row_index, outcome)`` as each
+        row's future resolves — ``outcome`` is the row's
+        :class:`~repro.core.amm.RecognitionResult` or the exception that
+        resolved it (partial failure is per-row, not per-request).  The
+        server turns these events into a chunked NDJSON response, so the
+        service never buffers more than one window of futures per stream,
+        and a request larger than ``max_queue_depth`` — impossible on the
+        buffered path — streams through in slices.
+
+        Admission pressure (backpressure or quota) while the stream has
+        rows in flight is absorbed by draining those rows first and
+        retrying; when nothing is in flight the retry honours the
+        ``timeout`` budget, after which the remaining rows are yielded
+        with the admission error.  A denial before *anything* was
+        admitted propagates as a plain exception — the caller gets the
+        same clean 429 as a buffered request.
+        """
+        codes_batch, seeds = self._validate_rows(codes_batch, seeds)
+        total = codes_batch.shape[0]
+        if window is None:
+            window = max(2 * self.max_batch_size, 32)
+        check_integer("window", window, minimum=1)
+        window = min(window, self.max_queue_depth)
+        if self.quotas is not None:
+            window = min(window, self.quotas.burst)
+            # The window must also fit under the per-client in-flight
+            # cap, or the all-or-nothing window submission could never
+            # be admitted even on an idle service.
+            if self.quotas.config.max_inflight is not None:
+                window = min(window, self.quotas.config.max_inflight)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        inflight: deque = deque()  # of (row_index, future)
+        next_row = 0
+        admission_error: Optional[BaseException] = None
+        try:
+            while inflight or next_row < total:
+                # Keep the submission window full while rows remain.
+                while (
+                    admission_error is None
+                    and next_row < total
+                    and len(inflight) < window
+                ):
+                    end = min(next_row + (window - len(inflight)), total)
+                    try:
+                        futures = self.submit_many(
+                            codes_batch[next_row:end],
+                            seeds=list(seeds[next_row:end]),
+                            timeout_ms=timeout_ms,
+                            priority=priority,
+                            client_id=client_id,
+                        )
+                    except ServiceClosedError as error:
+                        if next_row == 0 and not inflight:
+                            raise  # nothing streamed yet: clean 503
+                        # Mid-stream shutdown is permanent: no retry,
+                        # the remaining rows fail with per-row errors.
+                        admission_error = error
+                        break
+                    except (BackpressureError, QuotaExceededError) as error:
+                        if next_row == 0 and not inflight:
+                            raise  # nothing streamed yet: clean rejection
+                        if inflight:
+                            break  # drain our own rows, then retry
+                        remaining = (
+                            None
+                            if deadline is None
+                            else deadline - time.monotonic()
+                        )
+                        if remaining is not None and remaining <= 0:
+                            admission_error = error
+                            break
+                        delay = getattr(error, "retry_after", None) or 0.02
+                        delay = min(delay, 0.25)
+                        if remaining is not None:
+                            delay = min(delay, remaining)
+                        time.sleep(max(delay, 1e-4))
+                        continue
+                    for offset, future in enumerate(futures):
+                        inflight.append((next_row + offset, future))
+                    next_row = end
+                if not inflight:
+                    break  # done, or admission gave out with nothing in flight
+                index, future = inflight.popleft()
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                try:
+                    outcome: Union[RecognitionResult, BaseException] = future.result(
+                        remaining
+                    )
+                except concurrent.futures.TimeoutError:
+                    # The whole-stream budget is spent: everything left
+                    # fails with the same timeout, queued rows cancelled.
+                    timeout_error = concurrent.futures.TimeoutError(
+                        f"stream not served within {timeout} s"
+                    )
+                    self._abandon([future])
+                    yield index, timeout_error
+                    self._abandon(f for _, f in inflight)
+                    for stale_index, _ in inflight:
+                        yield stale_index, timeout_error
+                    inflight.clear()
+                    for unsubmitted in range(next_row, total):
+                        yield unsubmitted, timeout_error
+                    return
+                except concurrent.futures.CancelledError as error:
+                    outcome = error
+                except Exception as error:  # per-row failure: keep streaming
+                    outcome = error
+                yield index, outcome
+            if admission_error is not None:
+                for unsubmitted in range(next_row, total):
+                    yield unsubmitted, admission_error
+        finally:
+            # Closed generator (client went away) or internal error:
+            # nothing keeps computing for an audience that left.
+            self._abandon(future for _, future in inflight)
 
     # ------------------------------------------------------------------ #
     # Micro-batcher
@@ -274,10 +646,14 @@ class RecognitionService:
             batch = self._collect_batch()
             if batch is None:
                 return
-            self.metrics.record_batch(len(batch))
-            # Blocks when every dispatch slot is busy: that is the
-            # backpressure path that lets the bounded queue fill up.
-            self.pool.dispatch(batch)
+            try:
+                # Blocks when every dispatch slot is busy: that is the
+                # backpressure path that lets the bounded queue fill up.
+                self.pool.dispatch(batch)
+            except ServiceClosedError:
+                # The pool was closed underneath us (direct pool.close());
+                # dispatch() already failed the batch's futures.
+                continue
 
     def _collect_batch(self) -> Optional[List[PendingRequest]]:
         """Wait for traffic, then drain one micro-batch from the queue.
@@ -285,7 +661,9 @@ class RecognitionService:
         Returns ``None`` when the service is closed and the queue is
         drained (the batcher's exit signal).  After the first request of
         a batch arrives, keeps collecting until the batch is full or
-        ``max_wait`` has elapsed.
+        ``max_wait`` has elapsed; the drain is highest-priority-first,
+        so a high-priority arrival inside the window jumps ahead of
+        every queued lower-priority request.
         """
         with self._arrived:
             while not self._pending:
@@ -301,10 +679,7 @@ class RecognitionService:
                 if remaining <= 0:
                     break
                 self._arrived.wait(remaining)
-            batch = [
-                self._pending.popleft()
-                for _ in range(min(self.max_batch_size, len(self._pending)))
-            ]
+            batch = self._pending.pop_batch(self.max_batch_size)
             self.metrics.record_queue_depth(len(self._pending))
             return batch
 
@@ -332,6 +707,7 @@ class RecognitionService:
             "queue_depth": self.queue_depth,
             "max_batch_size": self.max_batch_size,
             "max_wait_seconds": self.max_wait,
+            "quotas_enabled": self.quotas is not None,
             "array": {
                 "rows": self.amm.crossbar.rows,
                 "columns": self.amm.crossbar.columns,
@@ -360,8 +736,7 @@ class RecognitionService:
         self._batcher.join(timeout)
         if self._batcher.is_alive():
             with self._arrived:
-                abandoned = list(self._pending)
-                self._pending.clear()
+                abandoned = self._pending.drain()
                 self.metrics.record_queue_depth(0)
                 self._arrived.notify_all()
             error = ServiceClosedError(

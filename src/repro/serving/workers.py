@@ -6,26 +6,38 @@ chosen by name through the registry) so offline sweeps can use it too.
 What remains is the *serving* half of the old pool, everything about
 request lifecycle rather than execution:
 
-* a **bounded dispatch queue** (``DISPATCH_SLOTS_PER_WORKER`` slots per
-  execution unit): when every slot is busy the micro-batcher blocks on
+* a **bounded, priority-ordered dispatch queue**
+  (``DISPATCH_SLOTS_PER_WORKER`` slots per execution unit): when every
+  slot is busy the micro-batcher blocks on
   :meth:`~ShardedWorkerPool.dispatch`, the service queue fills, and the
-  front end starts rejecting with a clean backpressure error;
+  front end starts rejecting with a clean backpressure error.  Queued
+  batches are consumed highest-priority-first (FIFO within a priority),
+  so a high-priority batch overtakes low-priority batches that are still
+  waiting for a dispatch slot;
 * **dispatcher threads** (one per execution unit, so whole micro-batches
   pipeline while the backend shards each of them internally) that resolve
   every request's future with its own result slice, record queue-to-
-  response latencies, and map deadline-expired requests to
-  :class:`~repro.serving.service.DeadlineExceededError` *before* the
-  batch reaches the backend;
+  response latencies per priority and client, and map deadline-expired
+  requests to :class:`~repro.serving.errors.DeadlineExceededError`
+  *before* the batch reaches the backend;
 * **error containment**: a failed batch resolves every caller's future
   with the error (retryable :class:`~repro.backends.base.WorkerCrashedError`
   included — the process backend has already respawned the worker by the
   time it surfaces) and the dispatcher thread survives to serve the next
   batch.
+
+Closing is race-free: :meth:`~ShardedWorkerPool.dispatch` and
+:meth:`~ShardedWorkerPool.close` serialise on one lock, so a batch can
+never slip into the queue between the closed check and the sentinel
+drain — a dispatch that loses the race fails every future in its batch
+with :class:`~repro.serving.errors.ServiceClosedError` (and raises it)
+instead of leaving callers hanging on futures nobody will resolve.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import queue
 import threading
 import time
@@ -37,8 +49,13 @@ import numpy as np
 from repro.backends.base import RecallBackend
 from repro.backends.registry import resolve_backend
 from repro.core.amm import AssociativeMemoryModule
+from repro.serving.errors import DeadlineExceededError, ServiceClosedError
 from repro.serving.metrics import ServiceMetrics
 from repro.utils.validation import check_integer
+
+#: Priority-queue rank of the shutdown sentinel — sorts after every real
+#: batch (whose rank is ``-priority``), so queued work drains first.
+_SENTINEL_RANK = float("inf")
 
 
 @dataclass
@@ -50,7 +67,9 @@ class PendingRequest:
     prevented it).  ``enqueued_at`` anchors the queue-to-response latency
     reported through the metrics; ``deadline`` (monotonic seconds, or
     ``None``) is the instant after which the request must not be
-    dispatched.
+    dispatched.  ``priority`` (higher dispatches first) and ``client_id``
+    segment the latency/throughput metrics and drive admission control in
+    the service front end.
     """
 
     codes: np.ndarray
@@ -58,6 +77,12 @@ class PendingRequest:
     future: concurrent.futures.Future
     enqueued_at: float = field(default_factory=time.monotonic)
     deadline: Optional[float] = None
+    priority: int = 0
+    client_id: Optional[str] = None
+    #: Rows admitted by one ``submit_many`` call share a group id, so
+    #: priority shedding evicts whole submissions — never a partial
+    #: multi-image request whose surviving rows the caller would discard.
+    group: Optional[int] = None
 
     def expired(self, now: Optional[float] = None) -> bool:
         """Whether the request's deadline has passed."""
@@ -131,9 +156,14 @@ class ShardedWorkerPool:
         if not legacy_per_sample:
             self.backend.prepare()
         self.workers = max(1, self.backend.capabilities().workers)
-        self._queue: "queue.Queue" = queue.Queue(
+        # Highest-priority batch first; FIFO within a priority via the
+        # monotonic sequence number (which also keeps the never-compared
+        # batch payloads out of tuple ordering).
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue(
             maxsize=self.workers * self.DISPATCH_SLOTS_PER_WORKER
         )
+        self._sequence = itertools.count()
+        self._lifecycle = threading.Lock()
         self._threads = [
             threading.Thread(
                 target=self._run, name=f"dispatcher-{index}", daemon=True
@@ -170,28 +200,46 @@ class ShardedWorkerPool:
         """Hand one micro-batch to a dispatcher thread.
 
         Blocks while every dispatch slot is taken — the backpressure
-        signal the micro-batcher relies on.  The backend shards the batch
+        signal the micro-batcher relies on.  Queued batches leave the
+        slots highest-priority-first.  The backend shards each batch
         across its execution units internally (contiguous runs of at
         least ``min_shard_size`` requests), so one dispatcher per
         execution unit keeps the units busy without double-sharding.
+
+        After :meth:`close`, every future in ``batch`` is resolved with
+        :class:`ServiceClosedError` and the same error is raised — the
+        check and the enqueue are atomic, so a batch can never slip in
+        behind the shutdown sentinels and hang its callers.
         """
         if not batch:
             return
-        if self._closed:
-            raise RuntimeError("worker pool is closed")
-        self._queue.put(batch)
+        with self._lifecycle:
+            if not self._closed:
+                rank = -max(pending.priority for pending in batch)
+                # Blocking put under the lock is safe: the dispatcher
+                # threads never take the lock, so they keep draining the
+                # queue until this put finds a free slot.
+                self._queue.put((rank, next(self._sequence), batch))
+                return
+        error = ServiceClosedError("worker pool is closed")
+        failed = 0
+        for pending in batch:
+            if pending.future.set_running_or_notify_cancel():
+                pending.future.set_exception(error)
+                failed += 1
+        if failed:
+            self.metrics.record_failed(failed)
+        raise error
 
     def _run(self) -> None:
         while True:
-            batch = self._queue.get()
+            _, _, batch = self._queue.get()
             if batch is None:
                 break
             self._process(batch)
 
     def _drop_expired(self, batch: List[PendingRequest]) -> List[PendingRequest]:
         """Resolve deadline-expired requests before they reach the backend."""
-        from repro.serving.service import DeadlineExceededError
-
         now = time.monotonic()
         live: List[PendingRequest] = []
         expired = 0
@@ -214,13 +262,20 @@ class ShardedWorkerPool:
         # Claim each future before computing: a caller may have cancelled
         # a queued request, and resolving a cancelled future raises
         # InvalidStateError, which would kill the dispatcher thread.
-        live = [
-            pending
-            for pending in self._drop_expired(batch)
-            if pending.future.set_running_or_notify_cancel()
-        ]
+        live: List[PendingRequest] = []
+        cancelled = 0
+        for pending in self._drop_expired(batch):
+            if pending.future.set_running_or_notify_cancel():
+                live.append(pending)
+            else:
+                cancelled += 1
+        if cancelled:
+            self.metrics.record_cancelled(cancelled)
         if not live:
             return
+        # The fill histogram counts what actually reaches the engine —
+        # the dispatched live size, not the collected size.
+        self.metrics.record_batch(len(live))
         try:
             codes = np.stack([pending.codes for pending in live])
             if self.legacy_per_sample:
@@ -239,7 +294,11 @@ class ShardedWorkerPool:
         for pending, result in zip(live, results):
             pending.future.set_result(result)
             latencies.append(now - pending.enqueued_at)
-        self.metrics.record_completed(latencies)
+        self.metrics.record_completed(
+            latencies,
+            priorities=[pending.priority for pending in live],
+            client_ids=[pending.client_id for pending in live],
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -250,11 +309,14 @@ class ShardedWorkerPool:
 
     def close(self) -> None:
         """Stop accepting work, finish queued batches and join the threads."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
         for _ in self._threads:
-            self._queue.put(None)
+            # Sentinels sort after every queued batch, so pending work
+            # drains before the dispatcher threads exit.
+            self._queue.put((_SENTINEL_RANK, next(self._sequence), None))
         for thread in self._threads:
             thread.join()
         if self._owns_backend:

@@ -7,6 +7,8 @@ real HTTP servers on ephemeral ports — runs in seconds.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -40,3 +42,29 @@ def request_codes() -> np.ndarray:
 @pytest.fixture(scope="session")
 def request_seeds(request_codes) -> np.ndarray:
     return np.arange(request_codes.shape[0], dtype=np.int64) + 500
+
+
+@pytest.fixture()
+def recall_gate(monkeypatch):
+    """Gate backend recalls and record the seeds that actually reach the
+    engine, in dispatch order.
+
+    Returns ``(gate, recalled)``: nothing is solved until ``gate.set()``,
+    after which ``recalled`` accumulates the per-request seeds in the
+    order the dispatchers solved them — the instrument behind the
+    priority-ordering and cancellation-leak tests.
+    """
+    from repro.backends.threaded import ThreadedBackend
+
+    gate = threading.Event()
+    recalled: list = []
+    original = ThreadedBackend.recall_batch_seeded
+
+    def wrapped(self, codes_batch, request_seeds):
+        gate.wait(timeout=20.0)
+        recalled.extend(int(seed) for seed in request_seeds)
+        return original(self, codes_batch, request_seeds)
+
+    monkeypatch.setattr(ThreadedBackend, "recall_batch_seeded", wrapped)
+    yield gate, recalled
+    gate.set()

@@ -1,6 +1,7 @@
 """Unit tests for the service metrics: counters, histogram, percentiles."""
 
 import json
+import math
 import threading
 
 import pytest
@@ -19,9 +20,20 @@ class TestPercentile:
     def test_nearest_rank(self):
         samples = list(range(1, 101))
         assert percentile(samples, 0.0) == 1
-        assert percentile(samples, 0.5) == 51  # nearest rank of 0.5*(n-1)
+        assert percentile(samples, 0.5) == 50  # the ceil(0.5 * n)-th sample
         assert percentile(samples, 1.0) == 100
         assert percentile(samples, 0.99) == 99
+
+    def test_p50_consistent_across_odd_and_even_counts(self):
+        # Regression: int(round(...)) used banker's rounding, so p50 of an
+        # even-count sample picked the *upper* neighbour of the median
+        # (round(1.5) == 2) while odd counts picked the middle — the
+        # nearest-rank definition always takes the ceil(n/2)-th sample.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0.5) == 3.0
+        for count in range(1, 30):
+            samples = [float(value) for value in range(1, count + 1)]
+            assert percentile(samples, 0.5) == math.ceil(count / 2)
 
     def test_unsorted_input(self):
         assert percentile([5.0, 1.0, 3.0], 1.0) == 5.0
@@ -61,7 +73,7 @@ class TestServiceMetrics:
         metrics.record_completed([0.001 * k for k in range(1, 101)])
         latency = metrics.latency_percentiles()
         assert latency["samples"] == 100
-        assert latency["p50_ms"] == pytest.approx(51.0)
+        assert latency["p50_ms"] == pytest.approx(50.0)
         assert latency["max_ms"] == pytest.approx(100.0)
         assert latency["p99_ms"] <= latency["max_ms"]
 

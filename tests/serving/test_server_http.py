@@ -115,7 +115,7 @@ class TestErrorMapping:
                 server.port, "/recognise", json.dumps({"codes": rows}).encode()
             )
             assert status == 400
-            assert "split the request" in payload["error"]
+            assert "split (or stream) the request" in payload["error"]
         finally:
             stop_server(server)
 

@@ -202,7 +202,7 @@ class TestSaturation:
             assert service.metrics.rejected == 4
             # More rows than the queue can ever hold is a permanent
             # error, not a retry-later rejection.
-            with pytest.raises(ValueError, match="split the request"):
+            with pytest.raises(ValueError, match="stream.*the request"):
                 service.submit_many(request_codes[:5], seeds=range(5))
             gate.set()
             for future in admitted:

@@ -40,6 +40,26 @@ class TestCli:
         with pytest.raises(SystemExit):
             parser.parse_args([])
 
+    def test_quota_flags_build_config(self):
+        import math
+
+        from repro.cli import _build_quota
+
+        parser = build_parser()
+        # No quota flag: quotas disabled.
+        arguments = parser.parse_args(["serve"])
+        assert _build_quota(arguments) is None
+        # --quota-burst alone must still enable quotas (infinite rate),
+        # not silently drop the operator's burst cap.
+        arguments = parser.parse_args(["serve", "--quota-burst", "10"])
+        config = _build_quota(arguments)
+        assert config is not None
+        assert config.burst == 10 and math.isinf(config.rate)
+        # Rate alone defaults burst to one second of rate.
+        arguments = parser.parse_args(["serve", "--quota-rate", "50"])
+        config = _build_quota(arguments)
+        assert config.rate == 50 and config.burst == 50
+
     def test_table2_command(self, capsys):
         exit_code = main(["table2"])
         captured = capsys.readouterr().out
