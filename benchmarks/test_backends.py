@@ -1,11 +1,14 @@
-"""Execution-backend benchmark: serial vs threads vs processes.
+"""Execution-backend benchmark: serial vs threads vs processes vs remote.
 
 Recalls the reference 128x40 corpus through each registered execution
 backend at 1, 2 and all-cores worker counts (parasitic path, per-request
 seeded substreams — the exact serving workload) and records the measured
 throughput trajectory into ``BENCH_backends.json`` at the repository
 root, uploaded as a CI artifact next to the recall and serving
-trajectories.
+trajectories.  The ``remote`` section runs against real
+``python -m repro worker`` agents spawned on localhost (1 and 2
+replicas), so the trajectory includes the wire-protocol overhead a
+cross-host deployment pays per dispatch.
 
 The benchmark also re-asserts the cross-backend contract on the timed
 inputs (identical winners and DOM codes for identical seeds) and, on
@@ -82,43 +85,67 @@ def measure(backend, codes, seeds) -> dict:
     }
 
 
+#: Localhost worker agents spawned for the remote section (the
+#: acceptance bar is "remote over >= 2 localhost workers").
+REMOTE_AGENTS = 2
+
+
 def test_backend_throughput_matrix(full_pipeline, recall_codes, request_seeds, write_result):
+    from repro.backends import spawn_local_worker
+
     amm = full_pipeline.amm
     cores = os.cpu_count() or 1
     sweep = worker_sweep()
 
-    plan = [("serial", [1]), ("threads", sweep), ("processes", sweep)]
+    agents = [spawn_local_worker() for _ in range(REMOTE_AGENTS)]
+    addresses = [address for _, address in agents]
+    plan = [
+        ("serial", [1]),
+        ("threads", sweep),
+        ("processes", sweep),
+        ("remote", list(range(1, REMOTE_AGENTS + 1))),
+    ]
     trajectory = {}
     reference = None
-    for name, counts in plan:
-        points = []
-        for workers in counts:
-            backend = create_backend(
-                name, amm, workers=workers, min_shard_size=DISPATCH_BATCH // 4
-            )
-            try:
-                point = measure(backend, recall_codes, request_seeds)
-            finally:
-                backend.close()
-            # The equivalence contract on the timed inputs: identical
-            # discrete outputs for identical seeds, every backend/count.
-            if reference is None:
-                reference = point
-            assert np.array_equal(point["winners"], reference["winners"]), (
-                f"{name} x{workers} disagrees with the serial reference winners"
-            )
-            assert np.array_equal(point["dom_codes"], reference["dom_codes"]), (
-                f"{name} x{workers} disagrees with the serial reference DOM codes"
-            )
-            points.append(
-                {
-                    "workers": workers,
-                    "images": point["images"],
-                    "seconds": point["seconds"],
-                    "images_per_second": point["images_per_second"],
-                }
-            )
-        trajectory[name] = points
+    try:
+        for name, counts in plan:
+            points = []
+            for workers in counts:
+                options = {}
+                if name == "remote":
+                    options["worker_addresses"] = addresses[:workers]
+                backend = create_backend(
+                    name, amm, workers=workers,
+                    min_shard_size=DISPATCH_BATCH // 4, **options,
+                )
+                try:
+                    point = measure(backend, recall_codes, request_seeds)
+                finally:
+                    backend.close()
+                # The equivalence contract on the timed inputs: identical
+                # discrete outputs for identical seeds, every backend/count.
+                if reference is None:
+                    reference = point
+                assert np.array_equal(point["winners"], reference["winners"]), (
+                    f"{name} x{workers} disagrees with the serial reference winners"
+                )
+                assert np.array_equal(point["dom_codes"], reference["dom_codes"]), (
+                    f"{name} x{workers} disagrees with the serial reference DOM codes"
+                )
+                points.append(
+                    {
+                        "workers": workers,
+                        "images": point["images"],
+                        "seconds": point["seconds"],
+                        "images_per_second": point["images_per_second"],
+                    }
+                )
+            trajectory[name] = points
+    finally:
+        for process, _ in agents:
+            process.terminate()
+        for process, _ in agents:
+            process.wait(timeout=10.0)
 
     def best(name):
         return max(trajectory[name], key=lambda p: p["images_per_second"])
@@ -136,11 +163,16 @@ def test_backend_throughput_matrix(full_pipeline, recall_codes, request_seeds, w
         "worker_sweep": sweep,
         "backends": trajectory,
         "serial_images_per_second": serial_ips,
+        "remote_agents": REMOTE_AGENTS,
         "best": {
             "threads": thread_best,
             "processes": process_best,
+            "remote": best("remote"),
         },
         "process_vs_threads_speedup": process_vs_threads,
+        "remote_vs_serial_speedup": (
+            best("remote")["images_per_second"] / serial_ips
+        ),
         "speedup_bound_applied": (
             REQUIRED_PROCESS_SPEEDUP
             if cores >= 4
@@ -150,7 +182,7 @@ def test_backend_throughput_matrix(full_pipeline, recall_codes, request_seeds, w
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = [f"cores={cores}  serial: {serial_ips:8.1f} images/s"]
-    for name in ("threads", "processes"):
+    for name in ("threads", "processes", "remote"):
         for point in trajectory[name]:
             lines.append(
                 f"{name:<10s} x{point['workers']:<2d} "

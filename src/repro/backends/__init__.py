@@ -21,6 +21,14 @@ compute; this package owns *where and how* it executes:
     boundary) and exchanging batches through shared-memory buffers, so
     recalls scale with cores instead of contending for one GIL.
 
+``remote``
+    :class:`~repro.backends.remote.RemoteBackend` — worker *agents*
+    (``python -m repro worker --listen HOST:PORT``) on any host, spoken
+    to over the pickle-free length-prefixed TCP protocol of
+    :mod:`repro.backends.wire`.  Links are supervised (heartbeats,
+    reconnect with backoff) and in-flight shards retry onto surviving
+    replicas, so recall scales across machines and survives worker loss.
+
 All backends execute the *seeded* recall path, so results are a pure
 function of ``(module, codes, seed)`` — invariant across backend choice,
 worker count and shard boundaries (``tests/backends/``), which is what
@@ -31,6 +39,7 @@ this directory for the protocol and the custom-backend recipe.
 """
 
 from repro.backends.base import (
+    EVENT_KEYS,
     BackendCapabilities,
     EngineSpec,
     RecallBackend,
@@ -40,10 +49,17 @@ from repro.backends.base import (
 from repro.backends.process import ProcessPoolBackend
 from repro.backends.registry import (
     DEFAULT_BACKEND,
+    UnknownBackendError,
     backend_names,
     create_backend,
     register_backend,
     resolve_backend,
+)
+from repro.backends.remote import (
+    RemoteBackend,
+    WorkerServer,
+    parse_worker_addresses,
+    spawn_local_worker,
 )
 from repro.backends.serial import SerialBackend
 from repro.backends.threaded import ThreadedBackend
@@ -51,15 +67,21 @@ from repro.backends.threaded import ThreadedBackend
 __all__ = [
     "BackendCapabilities",
     "DEFAULT_BACKEND",
+    "EVENT_KEYS",
     "EngineSpec",
     "ProcessPoolBackend",
     "RecallBackend",
+    "RemoteBackend",
     "SerialBackend",
     "ThreadedBackend",
+    "UnknownBackendError",
     "WorkerCrashedError",
+    "WorkerServer",
     "backend_names",
     "contiguous_shards",
     "create_backend",
+    "parse_worker_addresses",
     "register_backend",
     "resolve_backend",
+    "spawn_local_worker",
 ]

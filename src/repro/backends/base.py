@@ -27,6 +27,18 @@ import numpy as np
 from repro.core.amm import AssociativeMemoryModule, BatchRecognitionResult
 from repro.crossbar.batched import BatchCrossbarSolution, BatchedCrossbarEngine
 
+#: Fixed order in which per-sample WTA event counters cross an execution
+#: boundary (shared-memory blocks, remote-worker frames) as one int64 row.
+EVENT_KEYS = (
+    "latch_senses",
+    "sar_bit_writes",
+    "dac_transitions",
+    "dwn_switches",
+    "tracking_writes",
+    "detection_discharges",
+    "detection_precharges",
+)
+
 
 class WorkerCrashedError(RuntimeError):
     """A backend worker died while holding in-flight requests.

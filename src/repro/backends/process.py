@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.backends.base import (
+    EVENT_KEYS,
     BackendCapabilities,
     EngineSpec,
     RecallBackend,
@@ -53,17 +54,6 @@ from repro.crossbar.batched import (
     concatenate_batch_solutions,
 )
 from repro.utils.validation import check_integer
-
-#: Fixed order in which per-sample WTA event counters cross shared memory.
-EVENT_KEYS = (
-    "latch_senses",
-    "sar_bit_writes",
-    "dac_transitions",
-    "dwn_switches",
-    "tracking_writes",
-    "detection_discharges",
-    "detection_precharges",
-)
 
 #: Exception types a worker may transport back by name; anything else
 #: resurfaces as a RuntimeError tagged with the original type.

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Union
 
 from repro.backends.base import RecallBackend
 from repro.backends.process import ProcessPoolBackend
+from repro.backends.remote import RemoteBackend
 from repro.backends.serial import SerialBackend
 from repro.backends.threaded import ThreadedBackend
 
@@ -32,6 +33,20 @@ from repro.backends.threaded import ThreadedBackend
 DEFAULT_BACKEND = "serial"
 
 _REGISTRY: Dict[str, Callable[..., RecallBackend]] = {}
+
+
+class UnknownBackendError(KeyError, ValueError):
+    """An unregistered backend name was requested.
+
+    Both a :class:`KeyError` (it *is* a failed registry lookup) and a
+    :class:`ValueError` (what :func:`create_backend` historically raised,
+    so existing ``except ValueError`` callers keep working).  The message
+    lists every registered name, because the overwhelmingly common cause
+    is a typo'd ``--backend`` flag.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0] if self.args else ""
 
 
 def register_backend(name: str, factory: Callable[..., RecallBackend]) -> None:
@@ -63,7 +78,9 @@ def create_backend(
         factory = _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
-        raise ValueError(f"unknown backend {name!r}; registered: {known}") from None
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; registered backends: {known}"
+        ) from None
     return factory(module, workers=workers, **options)
 
 
@@ -92,3 +109,4 @@ def resolve_backend(
 register_backend("serial", SerialBackend)
 register_backend("threads", ThreadedBackend)
 register_backend("processes", ProcessPoolBackend)
+register_backend("remote", RemoteBackend)

@@ -11,8 +11,12 @@ without writing any code:
   images end to end (``--batch-size`` selects the recall granularity;
   1 = legacy per-sample loop);
 * ``throughput`` — evaluate the corpus through the batched recall engine
-  and report images/second (``--backend serial|threads|processes``
+  and report images/second (``--backend serial|threads|processes|remote``
   recalls through a named execution backend with ``--workers`` units);
+* ``worker`` — run a remote recall worker agent
+  (``python -m repro worker --listen HOST:PORT``) that backends created
+  with ``--backend remote --workers host:port,...`` dispatch shards to
+  over the pickle-free wire protocol;
 * ``serve`` — boot the micro-batching recognition service
   (:mod:`repro.serving`) behind its JSON HTTP API (``POST /recognise``
   with request priorities and streaming mode, ``GET /healthz``,
@@ -128,8 +132,9 @@ def _command_throughput(arguments: argparse.Namespace) -> str:
         # pool (and, for processes, the workers) is built before timing.
         from repro.backends import create_backend
 
+        workers, backend_options = _resolve_workers(arguments)
         backend = create_backend(
-            arguments.backend, pipeline.amm, workers=arguments.workers
+            arguments.backend, pipeline.amm, workers=workers, **backend_options
         ).prepare()
         try:
             start = time.perf_counter()
@@ -161,6 +166,64 @@ def _command_throughput(arguments: argparse.Namespace) -> str:
     return format_table(["Quantity", "Value"], rows)
 
 
+def _resolve_workers(arguments: argparse.Namespace) -> tuple:
+    """Interpret ``--workers`` as a count or a remote address list.
+
+    ``--workers 4`` means four execution units; ``--workers
+    host:7070,host:7071`` (only meaningful with ``--backend remote``)
+    names the worker agents and implies their count.  Returns
+    ``(worker_count, backend_options)``.
+    """
+    value = arguments.workers
+    if isinstance(value, int):
+        return value, {}
+    text = str(value).strip()
+    if ":" not in text:
+        try:
+            return int(text), {}
+        except ValueError:
+            raise SystemExit(
+                f"--workers must be an integer or a host:port list, got {text!r}"
+            ) from None
+    if getattr(arguments, "backend", None) != "remote":
+        raise SystemExit(
+            "--workers with host:port addresses requires --backend remote"
+        )
+    from repro.backends import parse_worker_addresses
+
+    try:
+        addresses = parse_worker_addresses(text)
+    except ValueError as error:
+        raise SystemExit(f"--workers: {error}") from None
+    return len(addresses), {"worker_addresses": addresses}
+
+
+def _command_worker(arguments: argparse.Namespace) -> str:
+    from repro.backends import WorkerServer, parse_worker_addresses
+
+    try:
+        host, port = parse_worker_addresses(arguments.listen)[0]
+    except (ValueError, IndexError):
+        # ``--listen host:0`` must stay expressible: port 0 = ephemeral.
+        host, _, port_text = arguments.listen.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise SystemExit(
+                f"worker: cannot parse --listen {arguments.listen!r} "
+                "(expected host:port; port 0 binds an ephemeral port)"
+            ) from None
+        port = int(port_text)
+    server = WorkerServer(host=host, port=port)
+    bound_host, bound_port = server.address
+    print(f"repro worker listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return "worker stopped"
+
+
 def _build_quota(arguments: argparse.Namespace):
     """The per-client QuotaConfig named by the CLI flags (None = disabled)."""
     if (
@@ -186,6 +249,7 @@ def _build_service(arguments: argparse.Namespace):
     """Build the pipeline named by the CLI flags and wrap it in a service."""
     from repro.serving import RecognitionService
 
+    workers, backend_options = _resolve_workers(arguments)
     dataset = load_default_dataset(subjects=arguments.subjects, seed=arguments.seed)
     pipeline = build_pipeline(dataset, seed=arguments.seed)
     service = RecognitionService(
@@ -193,9 +257,10 @@ def _build_service(arguments: argparse.Namespace):
         max_batch_size=arguments.max_batch_size,
         max_wait=arguments.max_wait_ms * 1e-3,
         max_queue_depth=arguments.queue_depth,
-        workers=arguments.workers,
+        workers=workers,
         legacy_per_sample=getattr(arguments, "per_sample", False),
         backend=arguments.backend,
+        backend_options=backend_options,
         quota=_build_quota(arguments),
     )
     return dataset, pipeline, service
@@ -306,7 +371,8 @@ def _add_backend_option(parser: argparse.ArgumentParser, default: str = "threads
         choices=backend_names(),
         help="execution backend for the recall engine "
         "(serial = one engine, threads = sharded thread pool, "
-        "processes = multi-process engine pool)",
+        "processes = multi-process engine pool, remote = worker agents "
+        "named by --workers host:port,...)",
     )
 
 
@@ -323,7 +389,12 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
         default=2.0,
         help="micro-batch window after the first request arrives (ms)",
     )
-    parser.add_argument("--workers", type=int, default=1, help="worker pool shards")
+    parser.add_argument(
+        "--workers",
+        default=1,
+        help="worker pool shards (an integer), or with --backend remote a "
+        "comma-separated worker agent list (host:port,host:port)",
+    )
     parser.add_argument(
         "--queue-depth",
         type=int,
@@ -409,10 +480,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="recall granularity; 1 = legacy per-sample loop",
     )
     throughput.add_argument(
-        "--workers", type=int, default=1, help="execution units for --backend"
+        "--workers",
+        default=1,
+        help="execution units for --backend (an integer), or with "
+        "--backend remote a comma-separated agent list (host:port,...)",
     )
     _add_backend_option(throughput, default=None)
     throughput.set_defaults(handler=_command_throughput)
+
+    worker = subparsers.add_parser(
+        "worker", help="run a remote recall worker agent (TCP wire protocol)"
+    )
+    worker.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        help="host:port to listen on (port 0 = ephemeral; the bound "
+        "address is printed on startup)",
+    )
+    worker.set_defaults(handler=_command_worker)
 
     serve = subparsers.add_parser(
         "serve", help="serve recognition over HTTP with micro-batched recall"

@@ -194,10 +194,14 @@ class RecognitionService:
         Metric sink; a fresh :class:`ServiceMetrics` when omitted.
     backend:
         Execution backend for the recalls — a :mod:`repro.backends`
-        registry name (``"serial"``, ``"threads"``, ``"processes"``) or a
-        prepared :class:`~repro.backends.base.RecallBackend` instance.
-        Because every request carries its own seed, the served results
-        are identical for every backend choice.
+        registry name (``"serial"``, ``"threads"``, ``"processes"``,
+        ``"remote"``) or a prepared
+        :class:`~repro.backends.base.RecallBackend` instance.  Because
+        every request carries its own seed, the served results are
+        identical for every backend choice.
+    backend_options:
+        Extra keyword options for the named backend's factory (e.g.
+        ``{"worker_addresses": "host:7070,host:7071"}`` for ``remote``).
     quota:
         Per-client admission budget — a
         :class:`~repro.serving.quotas.QuotaConfig` (the service builds
@@ -218,6 +222,7 @@ class RecognitionService:
         legacy_per_sample: bool = False,
         metrics: Optional[ServiceMetrics] = None,
         backend: str = "threads",
+        backend_options: Optional[dict] = None,
         quota: Union[QuotaConfig, ClientQuotas, None] = None,
     ) -> None:
         check_integer("max_batch_size", max_batch_size, minimum=1)
@@ -244,6 +249,7 @@ class RecognitionService:
             metrics=self.metrics,
             legacy_per_sample=legacy_per_sample,
             backend=backend,
+            backend_options=backend_options,
         )
         self._pending = _PriorityPending()
         self._group_ids = itertools.count(1)

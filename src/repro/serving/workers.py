@@ -114,10 +114,14 @@ class ShardedWorkerPool:
         many requests each.
     backend:
         A :mod:`repro.backends` registry name (``"serial"``,
-        ``"threads"``, ``"processes"``) — the pool then owns and closes
-        the created backend — or an already-prepared
+        ``"threads"``, ``"processes"``, ``"remote"``) — the pool then
+        owns and closes the created backend — or an already-prepared
         :class:`~repro.backends.base.RecallBackend` shared with other
         consumers (left open on :meth:`close`).
+    backend_options:
+        Extra keyword options forwarded to the backend factory when
+        ``backend`` is a name (e.g. ``worker_addresses`` for the remote
+        backend); ignored for pre-built instances.
     """
 
     #: Dispatch slots per worker; bounds work-in-flight so a saturated
@@ -132,6 +136,7 @@ class ShardedWorkerPool:
         legacy_per_sample: bool = False,
         min_shard_size: int = 16,
         backend: Union[str, RecallBackend, None] = "threads",
+        backend_options: Optional[dict] = None,
     ) -> None:
         check_integer("workers", workers, minimum=1)
         check_integer("min_shard_size", min_shard_size, minimum=1)
@@ -150,8 +155,13 @@ class ShardedWorkerPool:
             # serial backend for the capability surface instead of paying
             # for engine replicas or worker processes nothing will use.
             backend = "serial"
+        # Explicit backend_options win over the pool's defaults (a caller
+        # tuning min_shard_size for a remote deployment should not
+        # collide with the forwarded pool default).
+        options = {"min_shard_size": min_shard_size}
+        options.update(backend_options or {})
         self.backend, self._owns_backend = resolve_backend(
-            backend, amm, workers=workers, min_shard_size=min_shard_size
+            backend, amm, workers=workers, **options
         )
         if not legacy_per_sample:
             self.backend.prepare()

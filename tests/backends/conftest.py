@@ -57,3 +57,46 @@ def process_pool(backend_amm):
     ).prepare()
     yield backend
     backend.close()
+
+
+@pytest.fixture()
+def worker_servers():
+    """Two in-process worker agents on ephemeral ports.
+
+    Function-scoped: fault tests kill them, so sharing would leak state
+    between tests.  Always bind port 0 — never a hard-coded port.
+    """
+    from repro.backends import WorkerServer
+
+    servers = [WorkerServer().start(), WorkerServer().start()]
+    yield servers
+    for server in servers:
+        server.close()
+
+
+@pytest.fixture()
+def remote_backend(backend_amm, worker_servers):
+    """A two-replica remote backend with test-speed supervision knobs.
+
+    The Woodbury chunk is pinned to the parent module's own engine so
+    remote results are *bit*-identical to the in-process reference —
+    independently autotuned chunks would differ only in the last BLAS
+    ulp, but the equivalence tests assert exact equality.
+    """
+    from repro.backends import RemoteBackend
+
+    engine = backend_amm.solver.batch_engine
+    engine.prepare(backend_amm.include_parasitics)
+    backend = RemoteBackend(
+        backend_amm,
+        worker_addresses=[server.address for server in worker_servers],
+        min_shard_size=4,
+        chunk_size=engine.chunk_size,
+        heartbeat_interval=0.1,
+        backoff_base=0.02,
+        backoff_max=0.2,
+        connect_timeout=5.0,
+        io_timeout=20.0,
+    ).prepare()
+    yield backend
+    backend.close()

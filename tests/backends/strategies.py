@@ -1,0 +1,76 @@
+"""Shared hypothesis strategies for the cross-backend equivalence suite.
+
+One definition of "a random recall workload" — geometry, programmed
+seed, batch shape, codes, per-request seeds — reused by every
+property-based equivalence test instead of hand-picked matrix cases, so
+adding a backend (or widening the workload space) happens in one place.
+
+Sizes are deliberately small: the point is shape/seed *diversity*, not
+numerical load — a 24x5 module already exercises calibration, sharding
+thresholds and the WTA resolution sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+#: Input-code alphabet of the 5-bit DACs used throughout the suite.
+MAX_CODE = 31
+
+
+@st.composite
+def geometries(draw):
+    """A random (small) module geometry plus its construction seed."""
+    return {
+        "features": draw(st.integers(min_value=8, max_value=24)),
+        "templates": draw(st.integers(min_value=2, max_value=5)),
+        "seed": draw(st.integers(min_value=0, max_value=2**16)),
+    }
+
+
+@st.composite
+def recall_batches(draw, features: int, max_batch: int = 12):
+    """A random ``(B, features)`` code batch with per-request seeds.
+
+    Seeds are drawn independently (duplicates allowed — two requests
+    sharing a seed is legal and must still be deterministic), codes over
+    the full DAC alphabet including the all-zero and all-max edges.
+    """
+    batch = draw(st.integers(min_value=1, max_value=max_batch))
+    codes = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=MAX_CODE),
+                min_size=features,
+                max_size=features,
+            ),
+            min_size=batch,
+            max_size=batch,
+        )
+    )
+    seeds = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**31 - 1),
+            min_size=batch,
+            max_size=batch,
+        )
+    )
+    return (
+        np.asarray(codes, dtype=np.int64),
+        np.asarray(seeds, dtype=np.int64),
+    )
+
+
+def build_test_amm(features: int, templates: int, seed: int, **kwargs):
+    """The one AMM constructor every property test shares (ideal path
+    unless overridden): identical arguments — identical module."""
+    rng = np.random.default_rng(seed)
+    template_codes = rng.integers(0, MAX_CODE + 1, size=(features, templates))
+    from repro.core.amm import AssociativeMemoryModule
+
+    kwargs.setdefault("include_parasitics", False)
+    kwargs.setdefault("input_variation", 0.05)
+    return AssociativeMemoryModule.from_templates(
+        template_codes, seed=seed, **kwargs
+    )

@@ -30,6 +30,26 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown backend"):
             create_backend("bogus", backend_amm)
 
+    def test_unknown_backend_is_keyerror_listing_names(self, backend_amm):
+        """Regression: a typo'd backend name raises a KeyError (it is a
+        failed registry lookup) whose message lists every registered
+        name — while staying a ValueError for historical callers."""
+        from repro.backends import UnknownBackendError
+
+        with pytest.raises(KeyError) as excinfo:
+            create_backend("prcoesses", backend_amm)  # the classic typo
+        assert isinstance(excinfo.value, UnknownBackendError)
+        assert isinstance(excinfo.value, ValueError)
+        message = str(excinfo.value)
+        for name in ("serial", "threads", "processes", "remote"):
+            assert name in message
+        # KeyError.__str__ would repr() the message into quoted noise;
+        # the subclass must read as a sentence.
+        assert not message.startswith('"') and not message.startswith("'")
+
+    def test_remote_registered(self):
+        assert "remote" in backend_names()
+
     def test_create_builds_requested_type(self, backend_amm):
         backend = create_backend("serial", backend_amm)
         assert isinstance(backend, SerialBackend)

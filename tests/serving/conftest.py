@@ -7,6 +7,7 @@ real HTTP servers on ephemeral ports — runs in seconds.
 
 from __future__ import annotations
 
+import socket
 import threading
 
 import numpy as np
@@ -42,6 +43,26 @@ def request_codes() -> np.ndarray:
 @pytest.fixture(scope="session")
 def request_seeds(request_codes) -> np.ndarray:
     return np.arange(request_codes.shape[0], dtype=np.int64) + 500
+
+
+@pytest.fixture()
+def free_port() -> int:
+    """An OS-assigned TCP port that was free a moment ago.
+
+    The port-collision rule of this suite: servers bind ``port=0`` and
+    read the ephemeral port back wherever possible (``start_server``
+    supports it; never hard-code a port or retry over a fixed range).
+    This fixture covers the remaining case — an API that must be handed
+    a concrete port number up front.  The OS hands out ascending
+    ephemeral ports, so the just-released port stays free for the
+    immediate re-bind in practice; anything able to take ``port=0``
+    directly should still prefer it.
+    """
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
 
 
 @pytest.fixture()

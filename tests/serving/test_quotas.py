@@ -353,3 +353,123 @@ class TestHttpQuota:
             "127.0.0.1", quota_server.port, client_id="quiet"
         ) as client:
             assert "winner" in client.recognise(request_codes[3], seed=4)
+
+
+class TestRetryAfterContract:
+    """The ``Retry-After`` hint must be honest: a non-negative integer
+    number of seconds after which the same request really is admitted."""
+
+    def test_header_is_a_nonnegative_integer(self, serving_amm, request_codes):
+        import http.client
+
+        service = RecognitionService(
+            serving_amm,
+            max_batch_size=8,
+            max_wait=1e-3,
+            quota=QuotaConfig(rate=0.5, burst=1),
+        )
+        server = start_server(service, port=0)
+        try:
+            with RecognitionClient(
+                "127.0.0.1", server.port, client_id="hinted"
+            ) as client:
+                client.recognise(request_codes[0], seed=1)  # spend the burst
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10.0
+            )
+            try:
+                connection.request(
+                    "POST",
+                    "/recognise",
+                    body=json.dumps(
+                        {"codes": request_codes[1].tolist(), "client_id": "hinted"}
+                    ).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                response.read()
+                assert response.status == 429
+                header = response.getheader("Retry-After")
+                assert header is not None
+                # RFC 9110: delay-seconds is a non-negative decimal
+                # integer — no floats, no negatives.
+                assert header == str(int(header))
+                assert int(header) >= 0
+                # The hint must cover the actual refill time (1 token at
+                # 0.5/s = 2 s), rounded up, never down.
+                assert int(header) >= 2
+            finally:
+                connection.close()
+        finally:
+            stop_server(server)
+
+    def test_waiting_retry_after_actually_admits(self, serving_amm, request_codes):
+        """Advance an injected clock by exactly the hinted (integer)
+        seconds: the retried request is admitted — the hint never
+        under-promises."""
+        import math
+
+        clock = FakeClock()
+        quotas = ClientQuotas(QuotaConfig(rate=3.0, burst=2), clock=clock)
+        service = RecognitionService(
+            serving_amm, max_batch_size=8, max_wait=1e-3, quota=quotas
+        )
+        try:
+            service.recognise(request_codes[0], seed=1, client_id="patient")
+            service.recognise(request_codes[1], seed=2, client_id="patient")
+            with pytest.raises(QuotaExceededError) as excinfo:
+                service.submit(request_codes[2], seed=3, client_id="patient")
+            retry_after = excinfo.value.retry_after
+            assert retry_after is not None and retry_after >= 0
+            hinted_header = max(1, int(math.ceil(retry_after)))  # the 429 header
+            # One tick short of the hint may still be denied...
+            clock.advance(max(0.0, retry_after - 0.05))
+            with pytest.raises(QuotaExceededError):
+                service.submit(request_codes[2], seed=3, client_id="patient")
+            # ...but the full hinted wait always admits.
+            clock.advance((hinted_header - retry_after) + 0.05)
+            result = service.recognise(
+                request_codes[2], seed=3, client_id="patient", timeout=20.0
+            )
+            assert result.winner_column >= 0
+        finally:
+            service.close()
+
+    def test_inflight_denial_hints_one_second_and_clears(
+        self, serving_amm, request_codes, recall_gate
+    ):
+        """An inflight-cap denial has no refill time (retry_after None);
+        the HTTP layer still emits an integer hint of 1, and once the
+        in-flight rows resolve the retry is admitted."""
+        from repro.serving.server import _retry_after_header
+
+        gate, _ = recall_gate
+        clock = FakeClock()
+        quotas = ClientQuotas(
+            QuotaConfig(rate=1e9, burst=64, max_inflight=2), clock=clock
+        )
+        service = RecognitionService(
+            serving_amm, max_batch_size=1, max_wait=0.0, workers=1, quota=quotas
+        )
+        try:
+            futures = [
+                service.submit(request_codes[index], seed=index, client_id="capped")
+                for index in range(2)
+            ]
+            with pytest.raises(QuotaExceededError) as excinfo:
+                service.submit(request_codes[2], seed=9, client_id="capped")
+            assert excinfo.value.retry_after is None
+            ((name, value),) = _retry_after_header(excinfo.value)
+            assert name == "Retry-After"
+            assert value == str(int(value)) and int(value) >= 0
+            gate.set()
+            for future in futures:
+                future.result(timeout=20.0)
+            assert wait_for(lambda: quotas.inflight("capped") == 0)
+            result = service.recognise(
+                request_codes[2], seed=9, client_id="capped", timeout=20.0
+            )
+            assert result.winner_column >= 0
+        finally:
+            gate.set()
+            service.close()

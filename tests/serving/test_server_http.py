@@ -193,3 +193,20 @@ def test_clean_shutdown_and_port_release(serving_amm, request_codes):
     second = start_server(second_service, port=port)
     assert second.port == port
     stop_server(second)
+
+
+def test_explicit_port_boot_uses_free_port_fixture(
+    serving_amm, request_codes, free_port
+):
+    """The pattern for tests that must name a port up front: take it
+    from the shared ``free_port`` fixture (never a hard-coded number or
+    a bind-retry loop) and serve on it normally."""
+    service = RecognitionService(serving_amm, max_batch_size=4, max_wait=0.0)
+    server = start_server(service, port=free_port)
+    try:
+        assert server.port == free_port
+        with RecognitionClient("127.0.0.1", free_port) as client:
+            assert client.healthz()["status"] == "ok"
+            client.recognise(request_codes[0], seed=3)
+    finally:
+        stop_server(server)

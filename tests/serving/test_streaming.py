@@ -345,6 +345,136 @@ class TestMidStreamClose:
             service.close()
 
 
+class TestStreamAbandonment:
+    @pytest.fixture()
+    def slow_recalls(self, monkeypatch):
+        """Slow every backend recall down and record the seeds actually
+        solved — the instrument that shows cancelled rows never reached
+        the engine."""
+        import time as time_module
+
+        from repro.backends.threaded import ThreadedBackend
+
+        recalled: list = []
+        original = ThreadedBackend.recall_batch_seeded
+
+        def wrapped(self, codes_batch, request_seeds):
+            time_module.sleep(0.15)
+            recalled.extend(int(seed) for seed in request_seeds)
+            return original(self, codes_batch, request_seeds)
+
+        monkeypatch.setattr(ThreadedBackend, "recall_batch_seeded", wrapped)
+        return recalled
+
+    def test_disconnect_mid_ndjson_cancels_queued_rows(
+        self, serving_amm, request_codes, slow_recalls
+    ):
+        """A client that walks away mid-stream must not keep the engine
+        working: its still-queued rows are cancelled (counted under
+        ``requests.cancelled``), their seeds never reach a recall, and
+        the client's in-flight quota slots all come home — no leak."""
+        from repro.serving import QuotaConfig
+        from tests.serving.test_regressions import wait_for
+
+        service = RecognitionService(
+            serving_amm,
+            max_batch_size=1,
+            max_wait=0.0,
+            workers=1,
+            quota=QuotaConfig(rate=1e9, burst=256, max_inflight=256),
+        )
+        server = start_server(service, port=0)
+        codes = np.tile(request_codes, (2, 1))[:24]
+        seeds = list(range(1000, 1024))
+        try:
+            with RecognitionClient(
+                "127.0.0.1", server.port, client_id="abandoner"
+            ) as client:
+                events = client.recognise_stream(codes, seeds=seeds)
+                first = next(events)
+                assert "result" in first
+                # Walk away after one row: closing the generator drops
+                # the connection with the stream unfinished.
+                events.close()
+            # The server notices the dead socket on a later write and
+            # closes the service generator, cancelling queued rows.
+            assert wait_for(
+                lambda: service.metrics.cancelled > 0, timeout=20.0
+            ), "no queued rows were cancelled after the disconnect"
+            # Every in-flight row resolved (served, failed or cancelled):
+            # the quota slots must all be released — nothing leaks.
+            assert wait_for(
+                lambda: service.quotas.inflight("abandoner") == 0, timeout=20.0
+            ), "abandoned stream leaked in-flight quota slots"
+            stats = service.stats()
+            assert stats["requests"]["cancelled"] >= 1
+            # The cancelled tail really was spared: at least one seed of
+            # the request never reached the engine.
+            assert set(seeds) - set(slow_recalls), (
+                "every row was solved despite the client leaving"
+            )
+        finally:
+            stop_server(server)
+
+    def test_service_generator_close_cancels_and_releases_quota(
+        self, serving_amm, request_codes, monkeypatch
+    ):
+        """Same contract one layer down: closing the service-level
+        stream generator (what the HTTP handler does in its ``finally``)
+        cancels the queued window rows and releases the client's quota
+        slots."""
+        from repro.backends.threaded import ThreadedBackend
+        from repro.serving import QuotaConfig
+        from tests.serving.test_regressions import wait_for
+
+        # The first recall passes so the generator can yield one event
+        # and suspend; every later recall blocks until released.
+        gate = threading.Event()
+        recalled: list = []
+        passed_first = threading.Event()
+        original = ThreadedBackend.recall_batch_seeded
+
+        def wrapped(self, codes_batch, request_seeds):
+            if passed_first.is_set():
+                gate.wait(timeout=20.0)
+            passed_first.set()
+            recalled.extend(int(seed) for seed in request_seeds)
+            return original(self, codes_batch, request_seeds)
+
+        monkeypatch.setattr(ThreadedBackend, "recall_batch_seeded", wrapped)
+        service = RecognitionService(
+            serving_amm,
+            max_batch_size=1,
+            max_wait=0.0,
+            workers=1,
+            quota=QuotaConfig(rate=1e9, burst=256, max_inflight=256),
+        )
+        try:
+            stream = service.recognise_stream(
+                request_codes[:8],
+                seeds=list(range(200, 208)),
+                client_id="walker",
+                window=8,
+                timeout=30.0,
+            )
+            index, outcome = next(stream)  # whole window now submitted
+            assert index == 0 and not isinstance(outcome, BaseException)
+            assert service.quotas.inflight("walker") > 0
+            stream.close()  # the client walked away
+            assert wait_for(
+                lambda: service.metrics.cancelled > 0, timeout=20.0
+            ), "closing the stream generator cancelled nothing"
+            gate.set()
+            assert wait_for(
+                lambda: service.quotas.inflight("walker") == 0, timeout=20.0
+            ), "generator close leaked in-flight quota slots"
+            # The cancelled tail never reached the engine.
+            assert set(range(200, 208)) - set(recalled)
+        finally:
+            gate.set()
+            service.close()
+
+
 class TestStreamAdmission:
     def test_saturated_queue_streams_cleanly_rejected(
         self, serving_amm, request_codes, recall_gate
