@@ -1,0 +1,122 @@
+"""Auto-backend smoke test: prove the cost-model router never loses.
+
+Builds the reduced pipeline from ``quickstart.py``, prepares the
+``auto`` execution backend (which calibrates a measured cost model for
+each candidate at ``prepare()`` time) and pushes the same seeded recall
+workload through ``serial`` and ``auto`` in serving-sized dispatch
+batches.  The script prints the fitted cost models, the plan chosen for
+the dispatch batch size and both throughputs, then fails (exit code 1)
+if ``auto`` lands more than 10% below ``serial`` — routing is only
+worth shipping if parallelism pays, or stays home.
+
+CI runs this after the unit suite as a throughput smoke check::
+
+    python examples/auto_backend_smoke.py
+
+Options: ``--images N`` (default 400), ``--batch B`` (default 64),
+``--floor F`` (default 0.9).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from repro import load_default_dataset
+from repro.backends import create_backend
+from repro.core.config import DesignParameters
+from repro.core.pipeline import build_pipeline
+
+
+def _measure(backend, codes, seeds, batch):
+    """Seconds and winners for one pass over the corpus in dispatch-sized
+    batches."""
+    winners = np.empty(codes.shape[0], dtype=np.int64)
+    start = time.perf_counter()
+    for begin in range(0, codes.shape[0], batch):
+        end = min(begin + batch, codes.shape[0])
+        result = backend.recall_batch_seeded(codes[begin:end], seeds[begin:end])
+        winners[begin:end] = result.winner_column
+    return time.perf_counter() - start, winners
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--images", type=int, default=400)
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--floor", type=float, default=0.9)
+    parser.add_argument("--rounds", type=int, default=3)
+    arguments = parser.parse_args(argv)
+
+    parameters = DesignParameters(template_shape=(8, 4), num_templates=10)
+    dataset = load_default_dataset(
+        subjects=10, images_per_subject=6, image_shape=(64, 48), seed=7
+    )
+    pipeline = build_pipeline(dataset, parameters=parameters, seed=7)
+    codes = pipeline.extractor.extract_many(dataset.test_images)
+    repeats = -(-arguments.images // codes.shape[0])  # ceil
+    codes = np.tile(codes, (repeats, 1))[: arguments.images]
+    seeds = np.arange(codes.shape[0], dtype=np.int64)
+
+    workers = max(2, min(os.cpu_count() or 1, 4))
+    print(
+        f"Routing {codes.shape[0]} images (batch={arguments.batch}) on a "
+        f"{pipeline.amm.crossbar.rows}x{pipeline.amm.crossbar.columns} crossbar, "
+        f"auto workers={workers}"
+    )
+
+    with create_backend("serial", pipeline.amm) as serial, create_backend(
+        "auto", pipeline.amm, workers=workers,
+        min_shard_size=max(1, arguments.batch // 4),
+    ) as auto:
+        serial.prepare()
+        auto.prepare()
+        for name, model in sorted(auto.cost_models.items()):
+            print(
+                f"  model {name:<10s} fixed={model.fixed:.3e}s "
+                f"marginal={model.marginal:.3e}s/img "
+                f"speedup={model.parallel_speedup:.2f}"
+            )
+        plan = auto.plan_for(arguments.batch)
+        print(
+            f"  plan@{arguments.batch}: {plan.backend} x{plan.shards} shard(s)"
+        )
+        # Interleave best-of-N rounds: the serial and auto passes see the
+        # same host load drift, so the ratio compares plans, not weather.
+        _measure(serial, codes, seeds, arguments.batch)  # warm up
+        _measure(auto, codes, seeds, arguments.batch)
+        serial_seconds = auto_seconds = float("inf")
+        for _ in range(max(1, arguments.rounds)):
+            seconds, serial_winners = _measure(
+                serial, codes, seeds, arguments.batch
+            )
+            serial_seconds = min(serial_seconds, seconds)
+            seconds, auto_winners = _measure(auto, codes, seeds, arguments.batch)
+            auto_seconds = min(auto_seconds, seconds)
+
+    if not np.array_equal(auto_winners, serial_winners):
+        print("FAIL: auto winners diverge from the serial reference")
+        return 1
+
+    serial_ips = codes.shape[0] / serial_seconds
+    auto_ips = codes.shape[0] / auto_seconds
+    ratio = auto_ips / serial_ips
+    print(f"  serial: {serial_ips:8.1f} images/s")
+    print(f"  auto:   {auto_ips:8.1f} images/s ({ratio:.2f}x serial)")
+
+    if ratio < arguments.floor:
+        print(
+            f"FAIL: auto is {ratio:.2f}x serial, below the "
+            f"{arguments.floor:.2f}x floor — the cost model routed into a "
+            f"plan that does not pay on this host"
+        )
+        return 1
+    print("auto backend smoke check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

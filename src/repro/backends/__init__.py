@@ -29,6 +29,16 @@ compute; this package owns *where and how* it executes:
     reconnect with backoff) and in-flight shards retry onto surviving
     replicas, so recall scales across machines and survives worker loss.
 
+``auto``
+    :class:`~repro.backends.auto.AutoBackend` — a router, not an
+    executor: it prepares the candidates above, calibrates a measured
+    :class:`~repro.backends.costmodel.CostModel` for each (per-shard
+    fixed cost + per-image marginal cost + effective parallel speedup)
+    and sends every batch to whichever candidate the model predicts
+    cheapest for that batch size.  The serial candidate's Woodbury chunk
+    is pinned into every other candidate, so the routing decision never
+    changes a result bit.
+
 All backends execute the *seeded* recall path, so results are a pure
 function of ``(module, codes, seed)`` — invariant across backend choice,
 worker count and shard boundaries (``tests/backends/``), which is what
@@ -38,6 +48,7 @@ Consumers select a backend by name through the registry
 this directory for the protocol and the custom-backend recipe.
 """
 
+from repro.backends.auto import AutoBackend
 from repro.backends.base import (
     EVENT_KEYS,
     BackendCapabilities,
@@ -64,8 +75,21 @@ from repro.backends.remote import (
 from repro.backends.serial import SerialBackend
 from repro.backends.threaded import ThreadedBackend
 
+from repro.backends.costmodel import (
+    CostModel,
+    DispatchPlan,
+    DispatchPlanner,
+    ShardRule,
+    calibrate_backend,
+)
+
 __all__ = [
+    "AutoBackend",
     "BackendCapabilities",
+    "CostModel",
+    "DispatchPlan",
+    "DispatchPlanner",
+    "ShardRule",
     "DEFAULT_BACKEND",
     "EVENT_KEYS",
     "EngineSpec",
@@ -78,6 +102,7 @@ __all__ = [
     "WorkerCrashedError",
     "WorkerServer",
     "backend_names",
+    "calibrate_backend",
     "contiguous_shards",
     "create_backend",
     "parse_worker_addresses",

@@ -176,22 +176,41 @@ def contiguous_shards(
     At most ``workers`` shards, and only when each shard would hold at
     least ``min_shard_size`` samples — small batches stay whole so they
     keep their full Woodbury-chunk amortisation.  ``max_shard_size``
-    (used by backends whose transport buffers have a fixed capacity)
-    raises the shard count until every shard fits; the caller must
-    ensure ``count <= workers * max_shard_size``.  This is the single
-    sharding rule every parallel backend uses, so results (which are
-    seed-pure and order-preserving by construction) and performance
+    (used by backends whose transport buffers have a fixed capacity) is a
+    hard capacity ceiling: when ``count > workers * max_shard_size`` the
+    shard count rises *beyond* ``workers`` rather than ever returning a
+    shard that would overrun a fixed buffer (capacity beats both the
+    worker cap and, in that regime, ``min_shard_size``).  This is the
+    single sharding rule every parallel backend uses, so results (which
+    are seed-pure and order-preserving by construction) and performance
     behaviour stay consistent across backends.
+
+    Guarantees, relied on by the ``auto`` cost model and pinned by
+    ``tests/backends/test_sharding.py``:
+
+    * shards partition ``[0, count)`` exactly, in order, no empties;
+    * the split is the floor rule ``bounds[i] = i * count // shards``,
+      so shard sizes differ by at most one and the bounds are
+      bit-stable across platforms (no float rounding involved);
+    * every shard holds ``>= min_shard_size`` samples whenever the
+      min rule set the shard count (when ``max_shard_size`` forces more
+      shards than the min rule allows, capacity wins and shards may
+      drop below ``min_shard_size``);
+    * every shard holds ``<= max_shard_size`` samples, always.
     """
     if count <= 0:
         return []
     shards = min(workers, max(1, count // min_shard_size))
     if max_shard_size is not None:
+        if max_shard_size < 1:
+            raise ValueError(
+                f"max_shard_size must be >= 1, got {max_shard_size}"
+            )
         needed = -(-count // max_shard_size)  # ceil
-        shards = min(workers, max(shards, needed))
-    bounds = np.linspace(0, count, shards + 1).round().astype(int)
-    return [
-        (int(begin), int(end))
-        for begin, end in zip(bounds[:-1], bounds[1:])
-        if end > begin
-    ]
+        shards = max(shards, needed)
+    # Floor-based split: shards <= count always holds (count // min <= count
+    # and ceil(count / max) <= count), so every shard is non-empty, sizes are
+    # floor(count / shards) or that plus one, and the smaller size only
+    # appears when it still respects the rule that set the shard count.
+    bounds = [count * index // shards for index in range(shards + 1)]
+    return list(zip(bounds[:-1], bounds[1:]))

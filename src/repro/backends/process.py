@@ -44,15 +44,8 @@ from repro.backends.base import (
     WorkerCrashedError,
     contiguous_shards,
 )
-from repro.core.amm import (
-    AssociativeMemoryModule,
-    BatchRecognitionResult,
-    concatenate_batch_results,
-)
-from repro.crossbar.batched import (
-    BatchCrossbarSolution,
-    concatenate_batch_solutions,
-)
+from repro.core.amm import AssociativeMemoryModule, BatchRecognitionResult
+from repro.crossbar.batched import BatchCrossbarSolution
 from repro.utils.validation import check_integer
 
 #: Exception types a worker may transport back by name; anything else
@@ -475,6 +468,23 @@ class ProcessPoolBackend(RecallBackend):
                 f"request_seeds must have shape ({codes.shape[0]},), got {seeds.shape}"
             )
 
+        # Whole-batch result buffers, allocated once per dispatch: shard
+        # reads copy each shared-memory view straight into its [begin:end)
+        # slice, so there is no per-shard intermediate result and no final
+        # concatenate pass — one copy per output field total, wherever the
+        # shard boundaries fall.
+        total = codes.shape[0]
+        columns = self.module.crossbar.columns
+        winner_column = np.empty(total, dtype=np.int64)
+        winner = np.empty(total, dtype=np.int64)
+        dom_code = np.empty(total, dtype=np.int64)
+        accepted = np.empty(total, dtype=bool)
+        tie = np.empty(total, dtype=bool)
+        static_power = np.empty(total, dtype=np.float64)
+        out_codes = np.empty((total, columns), dtype=np.int64)
+        currents = np.empty((total, columns), dtype=np.float64)
+        event_rows = np.empty((total, len(EVENT_KEYS)), dtype=np.int64)
+
         def write(handle, begin, end):
             count = end - begin
             handle.in_codes[:count] = codes[begin:end]
@@ -484,31 +494,38 @@ class ProcessPoolBackend(RecallBackend):
         def read(handle, begin, end):
             count = end - begin
             out = handle.out
-            return BatchRecognitionResult(
-                winner_column=out["winner_column"][:count].copy(),
-                winner=out["winner"][:count].copy(),
-                dom_code=out["dom_code"][:count].copy(),
-                accepted=out["accepted"][:count].astype(bool),
-                tie=out["tie"][:count].astype(bool),
-                codes=out["codes"][:count].copy(),
-                column_currents=out["currents"][:count].copy(),
-                static_power=out["static_power"][:count].copy(),
-                events=[
-                    dict(zip(EVENT_KEYS, (int(v) for v in row)))
-                    for row in out["events"][:count]
-                ],
-            )
+            winner_column[begin:end] = out["winner_column"][:count]
+            winner[begin:end] = out["winner"][:count]
+            dom_code[begin:end] = out["dom_code"][:count]
+            accepted[begin:end] = out["accepted"][:count]
+            tie[begin:end] = out["tie"][:count]
+            static_power[begin:end] = out["static_power"][:count]
+            out_codes[begin:end] = out["codes"][:count]
+            currents[begin:end] = out["currents"][:count]
+            event_rows[begin:end] = out["events"][:count]
 
-        chunks = []
         round_size = self.workers * self.max_batch_size
-        for start in range(0, codes.shape[0], round_size):
-            count = min(round_size, codes.shape[0] - start)
+        for start in range(0, total, round_size):
+            count = min(round_size, total - start)
             bounds = [
                 (start + begin, start + end)
                 for begin, end in self._round_shards(count)
             ]
-            chunks.extend(self._dispatch_round(bounds, write, read))
-        return concatenate_batch_results(chunks)
+            self._dispatch_round(bounds, write, read)
+        return BatchRecognitionResult(
+            winner_column=winner_column,
+            winner=winner,
+            dom_code=dom_code,
+            accepted=accepted,
+            tie=tie,
+            codes=out_codes,
+            column_currents=currents,
+            static_power=static_power,
+            events=[
+                dict(zip(EVENT_KEYS, (int(value) for value in row)))
+                for row in event_rows
+            ],
+        )
 
     def solve_batch(
         self, dac_conductances: np.ndarray, include_parasitics: bool = True
@@ -521,6 +538,10 @@ class ProcessPoolBackend(RecallBackend):
                 f"dac_conductances must have shape (B, {rows}), got {dac.shape}"
             )
 
+        total = dac.shape[0]
+        currents = np.empty((total, self.module.crossbar.columns), dtype=np.float64)
+        supply = np.empty(total, dtype=np.float64)
+
         def write(handle, begin, end):
             count = end - begin
             handle.in_dac[:count] = dac[begin:end]
@@ -528,22 +549,22 @@ class ProcessPoolBackend(RecallBackend):
 
         def read(handle, begin, end):
             count = end - begin
-            return BatchCrossbarSolution(
-                column_currents=handle.out["currents"][:count].copy(),
-                supply_current=handle.out["supply"][:count].copy(),
-                delta_v=self.module.solver.delta_v,
-            )
+            currents[begin:end] = handle.out["currents"][:count]
+            supply[begin:end] = handle.out["supply"][:count]
 
-        chunks = []
         round_size = self.workers * self.max_batch_size
-        for start in range(0, dac.shape[0], round_size):
-            count = min(round_size, dac.shape[0] - start)
+        for start in range(0, total, round_size):
+            count = min(round_size, total - start)
             bounds = [
                 (start + begin, start + end)
                 for begin, end in self._round_shards(count)
             ]
-            chunks.extend(self._dispatch_round(bounds, write, read))
-        return concatenate_batch_solutions(chunks)
+            self._dispatch_round(bounds, write, read)
+        return BatchCrossbarSolution(
+            column_currents=currents,
+            supply_current=supply,
+            delta_v=self.module.solver.delta_v,
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle

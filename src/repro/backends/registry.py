@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Union
 
+from repro.backends.auto import AutoBackend
 from repro.backends.base import RecallBackend
 from repro.backends.process import ProcessPoolBackend
 from repro.backends.remote import RemoteBackend
@@ -110,3 +111,4 @@ register_backend("serial", SerialBackend)
 register_backend("threads", ThreadedBackend)
 register_backend("processes", ProcessPoolBackend)
 register_backend("remote", RemoteBackend)
+register_backend("auto", AutoBackend)

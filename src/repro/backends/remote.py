@@ -433,10 +433,13 @@ class _WorkerLink:
     def ping(self, timeout: float = 1.0) -> bool:
         """Heartbeat probe; returns liveness (marking the link on failure).
 
-        Uses its own (short) ``timeout`` rather than the command
-        ``io_timeout``: a PONG is a tiny fixed-size reply, and the
-        supervisor holds the link lock while waiting, so a long wait
-        here would stall every other link's supervision.
+        ``timeout`` must be the caller's full io budget: once the PING is
+        on the wire its PONG has to be read (or the socket torn down —
+        a late PONG would corrupt the next command's framing), so timing
+        out early declares a merely *slow* worker dead and forces a
+        spurious failover.  The probe skips busy links entirely (a link
+        serving a shard is alive by definition), so a slow probe only
+        delays supervision of the other links, never dispatch.
         """
         if not self.lock.acquire(blocking=False):
             return True  # busy serving a shard — alive by definition
@@ -618,7 +621,17 @@ class RemoteBackend(RecallBackend):
                 if self._closed:
                     return
                 if link.alive:
-                    link.ping(timeout=max(0.25, self.heartbeat_interval))
+                    # Probe with the full io budget: a PONG that takes
+                    # longer than a short probe window but arrives within
+                    # io_timeout is a *slow* worker, and slow is not dead
+                    # — a shorter timeout here used to mark such links
+                    # dead and trigger spurious failover (pinned by
+                    # tests/backends/test_remote_faults.py).  Once a PING
+                    # is sent the reply must be read or the socket torn
+                    # down (a late PONG would corrupt the next command's
+                    # framing), so the only safe probe timeout is the one
+                    # that actually defines death.
+                    link.ping(timeout=self.io_timeout)
                 if not link.alive and time.monotonic() >= link.next_attempt:
                     try:
                         header, arrays = self._spec_wire()

@@ -11,8 +11,11 @@ without writing any code:
   images end to end (``--batch-size`` selects the recall granularity;
   1 = legacy per-sample loop);
 * ``throughput`` — evaluate the corpus through the batched recall engine
-  and report images/second (``--backend serial|threads|processes|remote``
-  recalls through a named execution backend with ``--workers`` units);
+  and report images/second (``--backend
+  auto|serial|threads|processes|remote`` recalls through a named
+  execution backend with ``--workers`` units — ``auto``, the default,
+  routes each batch by a calibrated cost model; ``--backend none`` keeps
+  the legacy engine path without a backend);
 * ``worker`` — run a remote recall worker agent
   (``python -m repro worker --listen HOST:PORT``) that backends created
   with ``--backend remote --workers host:port,...`` dispatch shards to
@@ -127,7 +130,7 @@ def _command_throughput(arguments: argparse.Namespace) -> str:
     images = dataset.test_images[: arguments.images]
     labels = dataset.test_labels[: arguments.images]
     codes = pipeline.extractor.extract_many(images)
-    if arguments.backend is not None:
+    if arguments.backend not in (None, "none"):
         # Seeded recall through a named execution backend; the engine
         # pool (and, for processes, the workers) is built before timing.
         from repro.backends import create_backend
@@ -185,9 +188,10 @@ def _resolve_workers(arguments: argparse.Namespace) -> tuple:
             raise SystemExit(
                 f"--workers must be an integer or a host:port list, got {text!r}"
             ) from None
-    if getattr(arguments, "backend", None) != "remote":
+    if getattr(arguments, "backend", None) not in ("remote", "auto"):
         raise SystemExit(
-            "--workers with host:port addresses requires --backend remote"
+            "--workers with host:port addresses requires --backend remote "
+            "(or auto, which then includes a remote candidate)"
         )
     from repro.backends import parse_worker_addresses
 
@@ -362,17 +366,28 @@ def _command_loadtest(arguments: argparse.Namespace) -> str:
     return format_table(["Quantity", "Value"], rows)
 
 
-def _add_backend_option(parser: argparse.ArgumentParser, default: str = "threads") -> None:
+def _add_backend_option(
+    parser: argparse.ArgumentParser,
+    default: str = "auto",
+    allow_none: bool = False,
+) -> None:
     from repro.backends import backend_names
 
+    choices = list(backend_names())
+    if allow_none:
+        # "none" keeps the legacy engine path (no backend at all)
+        # reachable now that "auto" is the default.
+        choices.append("none")
     parser.add_argument(
         "--backend",
         default=default,
-        choices=backend_names(),
+        choices=choices,
         help="execution backend for the recall engine "
-        "(serial = one engine, threads = sharded thread pool, "
+        "(auto = cost-model routing over the others [default], "
+        "serial = one engine, threads = sharded thread pool, "
         "processes = multi-process engine pool, remote = worker agents "
-        "named by --workers host:port,...)",
+        "named by --workers host:port,..."
+        + (", none = legacy batched path without a backend)" if allow_none else ")"),
     )
 
 
@@ -485,7 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution units for --backend (an integer), or with "
         "--backend remote a comma-separated agent list (host:port,...)",
     )
-    _add_backend_option(throughput, default=None)
+    _add_backend_option(throughput, default="auto", allow_none=True)
     throughput.set_defaults(handler=_command_throughput)
 
     worker = subparsers.add_parser(

@@ -407,12 +407,21 @@ class RecognitionService:
                         f"({len(self._pending)}/{self.max_queue_depth} pending); "
                         "retry later"
                     )
+            was_empty = not self._pending
             self._pending.extend(batch)
             self.metrics.record_submitted(
                 len(batch), priority=priority, client_id=metric_client
             )
             self.metrics.record_queue_depth(len(self._pending))
-            self._arrived.notify()
+            # Wake the batcher only when it can act on the wakeup: the
+            # queue just became non-empty (it is parked in the idle
+            # wait), or a full micro-batch is now ready (it can cut its
+            # ``max_wait`` window short).  Arrivals inside a partial
+            # window need no wakeup — the batcher drains whatever is
+            # queued when the window expires — so a burst of N submits
+            # costs O(1) batcher wakeups instead of N.
+            if was_empty or len(self._pending) >= self.max_batch_size:
+                self._arrived.notify()
         if shed:
             # Outside the lock: resolving futures runs caller callbacks.
             error = BackpressureError(

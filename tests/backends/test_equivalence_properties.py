@@ -26,6 +26,7 @@ pytest.importorskip("hypothesis", reason="property suite needs hypothesis")
 from hypothesis import HealthCheck, given, settings
 
 from repro.backends import (
+    AutoBackend,
     ProcessPoolBackend,
     RemoteBackend,
     SerialBackend,
@@ -61,10 +62,13 @@ def ideal_amm():
 
 @pytest.fixture(scope="module")
 def backend_matrix(ideal_amm):
-    """serial / threads / processes / remote, one prepared pool each.
+    """serial / threads / processes / remote / auto, one prepared pool each.
 
     The Woodbury chunk is irrelevant on the ideal path (no stacked
     parasitic solves), so replicas need no chunk pinning for exactness.
+    ``auto`` routes through its own serial/threads/processes candidates
+    by measured cost — whatever plan its calibration picked on this run,
+    the properties below must hold bit-for-bit.
     """
     serial = SerialBackend(ideal_amm).prepare()
     threads = ThreadedBackend(ideal_amm, workers=2, min_shard_size=2).prepare()
@@ -78,13 +82,15 @@ def backend_matrix(ideal_amm):
         min_shard_size=2,
         heartbeat_interval=0.5,
     ).prepare()
+    auto = AutoBackend(ideal_amm, workers=2, min_shard_size=2).prepare()
     yield {
         "serial": serial,
         "threads": threads,
         "processes": processes,
         "remote": remote,
+        "auto": auto,
     }
-    for backend in (serial, threads, processes, remote):
+    for backend in (serial, threads, processes, remote, auto):
         backend.close()
     for server in workers:
         server.close()
@@ -102,7 +108,7 @@ class TestBackendMatrixProperties:
         one answer, to the last bit."""
         codes, seeds = case
         reference = backend_matrix["serial"].recall_batch_seeded(codes, seeds)
-        for name in ("threads", "processes", "remote"):
+        for name in ("threads", "processes", "remote", "auto"):
             result = backend_matrix[name].recall_batch_seeded(codes, seeds)
             assert_bit_identical(result, reference)
 

@@ -23,7 +23,7 @@ from repro.backends import registry as registry_module
 class TestRegistry:
     def test_builtin_names_registered(self):
         names = backend_names()
-        for name in ("serial", "threads", "processes"):
+        for name in ("serial", "threads", "processes", "auto"):
             assert name in names
 
     def test_create_unknown_backend_raises(self, backend_amm):

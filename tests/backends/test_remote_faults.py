@@ -149,6 +149,22 @@ class TestSlowWorker:
         assert backend.retried_shards == before, "slow worker was failed over"
         assert backend._links[0].alive
 
+    def test_heartbeat_tolerates_slow_link(self, chaos_setup):
+        """Regression: the idle-link heartbeat used to probe with a short
+        window (0.25 s) instead of the io budget, so a slow-but-alive
+        link whose PONG round trip exceeded the window was declared dead
+        — and the next recall failed over for no reason.  Liveness is
+        defined by ``io_timeout`` alone."""
+        backend, proxy, _, _ = chaos_setup
+        proxy.delay(0.3)  # PING round trip ~0.6 s: slow, not dead
+        # heartbeat_interval=0.1: several probes hit the slow link.
+        deadline = time.monotonic() + 1.5
+        while time.monotonic() < deadline:
+            assert backend._links[0].alive, (
+                "heartbeat declared a slow-but-alive link dead"
+            )
+            time.sleep(0.05)
+
     def test_slower_than_io_timeout_fails_over(
         self, backend_amm, chaos_setup, request_codes, request_seeds
     ):
