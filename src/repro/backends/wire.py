@@ -41,7 +41,7 @@ import json
 import math
 import socket
 import struct
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -87,6 +87,17 @@ SOLUTION = 8
 PING = 9
 PONG = 10
 BYE = 11
+# Serving binary endpoint (repro.serving.aio): a bulk client submits a
+# RECOGNISE batch and the server answers resolved rows in ROWS chunks,
+# terminated by one DONE summary frame.  Additive kinds — the framing,
+# handshake and existing schemas are unchanged, so the protocol version
+# stays compatible with PR 5 workers.
+RECOGNISE = 12
+ROWS = 13
+DONE = 14
+
+#: Size of the fixed-length frame prefix every frame starts with.
+PREFIX_SIZE = _FRAME_HEADER.size
 
 #: Exception types a worker may transport back by name; anything else
 #: resurfaces as a RuntimeError tagged with the original type (the same
@@ -149,17 +160,17 @@ def _send_gathered(sock: socket.socket, parts) -> None:
             views[0] = views[0][sent:]
 
 
-def send_frame(
-    sock: socket.socket,
+def encode_frame(
     kind: int,
     header: Optional[dict] = None,
     arrays: Optional[Dict[str, np.ndarray]] = None,
-) -> None:
-    """Serialise and send one frame (header JSON + raw array buffers).
+) -> List[object]:
+    """Serialise one frame into its wire buffers (prefix, header, arrays).
 
-    The whole frame — length prefix, header and every array buffer —
-    goes out as one gathered write (see :func:`_send_gathered`), so a
-    shard dispatch costs one send syscall rather than one per buffer.
+    The buffer list is transport-agnostic: the socket path hands it to a
+    gathered ``sendmsg`` (:func:`send_frame`) and the asyncio path hands
+    it to a stream writer — both emit byte-identical frames because this
+    is the only encoder.
     """
     header = dict(header or {})
     buffers = []
@@ -176,7 +187,22 @@ def send_frame(
     prefix = _FRAME_HEADER.pack(
         MAGIC, kind, PROTOCOL_VERSION, len(header_bytes), arrays_len
     )
-    _send_gathered(sock, [prefix, header_bytes, *buffers])
+    return [prefix, header_bytes, *buffers]
+
+
+def send_frame(
+    sock: socket.socket,
+    kind: int,
+    header: Optional[dict] = None,
+    arrays: Optional[Dict[str, np.ndarray]] = None,
+) -> None:
+    """Serialise and send one frame (header JSON + raw array buffers).
+
+    The whole frame — length prefix, header and every array buffer —
+    goes out as one gathered write (see :func:`_send_gathered`), so a
+    shard dispatch costs one send syscall rather than one per buffer.
+    """
+    _send_gathered(sock, encode_frame(kind, header, arrays))
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -192,17 +218,14 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return bytes(parts)
 
 
-def recv_frame(
-    sock: socket.socket,
-) -> Tuple[int, int, dict, Dict[str, np.ndarray]]:
-    """Receive one frame; returns ``(kind, version, header, arrays)``.
+def unpack_prefix(prefix: bytes) -> Tuple[int, int, int, int]:
+    """Validate and unpack one fixed-length frame prefix.
 
-    Raises :class:`WireProtocolError` on bad magic or oversized lengths
-    and :class:`ConnectionClosedError` on EOF.  The caller decides what a
-    version mismatch means (the handshake rejects it; data frames after a
-    successful handshake treat it as stream corruption).
+    Returns ``(kind, version, header_len, arrays_len)``; raises
+    :class:`WireProtocolError` on bad magic or oversized declared
+    lengths, so a corrupt or hostile prefix can never make the receiver
+    allocate unbounded memory.
     """
-    prefix = _recv_exact(sock, _FRAME_HEADER.size)
     magic, kind, version, header_len, arrays_len = _FRAME_HEADER.unpack(prefix)
     if magic != MAGIC:
         raise WireProtocolError(
@@ -212,11 +235,28 @@ def recv_frame(
         raise WireProtocolError(
             f"frame too large (header {header_len} B, arrays {arrays_len} B)"
         )
-    header = json.loads(_recv_exact(sock, header_len))
+    return kind, version, header_len, arrays_len
+
+
+def decode_header(data: bytes) -> dict:
+    """Parse one frame's JSON header, enforcing the object shape."""
+    header = json.loads(data)
     if not isinstance(header, dict):
         raise WireProtocolError("frame header must be a JSON object")
+    return header
+
+
+def decode_arrays(header: dict, payload: bytes) -> Dict[str, np.ndarray]:
+    """Rebuild the numpy arrays a frame's ``"arrays"`` manifest describes.
+
+    ``payload`` is the frame's whole array section; every manifest entry
+    is validated (dtype, shape, payload coverage) exactly as the socket
+    receive path always did, so the asyncio and socket decoders cannot
+    drift.
+    """
     arrays: Dict[str, np.ndarray] = {}
     consumed = 0
+    arrays_len = len(payload)
     for entry in header.get("arrays", []):
         name, dtype_str, shape = entry
         dtype = np.dtype(dtype_str)
@@ -231,13 +271,31 @@ def recv_frame(
         nbytes = math.prod(shape) * dtype.itemsize
         if nbytes > MAX_ARRAY_BYTES or consumed + nbytes > arrays_len:
             raise WireProtocolError(f"array {name!r} overruns the frame payload")
-        raw = _recv_exact(sock, nbytes)
+        arrays[name] = np.frombuffer(
+            payload, dtype=dtype, count=math.prod(shape), offset=consumed
+        ).reshape(shape)
         consumed += nbytes
-        arrays[name] = np.frombuffer(raw, dtype=dtype).reshape(shape)
     if consumed != arrays_len:
         raise WireProtocolError(
             f"frame declares {arrays_len} payload bytes but arrays cover {consumed}"
         )
+    return arrays
+
+
+def recv_frame(
+    sock: socket.socket,
+) -> Tuple[int, int, dict, Dict[str, np.ndarray]]:
+    """Receive one frame; returns ``(kind, version, header, arrays)``.
+
+    Raises :class:`WireProtocolError` on bad magic or oversized lengths
+    and :class:`ConnectionClosedError` on EOF.  The caller decides what a
+    version mismatch means (the handshake rejects it; data frames after a
+    successful handshake treat it as stream corruption).
+    """
+    prefix = _recv_exact(sock, _FRAME_HEADER.size)
+    kind, version, header_len, arrays_len = unpack_prefix(prefix)
+    header = decode_header(_recv_exact(sock, header_len))
+    arrays = decode_arrays(header, _recv_exact(sock, arrays_len))
     return kind, version, header, arrays
 
 

@@ -271,14 +271,37 @@ def _build_service(arguments: argparse.Namespace):
 
 
 def _command_serve(arguments: argparse.Namespace) -> str:
-    from repro.serving import start_server, stop_server
+    from repro.serving import (
+        start_async_server,
+        start_server,
+        stop_async_server,
+        stop_server,
+    )
 
     _, _, service = _build_service(arguments)
-    server = start_server(service, host=arguments.host, port=arguments.port)
+    if arguments.frontend == "async":
+        server = start_async_server(
+            service,
+            host=arguments.host,
+            port=arguments.port,
+            binary_port=None if arguments.no_binary else arguments.binary_port,
+        )
+        binary = (
+            "disabled"
+            if server.binary_port is None
+            else f"{arguments.host}:{server.binary_port}"
+        )
+        extra = f", binary endpoint {binary}"
+        shutdown = lambda: stop_async_server(server)  # noqa: E731
+    else:
+        server = start_server(service, host=arguments.host, port=arguments.port)
+        extra = ""
+        shutdown = lambda: stop_server(server)  # noqa: E731
     print(
         f"serving {service.amm.crossbar.rows}x{service.amm.crossbar.columns} "
         f"recognition on http://{arguments.host}:{server.port} "
-        f"(backend={arguments.backend}, workers={arguments.workers}, "
+        f"(frontend={arguments.frontend}{extra}, "
+        f"backend={arguments.backend}, workers={arguments.workers}, "
         f"max_batch_size={arguments.max_batch_size}, "
         f"max_wait={arguments.max_wait_ms} ms); Ctrl-C to stop",
         flush=True,
@@ -289,22 +312,44 @@ def _command_serve(arguments: argparse.Namespace) -> str:
     except KeyboardInterrupt:
         pass
     finally:
-        stop_server(server)
+        shutdown()
     return "server stopped"
 
 
 def _command_loadtest(arguments: argparse.Namespace) -> str:
     from urllib.parse import urlparse
 
-    from repro.serving import run_load, RecognitionClient, start_server, stop_server
+    from repro.serving import (
+        RecognitionClient,
+        run_connection_load,
+        run_load,
+        start_async_server,
+        start_server,
+        stop_async_server,
+        stop_server,
+    )
 
+    if arguments.binary and arguments.stream:
+        raise SystemExit("loadtest: binary mode already streams; pick one")
+    if arguments.connections is not None and (arguments.binary or arguments.stream):
+        raise SystemExit(
+            "loadtest: --connections sweeps buffered JSON requests; "
+            "it composes with --frontend, not with --binary/--stream"
+        )
     server = None
+    shutdown = None
+    binary_port = arguments.binary_port
     if arguments.url:
         url = arguments.url if "//" in arguments.url else f"http://{arguments.url}"
         parsed = urlparse(url)
         if not parsed.hostname:
             raise SystemExit(f"loadtest: cannot parse host from --url {arguments.url!r}")
         host, port = parsed.hostname, parsed.port or 80
+        if arguments.binary and binary_port is None:
+            raise SystemExit(
+                "loadtest: --binary against --url needs --binary-port "
+                "(the server prints it on startup)"
+            )
         # Only the feature extractor is needed to generate request codes
         # for a remote server — skip the (dominant) AMM construction cost.
         from repro.core.pipeline import default_extractor
@@ -314,35 +359,61 @@ def _command_loadtest(arguments: argparse.Namespace) -> str:
     else:
         dataset, pipeline, service = _build_service(arguments)
         extractor = pipeline.extractor
-        server = start_server(service, host="127.0.0.1", port=0)
+        if arguments.frontend == "async" or arguments.binary:
+            server = start_async_server(service, host="127.0.0.1", port=0, binary_port=0)
+            binary_port = server.binary_port
+            shutdown = lambda: stop_async_server(server)  # noqa: E731
+        else:
+            server = start_server(service, host="127.0.0.1", port=0)
+            shutdown = lambda: stop_server(server)  # noqa: E731
         host, port = "127.0.0.1", server.port
     codes = extractor.extract_many(dataset.test_images)
     priorities = None
     if arguments.priorities:
         priorities = [int(token) for token in arguments.priorities.split(",")]
     try:
-        report = run_load(
-            host,
-            port,
-            codes,
-            requests=arguments.requests,
-            concurrency=arguments.concurrency,
-            images_per_request=arguments.images_per_request,
-            base_seed=arguments.seed,
-            priorities=priorities,
-            stream=arguments.stream,
-        )
+        if arguments.connections is not None:
+            report = run_connection_load(
+                host,
+                port,
+                codes,
+                requests=arguments.requests,
+                connections=arguments.connections,
+                images_per_request=arguments.images_per_request,
+                base_seed=arguments.seed,
+            )
+        else:
+            report = run_load(
+                host,
+                binary_port if arguments.binary else port,
+                codes,
+                requests=arguments.requests,
+                concurrency=arguments.concurrency,
+                images_per_request=arguments.images_per_request,
+                base_seed=arguments.seed,
+                priorities=priorities,
+                stream=arguments.stream,
+                binary=arguments.binary,
+            )
         with RecognitionClient(host, port) as client:
             stats = client.stats()
     finally:
-        if server is not None:
-            stop_server(server)
+        if shutdown is not None:
+            shutdown()
     latency = report.latency_percentiles()
+    if arguments.binary:
+        mode = "binary"
+    elif arguments.connections is not None:
+        mode = "connection sweep"
+    elif report.stream:
+        mode = "streaming"
+    else:
+        mode = "buffered"
     rows = [
         ["Requests", str(report.requests)],
         ["Concurrency", str(report.concurrency)],
         ["Images/request", str(report.images_per_request)],
-        ["Mode", "streaming" if report.stream else "buffered"],
+        ["Mode", mode],
         ["Images recalled", str(report.images)],
         ["Elapsed", f"{report.elapsed_seconds:.3f} s"],
         ["Throughput", f"{report.images_per_second:.1f} images/s"],
@@ -519,6 +590,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080, help="0 = ephemeral port")
+    serve.add_argument(
+        "--frontend",
+        default="threaded",
+        choices=("threaded", "async"),
+        help="HTTP front end: threaded = thread-per-connection reference, "
+        "async = single-event-loop server with a native binary endpoint",
+    )
+    serve.add_argument(
+        "--binary-port",
+        type=int,
+        default=0,
+        help="binary endpoint port for --frontend async (0 = ephemeral; "
+        "the bound port is printed on startup)",
+    )
+    serve.add_argument(
+        "--no-binary",
+        action="store_true",
+        help="serve JSON only from the async front end (no binary endpoint)",
+    )
     _add_serving_options(serve)
     serve.set_defaults(handler=_command_serve)
 
@@ -532,6 +622,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadtest.add_argument("--requests", type=int, default=200, help="HTTP requests to send")
     loadtest.add_argument("--concurrency", type=int, default=8, help="client threads")
+    loadtest.add_argument(
+        "--frontend",
+        default="threaded",
+        choices=("threaded", "async"),
+        help="front end for the in-process server (ignored with --url)",
+    )
+    loadtest.add_argument(
+        "--connections",
+        type=int,
+        default=None,
+        help="connection-scaling sweep: drive the run from this many "
+        "keep-alive connections on one event loop instead of "
+        "--concurrency client threads",
+    )
+    loadtest.add_argument(
+        "--binary",
+        action="store_true",
+        help="drive the async front end's binary endpoint instead of JSON "
+        "(implies --frontend async for the in-process server)",
+    )
+    loadtest.add_argument(
+        "--binary-port",
+        type=int,
+        default=None,
+        help="binary endpoint port of a --url target (in-process servers "
+        "bind and discover it automatically)",
+    )
     loadtest.add_argument(
         "--images-per-request",
         type=int,

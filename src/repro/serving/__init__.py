@@ -28,16 +28,27 @@ traffic, where callers arrive one image at a time:
     reference.  Deadline-expired requests are dropped here, before any
     engine time is spent.
 
-``server`` / ``client``
-    A stdlib-only JSON API (``POST /recognise``, ``GET /healthz``,
-    ``GET /stats``) on :class:`http.server.ThreadingHTTPServer`, plus a
-    keep-alive client and the :func:`~repro.serving.client.run_load`
-    offered-load generator behind ``python -m repro serve`` and
-    ``python -m repro loadtest``.  Large multi-image requests can set
-    ``"stream": true`` for a chunked NDJSON response: one line per row
-    as its future resolves, per-row error objects on partial failure,
-    and a terminal summary line — served with bounded buffering however
-    many rows the request holds.
+``protocol`` / ``server`` / ``aio`` / ``client``
+    Two interchangeable front ends over one shared request-protocol
+    module.  :mod:`~repro.serving.server` is the threaded reference: a
+    stdlib-only JSON API (``POST /recognise``, ``GET /healthz``,
+    ``GET /stats``) on :class:`http.server.ThreadingHTTPServer`.
+    :mod:`~repro.serving.aio` is the performance front end: the same
+    JSON API served from a single asyncio event loop (no
+    thread-per-connection), plus a native binary endpoint on a second
+    port speaking the :mod:`repro.backends.wire` framing — raw
+    little-endian arrays instead of per-row JSON.  Both parse, admit
+    and classify through :mod:`~repro.serving.protocol`, so semantics
+    (error taxonomy, priorities, quotas, deadlines, body limits) are
+    identical by construction.  The client side pairs a keep-alive JSON
+    client with :class:`~repro.serving.client.BinaryRecognitionClient`
+    and the :func:`~repro.serving.client.run_load` /
+    :func:`~repro.serving.client.run_connection_load` load generators
+    behind ``python -m repro serve`` and ``python -m repro loadtest``.
+    Large multi-image requests can set ``"stream": true`` for a chunked
+    NDJSON response: one line per row as its future resolves, per-row
+    error objects on partial failure, and a terminal summary line —
+    served with bounded buffering however many rows the request holds.
 
 ``quotas``
     :class:`~repro.serving.quotas.ClientQuotas` — per-``client_id``
@@ -93,7 +104,20 @@ Quickstart
 0
 """
 
-from repro.serving.client import LoadReport, RecognitionClient, ServerError, run_load
+from repro.serving.aio import (
+    AsyncRecognitionServer,
+    start_async_server,
+    stop_async_server,
+)
+from repro.serving.client import (
+    BinaryBatchResult,
+    BinaryRecognitionClient,
+    LoadReport,
+    RecognitionClient,
+    ServerError,
+    run_connection_load,
+    run_load,
+)
 from repro.serving.errors import (
     BackpressureError,
     DeadlineExceededError,
@@ -119,7 +143,10 @@ from repro.serving.workers import PendingRequest, ShardedWorkerPool
 
 __all__ = [
     "ANONYMOUS_CLIENT",
+    "AsyncRecognitionServer",
     "BackpressureError",
+    "BinaryBatchResult",
+    "BinaryRecognitionClient",
     "ClientQuotas",
     "DEFAULT_PRIORITY",
     "DeadlineExceededError",
@@ -140,7 +167,10 @@ __all__ = [
     "percentile",
     "result_to_json",
     "row_error_to_json",
+    "run_connection_load",
     "run_load",
+    "start_async_server",
     "start_server",
+    "stop_async_server",
     "stop_server",
 ]

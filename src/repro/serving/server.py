@@ -1,8 +1,12 @@
-"""HTTP front end for the recognition service.
+"""Threaded HTTP front end for the recognition service.
 
 A deliberately dependency-free JSON API on ``http.server``'s
 :class:`~http.server.ThreadingHTTPServer` (one thread per connection,
-stdlib only):
+stdlib only).  This is the *reference* front end: the asyncio server in
+:mod:`repro.serving.aio` serves the same contract on a single event
+loop, and both delegate every protocol decision (body validation, error
+taxonomy, quota/priority/deadline plumbing, stream rendering) to
+:mod:`repro.serving.protocol` so the two cannot drift.
 
 * ``POST /recognise`` — body ``{"codes": [...], "seed": 0}`` for one
   request or ``{"codes": [[...], ...], "seeds": [...]}`` for several;
@@ -25,14 +29,15 @@ stdlib only):
   A 1000-image request streams incrementally instead of being buffered.
 * ``GET /healthz`` — liveness (status, worker count, queue depth).
 * ``GET /stats`` — the full :class:`~repro.serving.metrics.ServiceMetrics`
-  snapshot: throughput counters (including ``quota_rejected`` and
-  ``shed``), queue depth, batch-fill histogram, per-priority and
-  per-client sections, latency percentiles.
+  snapshot plus a ``"frontend"`` section (which front end answered, its
+  live connection count).
 
 Error taxonomy (shared by whole-request statuses and per-row stream
-errors): ``400`` malformed/never-admittable, ``429`` with ``"reason":
-"quota"`` for per-client quota denials and ``"reason": "backpressure"``
-for shared-queue rejections (both with ``Retry-After``), ``503`` closed
+errors): ``400`` malformed/never-admittable, ``408`` declared body that
+did not arrive within the read budget, ``411`` absent or
+transfer-encoded body length, ``429`` with ``"reason": "quota"`` for
+per-client quota denials and ``"reason": "backpressure"`` for
+shared-queue rejections (both with ``Retry-After``), ``503`` closed
 service or retryable backend crash, ``504`` expired or unserved
 deadline.
 
@@ -45,139 +50,54 @@ the CI smoke step.
 from __future__ import annotations
 
 import concurrent.futures
-import json
-import math
+import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-import numpy as np
-
-from repro.backends.base import WorkerCrashedError
-from repro.core.amm import RecognitionResult
-from repro.serving.errors import (
-    BackpressureError,
-    DeadlineExceededError,
-    QuotaExceededError,
-    ServiceClosedError,
+from repro.serving import protocol
+from repro.serving.protocol import (
+    BODY_READ_TIMEOUT,
+    DEADLINE_WAIT_SLACK,
+    DEFAULT_REQUEST_TIMEOUT,
+    IDLE_CONNECTION_TIMEOUT,
+    MAX_BODY_BYTES,
+    MAX_REQUEST_TIMEOUT,
+    LengthRequiredError,
+    SlowBodyError,
+    StreamLineEncoder,
+    classify_error,
+    decode_json_body,
+    error_payload,
+    parse_recognise,
+    result_to_json,
+    retry_after_seconds,
+    row_error_to_json,
+    wait_budget,
 )
-from repro.serving.quotas import validate_client_id
 from repro.serving.service import RecognitionService
 
-#: Largest accepted request body (bytes); 128-feature code vectors are a
-#: few hundred bytes each, so this admits ~1000-image requests.
-MAX_BODY_BYTES = 4 * 1024 * 1024
-
-#: Seconds a handler thread waits for the service to resolve a request.
-DEFAULT_REQUEST_TIMEOUT = 30.0
-
-#: Grace added on top of a request's own ``timeout_ms`` deadline: the
-#: expired-in-queue drop happens at dispatch time, so the handler allows
-#: the queue this long to reach the request before giving up generically.
-DEADLINE_WAIT_SLACK = 2.0
-
-#: Hard ceiling on any handler wait, however large the client's deadline.
-MAX_REQUEST_TIMEOUT = 300.0
-
-
-def result_to_json(result: RecognitionResult) -> dict:
-    """The JSON-facing projection of one recognition result."""
-    return {
-        "winner": result.winner,
-        "winner_column": result.winner_column,
-        "dom_code": result.dom_code,
-        "accepted": result.accepted,
-        "tie": result.tie,
-        "static_power_w": result.static_power,
-    }
-
-
-def classify_error(error: BaseException) -> Tuple[int, str]:
-    """Map an exception to its ``(HTTP status, reason)`` pair.
-
-    One mapping for whole-request statuses and per-row stream errors, so
-    the error taxonomy cannot drift between the buffered and streaming
-    paths.
-    """
-    if isinstance(error, QuotaExceededError):
-        return 429, "quota"
-    if isinstance(error, BackpressureError):
-        return 429, "backpressure"
-    if isinstance(error, (ServiceClosedError, WorkerCrashedError)):
-        return 503, "unavailable"
-    if isinstance(error, (DeadlineExceededError, concurrent.futures.TimeoutError)):
-        return 504, "deadline"
-    if isinstance(error, concurrent.futures.CancelledError):
-        return 503, "cancelled"
-    if isinstance(error, (ValueError, TypeError, OverflowError, json.JSONDecodeError)):
-        return 400, "invalid"
-    return 500, "internal"
+__all__ = [
+    "RecognitionServer",
+    "RecognitionRequestHandler",
+    "classify_error",
+    "result_to_json",
+    "row_error_to_json",
+    "start_server",
+    "stop_server",
+]
 
 
 def _retry_after_header(error: BaseException) -> Tuple[Tuple[str, str], ...]:
     """``Retry-After`` hint for retryable (429/503) rejections."""
-    retry_after = getattr(error, "retry_after", None)
-    seconds = 1 if retry_after is None else max(1, int(math.ceil(retry_after)))
-    return (("Retry-After", str(seconds)),)
-
-
-def row_error_to_json(index: int, error: BaseException) -> dict:
-    """The per-row error object of the streaming partial-failure contract."""
-    status, reason = classify_error(error)
-    return {
-        "index": index,
-        "error": {
-            "status": status,
-            "reason": reason,
-            "type": type(error).__name__,
-            "message": str(error),
-        },
-    }
-
-
-def _integral_array(name: str, values: object, dtype=np.int64) -> np.ndarray:
-    """Parse a JSON number (array) as integers, rejecting non-integral input.
-
-    ``np.asarray(..., dtype=np.int64)`` would silently truncate ``1.7``
-    to ``1`` and serve a wrong answer; here non-integral, boolean and
-    non-numeric payloads are rejected with a ``ValueError`` (HTTP 400).
-    Integral floats (``2.0``) are accepted — JSON clients cannot always
-    control number formatting.
-    """
-    array = np.asarray(values)
-    if array.dtype == object or np.issubdtype(array.dtype, np.bool_):
-        raise ValueError(f"{name} must be integers, got non-numeric values")
-    if np.issubdtype(array.dtype, np.floating):
-        if not np.all(np.isfinite(array)):
-            raise ValueError(f"{name} must be finite integers")
-        if np.any(array != np.floor(array)):
-            raise ValueError(
-                f"{name} must be integers, got non-integral values "
-                "(e.g. 1.7 would otherwise be silently truncated to 1)"
-            )
-        return array.astype(dtype)
-    if not np.issubdtype(array.dtype, np.integer):
-        raise ValueError(f"{name} must be integers, got dtype {array.dtype}")
-    return array.astype(dtype)
-
-
-def _integral_scalar(name: str, value: object) -> int:
-    """Parse one JSON number as an integer, rejecting non-integral input."""
-    if isinstance(value, bool):
-        raise ValueError(f"{name} must be an integer, got a boolean")
-    if isinstance(value, int):
-        return value
-    if isinstance(value, float):
-        if not math.isfinite(value) or value != math.floor(value):
-            raise ValueError(f"{name} must be an integer, got {value!r}")
-        return int(value)
-    raise ValueError(f"{name} must be an integer, got {value!r}")
+    return (("Retry-After", str(retry_after_seconds(error))),)
 
 
 class RecognitionRequestHandler(BaseHTTPRequestHandler):
     """Routes the three-endpoint JSON API onto the bound service."""
 
-    server_version = "repro-serve/1.1"
+    server_version = "repro-serve/1.2"
     protocol_version = "HTTP/1.1"
     # Headers and body go out as separate small writes; without
     # TCP_NODELAY the Nagle / delayed-ACK interaction stalls every
@@ -185,7 +105,7 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
     # Bound idle keep-alive reads: a client that goes silent (or whose
     # network drops without a FIN) must not pin a handler thread forever.
-    timeout = 60.0
+    timeout = IDLE_CONNECTION_TIMEOUT
 
     @property
     def service(self) -> RecognitionService:
@@ -198,7 +118,7 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
     # Helpers
     # ------------------------------------------------------------------ #
     def _respond(self, status: int, payload: dict, headers: Tuple = ()) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        body = protocol.encode_json(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -210,45 +130,69 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _respond_error(self, error: BaseException) -> None:
-        status, reason = classify_error(error)
-        headers: Tuple = ()
-        if status in (429, 503) and reason != "invalid":
-            headers = _retry_after_header(error)
-        payload = {"error": str(error), "reason": reason}
-        if status == 500:
-            payload["error"] = f"{type(error).__name__}: {error}"
+        status, payload, headers = error_payload(error)
         self._respond(status, payload, headers=headers)
 
     def _read_json_body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        if length <= 0:
-            # There may still be body bytes in flight (e.g. chunked
-            # transfer-encoding, which this server does not read); drop
-            # the connection so the keep-alive stream cannot desynchronise.
-            self.close_connection = True
-            raise ValueError("request body with a Content-Length is required")
-        if length > MAX_BODY_BYTES:
-            # The body stays unread; drop the connection after responding
-            # so the keep-alive stream cannot desynchronise.
-            self.close_connection = True
-            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
-        payload = json.loads(raw)
-        if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
-        return payload
+        """Validate the declared length, then read the body on a deadline.
 
-    def _parse_client_id(self, payload: dict) -> Optional[str]:
-        """Body ``client_id`` (authoritative) or the ``X-Client-Id`` header.
-
-        An explicit JSON ``null`` body field counts as absent — it must
-        not suppress the header fallback, or a tenant whose gateway
-        stamps ``X-Client-Id`` could opt out of its own quota bucket.
+        The size contract is enforced from the headers *before* any body
+        byte is read (absent/chunked ⇒ 411, oversized ⇒ 400 with the
+        body unread), and the read itself is bounded by
+        ``BODY_READ_TIMEOUT`` so a trickling client cannot pin this
+        handler thread (⇒ 408).  All three close the connection: unread
+        body bytes would desynchronise the keep-alive stream.
         """
-        client_id = payload.get("client_id")
-        if client_id is None:
-            client_id = self.headers.get("X-Client-Id")
-        return validate_client_id(client_id)
+        try:
+            length = protocol.validate_body_length(
+                self.headers.get("Content-Length"),
+                self.headers.get("Transfer-Encoding"),
+            )
+        except ValueError:
+            # LengthRequiredError included — there may still be body
+            # bytes in flight that this server will never read.
+            self.close_connection = True
+            raise
+        raw = self._read_body(length)
+        return decode_json_body(raw)
+
+    def _read_body(self, length: int) -> bytes:
+        # ``BODY_READ_TIMEOUT`` is resolved through the module so tests
+        # can monkeypatch it; the per-recv socket timeout alone would let
+        # a trickling client extend the read forever one byte at a time.
+        deadline = time.monotonic() + BODY_READ_TIMEOUT
+        original_timeout = self.connection.gettimeout()
+        chunks = []
+        remaining = length
+        try:
+            while remaining > 0:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise SlowBodyError(
+                        f"request body ({length} bytes) not received within "
+                        f"{BODY_READ_TIMEOUT} s"
+                    )
+                self.connection.settimeout(budget)
+                try:
+                    chunk = self.rfile.read(min(remaining, 1 << 16))
+                except socket.timeout:
+                    raise SlowBodyError(
+                        f"request body ({length} bytes) not received within "
+                        f"{BODY_READ_TIMEOUT} s"
+                    ) from None
+                if not chunk:
+                    raise ValueError(
+                        f"request body ended after {length - remaining} of "
+                        f"{length} declared bytes"
+                    )
+                chunks.append(chunk)
+                remaining -= len(chunk)
+        except Exception:
+            self.close_connection = True
+            raise
+        finally:
+            self.connection.settimeout(original_timeout)
+        return b"".join(chunks)
 
     # ------------------------------------------------------------------ #
     # Chunked streaming
@@ -283,18 +227,11 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
                 closer()
 
     def _emit_events(self, events, total: int) -> None:
-        ok = failed = 0
+        encoder = StreamLineEncoder(total)
         try:
             for index, outcome in events:
-                if isinstance(outcome, BaseException):
-                    line = row_error_to_json(index, outcome)
-                    failed += 1
-                else:
-                    line = {"index": index, "result": result_to_json(outcome)}
-                    ok += 1
-                self._write_chunk((json.dumps(line) + "\n").encode("utf-8"))
-            summary = {"done": True, "count": total, "ok": ok, "failed": failed}
-            self._write_chunk((json.dumps(summary) + "\n").encode("utf-8"))
+                self._write_chunk(encoder.line(index, outcome))
+            self._write_chunk(encoder.summary())
             self.wfile.write(b"0\r\n\r\n")
         except (BrokenPipeError, ConnectionResetError, OSError):
             # The client went away mid-stream; closing the generator
@@ -306,20 +243,7 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
             # chunked ending, so the client sees a clean summary instead
             # of an IncompleteRead.
             try:
-                status, reason = classify_error(error)
-                summary = {
-                    "done": True,
-                    "count": total,
-                    "ok": ok,
-                    "failed": failed + (total - ok - failed),
-                    "error": {
-                        "status": status,
-                        "reason": reason,
-                        "type": type(error).__name__,
-                        "message": str(error),
-                    },
-                }
-                self._write_chunk((json.dumps(summary) + "\n").encode("utf-8"))
+                self._write_chunk(encoder.abnormal_summary(error))
                 self.wfile.write(b"0\r\n\r\n")
             except (BrokenPipeError, ConnectionResetError, OSError):
                 pass
@@ -332,7 +256,9 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             self._respond(200, self.service.health())
         elif self.path == "/stats":
-            self._respond(200, self.service.stats())
+            stats = self.service.stats()
+            stats["frontend"] = self.server.frontend_stats()  # type: ignore[attr-defined]
+            self._respond(200, stats)
         else:
             self._respond(404, {"error": f"unknown path {self.path}"})
 
@@ -342,70 +268,41 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             payload = self._read_json_body()
-            codes = _integral_array("codes", payload.get("codes"))
-            timeout_ms = payload.get("timeout_ms")
-            if timeout_ms is not None:
-                timeout_ms = float(timeout_ms)
-            priority = payload.get("priority")
-            priority = 0 if priority is None else _integral_scalar("priority", priority)
-            client_id = self._parse_client_id(payload)
-            stream = payload.get("stream", False)
-            if not isinstance(stream, bool):
-                raise ValueError("stream must be a boolean")
-            single = codes.ndim == 1
-            if stream and single:
-                raise ValueError("stream mode requires a 2-D codes batch")
-            if single:
-                seeds = [_integral_scalar("seed", payload.get("seed", 0))]
-            elif codes.ndim == 2:
-                seeds = payload.get("seeds")
-                if seeds is None:
-                    seed = _integral_scalar("seed", payload.get("seed", 0))
-                    seeds = [seed] * codes.shape[0]
-                else:
-                    seeds = [int(s) for s in _integral_array("seeds", seeds)]
-            else:
-                raise ValueError("codes must be a 1-D vector or a 2-D batch")
-        except (ValueError, TypeError, OverflowError, json.JSONDecodeError) as error:
-            self._respond(400, {"error": str(error), "reason": "invalid"})
+            parsed = parse_recognise(payload, self.headers.get("X-Client-Id"))
+        except Exception as error:  # noqa: BLE001 — taxonomy in one place
+            self._respond_error(error)
             return
-        # The handler's wait tracks the request's own deadline: shorter
-        # deadlines stop the client waiting long after its budget is
-        # spent, longer ones are honoured past the default wait (up to a
-        # hard ceiling) instead of being abandoned at 30 s.
-        wait = DEFAULT_REQUEST_TIMEOUT
-        if timeout_ms is not None and timeout_ms > 0:
-            wait = min(timeout_ms * 1e-3 + DEADLINE_WAIT_SLACK, MAX_REQUEST_TIMEOUT)
-        if stream:
+        # Resolve the deadline-free default through this module's global
+        # so tests can monkeypatch ``server.DEFAULT_REQUEST_TIMEOUT``.
+        wait = wait_budget(parsed.timeout_ms, default=DEFAULT_REQUEST_TIMEOUT)
+        if parsed.stream:
             # ``timeout_ms`` is a *per-row* dispatch deadline; it must
             # not shrink the whole-stream budget or a large request
             # would mass-fail its tail with 504 rows even though every
             # dispatched row met its own deadline.  Streams get the hard
             # handler ceiling instead — they prove liveness row by row.
-            self._do_stream(
-                codes, seeds, MAX_REQUEST_TIMEOUT, timeout_ms, priority, client_id
-            )
+            self._do_stream(parsed)
             return
         try:
-            if single:
+            if parsed.single:
                 results = [
                     self.service.recognise(
-                        codes,
-                        seed=seeds[0],
+                        parsed.codes[0],
+                        seed=parsed.seeds[0],
                         timeout=wait,
-                        timeout_ms=timeout_ms,
-                        priority=priority,
-                        client_id=client_id,
+                        timeout_ms=parsed.timeout_ms,
+                        priority=parsed.priority,
+                        client_id=parsed.client_id,
                     )
                 ]
             else:
                 results = self.service.recognise_many(
-                    codes,
-                    seeds=seeds,
+                    parsed.codes,
+                    seeds=parsed.seeds,
                     timeout=wait,
-                    timeout_ms=timeout_ms,
-                    priority=priority,
-                    client_id=client_id,
+                    timeout_ms=parsed.timeout_ms,
+                    priority=parsed.priority,
+                    client_id=parsed.client_id,
                 )
         except concurrent.futures.TimeoutError:
             self._respond(
@@ -422,27 +319,19 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
             "count": len(results),
             "results": [result_to_json(result) for result in results],
         }
-        if single:
+        if parsed.single:
             body["result"] = body["results"][0]
         self._respond(200, body)
 
-    def _do_stream(
-        self,
-        codes: np.ndarray,
-        seeds,
-        wait: float,
-        timeout_ms: Optional[float],
-        priority: int,
-        client_id: Optional[str],
-    ) -> None:
+    def _do_stream(self, parsed: protocol.ParsedRecognise) -> None:
         """The chunked-NDJSON arm of ``POST /recognise``."""
         events = self.service.recognise_stream(
-            codes,
-            seeds=seeds,
-            timeout=wait,
-            timeout_ms=timeout_ms,
-            priority=priority,
-            client_id=client_id,
+            parsed.codes,
+            seeds=parsed.seeds,
+            timeout=MAX_REQUEST_TIMEOUT,
+            timeout_ms=parsed.timeout_ms,
+            priority=parsed.priority,
+            client_id=parsed.client_id,
         )
         try:
             # Pull the first event before committing to a 200: a request
@@ -458,13 +347,19 @@ class RecognitionRequestHandler(BaseHTTPRequestHandler):
                 yield first
             yield from events
 
-        self._stream_response(chained(), total=codes.shape[0])
+        self._stream_response(chained(), total=parsed.codes.shape[0])
 
 
 class RecognitionServer(ThreadingHTTPServer):
     """A :class:`ThreadingHTTPServer` bound to one recognition service."""
 
     daemon_threads = True
+    # The stdlib default listen backlog of 5 drops SYNs the moment a few
+    # hundred keep-alive clients connect at once; dropped SYNs retry on
+    # exponential backoff and read as multi-second connect stalls.  Both
+    # front ends advertise the same deep backlog (the kernel clamps it
+    # to net.core.somaxconn).
+    request_queue_size = 1024
 
     def __init__(
         self,
@@ -475,6 +370,30 @@ class RecognitionServer(ThreadingHTTPServer):
         super().__init__(address, handler)
         self.service = service
         self.serve_thread: Optional[threading.Thread] = None
+        self._connections = 0
+        self._connections_total = 0
+        self._connections_lock = threading.Lock()
+
+    # process_request_thread brackets one connection's whole keep-alive
+    # lifetime on the threading mixin, so it is the one place to count
+    # live connections for the /stats "frontend" section.
+    def process_request_thread(self, request, client_address) -> None:
+        with self._connections_lock:
+            self._connections += 1
+            self._connections_total += 1
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._connections_lock:
+                self._connections -= 1
+
+    def frontend_stats(self) -> dict:
+        with self._connections_lock:
+            return {
+                "kind": "threaded",
+                "connections": self._connections,
+                "connections_total": self._connections_total,
+            }
 
     @property
     def port(self) -> int:

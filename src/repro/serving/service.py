@@ -521,6 +521,27 @@ class RecognitionService:
     # ------------------------------------------------------------------ #
     # Streaming
     # ------------------------------------------------------------------ #
+    def stream_window(self, window: Optional[int] = None) -> int:
+        """The bounded submission-window size of one streamed request.
+
+        Default: twice ``max_batch_size`` (so the batcher always has a
+        full batch ready while the previous one is in flight), clamped
+        to the queue depth and — when quotas are configured — the quota
+        burst and per-client in-flight cap, or the all-or-nothing window
+        submission could never be admitted even on an idle service.
+        Shared by the blocking generator below and the asyncio front
+        end's stream writer, so every transport windows identically.
+        """
+        if window is None:
+            window = max(2 * self.max_batch_size, 32)
+        check_integer("window", window, minimum=1)
+        window = min(window, self.max_queue_depth)
+        if self.quotas is not None:
+            window = min(window, self.quotas.burst)
+            if self.quotas.config.max_inflight is not None:
+                window = min(window, self.quotas.config.max_inflight)
+        return window
+
     def recognise_stream(
         self,
         codes_batch: np.ndarray,
@@ -554,17 +575,7 @@ class RecognitionService:
         """
         codes_batch, seeds = self._validate_rows(codes_batch, seeds)
         total = codes_batch.shape[0]
-        if window is None:
-            window = max(2 * self.max_batch_size, 32)
-        check_integer("window", window, minimum=1)
-        window = min(window, self.max_queue_depth)
-        if self.quotas is not None:
-            window = min(window, self.quotas.burst)
-            # The window must also fit under the per-client in-flight
-            # cap, or the all-or-nothing window submission could never
-            # be admitted even on an idle service.
-            if self.quotas.config.max_inflight is not None:
-                window = min(window, self.quotas.config.max_inflight)
+        window = self.stream_window(window)
         deadline = None if timeout is None else time.monotonic() + timeout
         inflight: deque = deque()  # of (row_index, future)
         next_row = 0

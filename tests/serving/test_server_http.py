@@ -93,9 +93,10 @@ class TestErrorMapping:
         status, payload = raw_post(running_server.port, "/recognise", body)
         assert status == 400 and "error" in payload
 
-    def test_missing_body_400(self, running_server):
+    def test_missing_body_411(self, running_server):
         status, payload = raw_post(running_server.port, "/recognise", b"")
-        assert status == 400
+        assert status == 411
+        assert payload["reason"] == "length_required"
 
     def test_overflowing_seed_400(self, running_server, request_codes):
         body = json.dumps(
