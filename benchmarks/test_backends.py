@@ -294,5 +294,5 @@ def test_auto_backend_cost_model(full_pipeline, recall_codes, request_seeds, wri
     assert ratio >= AUTO_VS_SERIAL_FLOOR, (
         f"auto reached only {ratio:.2f}x serial throughput "
         f"(floor {AUTO_VS_SERIAL_FLOOR}x): the cost model routed into a "
-        f"plan that does not pay on this host"
+        "plan that does not pay on this host"
     )

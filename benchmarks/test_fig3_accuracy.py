@@ -10,8 +10,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis.accuracy import downsizing_sweep, resolution_sweep
 from repro.analysis.report import format_accuracy_points
 

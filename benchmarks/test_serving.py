@@ -299,7 +299,7 @@ def test_streaming_vs_buffered_large_request(
                 f"buffered 1000-image request: {buffered_total * 1e3:8.1f} ms to last byte",
                 f"streamed 1000-image request: {stream_total * 1e3:8.1f} ms total, "
                 f"first row after {first_row_at * 1e3:6.1f} ms",
-                f"first-row speedup vs buffered body: "
+                "first-row speedup vs buffered body: "
                 f"{buffered_total / first_row_at:.1f}x",
             ]
         ),

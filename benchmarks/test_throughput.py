@@ -23,7 +23,6 @@ import json
 import pathlib
 import time
 
-import numpy as np
 import pytest
 
 #: Where the throughput trajectory is persisted.

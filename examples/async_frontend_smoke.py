@@ -24,8 +24,6 @@ from __future__ import annotations
 import argparse
 import threading
 
-import numpy as np
-
 from repro import load_default_dataset
 from repro.core.config import DesignParameters
 from repro.core.pipeline import build_pipeline
@@ -176,14 +174,14 @@ def main(argv=None) -> int:
     print(f"  async JSON:    {async_ips:8.1f} images/s ({ratio:.2f}x threaded)")
     print(
         f"  mixed phase: JSON load served with {binary_batches} concurrent "
-        f"binary batches, all bit-identical to the engine"
+        "binary batches, all bit-identical to the engine"
     )
 
     if ratio < arguments.floor:
         print(
             f"FAIL: async front end is {ratio:.2f}x threaded, below the "
             f"{arguments.floor:.2f}x floor — the event loop is dropping "
-            f"throughput it should be holding"
+            "throughput it should be holding"
         )
         return 1
     print("async frontend smoke check passed")

@@ -111,7 +111,7 @@ def main(argv=None) -> int:
         print(
             f"FAIL: auto is {ratio:.2f}x serial, below the "
             f"{arguments.floor:.2f}x floor — the cost model routed into a "
-            f"plan that does not pay on this host"
+            "plan that does not pay on this host"
         )
         return 1
     print("auto backend smoke check passed")

@@ -18,8 +18,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import load_default_dataset
 from repro.analysis.margins import conductance_range_sweep
 from repro.analysis.power import threshold_power_sweep
@@ -28,7 +26,6 @@ from repro.core.config import DesignParameters
 from repro.core.pipeline import build_pipeline
 from repro.core.power import SpinAmmPowerModel
 from repro.datasets.features import build_templates, templates_to_matrix
-
 
 def resolution_tradeoff(dataset) -> None:
     print("WTA resolution trade-off (accuracy vs power/energy)")

@@ -83,7 +83,7 @@ def main(max_images: int = 100) -> None:
     print("\nPower decomposition of the proposed design (100 MHz input rate):")
     print(format_power_breakdown(breakdowns))
     print(
-        f"Energy per recognition (analytic): "
+        "Energy per recognition (analytic): "
         f"{format_si(model.energy_per_recognition(), 'J')}"
     )
 

@@ -54,6 +54,7 @@ def main() -> None:
             f"DOM={result.dom_code:2d}/{pipeline.amm.wta.levels - 1}  "
             f"static={format_si(result.static_power, 'W')}  [{status}, {verdict}]"
         )
+    print(f"  spot check: {correct}/10 correct")
 
     print("\nEvaluating the full corpus...")
     evaluation = pipeline.evaluate(dataset)

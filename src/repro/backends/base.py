@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from types import TracebackType
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -49,7 +50,7 @@ class WorkerCrashedError(RuntimeError):
     permanent per-request failure via :attr:`retryable`.
     """
 
-    retryable = True
+    retryable: bool = True
 
 
 @dataclass(frozen=True)
@@ -131,7 +132,7 @@ class RecallBackend(abc.ABC):
     """
 
     #: Registry name; implementations override.
-    name = "abstract"
+    name: str = "abstract"
 
     @abc.abstractmethod
     def prepare(self) -> "RecallBackend":
@@ -161,7 +162,12 @@ class RecallBackend(abc.ABC):
         self.prepare()
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> None:
         self.close()
 
 

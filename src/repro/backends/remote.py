@@ -603,7 +603,7 @@ class RemoteBackend(RecallBackend):
                     header, arrays = self._spec_wire()
             if not any(link.alive for link in self._links):
                 raise ConnectionError(
-                    f"no remote worker reachable at "
+                    "no remote worker reachable at "
                     f"{[link.address for link in self._links]}: {first_error}"
                 )
             self._supervisor = threading.Thread(
@@ -706,7 +706,7 @@ class RemoteBackend(RecallBackend):
                 live = self._live_links()
         if not live:
             raise WorkerCrashedError(
-                f"no remote worker replica remains at "
+                "no remote worker replica remains at "
                 f"{[link.address for link in self._links]}; the batch was not "
                 "started and is safe to retry"
             )

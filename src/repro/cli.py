@@ -32,10 +32,17 @@ without writing any code:
   ``--priorities`` mix striped across client threads) against ``--url``
   or against a server booted in-process, and report end-to-end
   images/second with latency percentiles (per priority level for mixed
-  loads) plus the server-side ``/stats`` summary.
+  loads) plus the server-side ``/stats`` summary;
+* ``lint`` — run the repo-invariant static-analysis suite
+  (:mod:`repro.devtools.lint`): AST checkers for seeded-recall RNG
+  purity, wire pickle-freedom, event-loop blocking discipline, lock
+  hygiene and test port allocation, with ``--format text|json``,
+  inline suppressions, a committed baseline and ``--fail-on-findings``
+  for CI.
 
 Every command prints a plain-text table (the same formatters the
-benchmarks use) and returns a process exit code of 0 on success.
+benchmarks use) and returns a process exit code of 0 on success
+(``lint --fail-on-findings`` exits 1 when findings remain).
 """
 
 from __future__ import annotations
@@ -43,7 +50,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -437,6 +444,14 @@ def _command_loadtest(arguments: argparse.Namespace) -> str:
     return format_table(["Quantity", "Value"], rows)
 
 
+def _command_lint(arguments: argparse.Namespace) -> tuple:
+    # Imported lazily: the lint framework is developer tooling and must
+    # not load (or fail) for the paper-reproduction commands.
+    from repro.devtools.lint import runner as lint_runner
+
+    return lint_runner.execute(arguments)
+
+
 def _add_backend_option(
     parser: argparse.ArgumentParser,
     default: str = "auto",
@@ -675,6 +690,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serving_options(loadtest)
     loadtest.set_defaults(handler=_command_loadtest)
 
+    from repro.devtools.lint import runner as lint_runner
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="repo-invariant static analysis (RNG/wire/async/lock/port rules)",
+    )
+    lint_runner.build_arg_parser(lint)
+    lint.set_defaults(handler=_command_lint)
+
     return parser
 
 
@@ -684,9 +708,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     if getattr(arguments, "batch_size", 1) < 1:
         parser.error("--batch-size must be a positive integer")
-    output = arguments.handler(arguments)
+    try:
+        result = arguments.handler(arguments)
+    except (KeyError, FileNotFoundError, ValueError) as error:
+        if getattr(arguments, "command", None) != "lint":
+            raise
+        message = error.args[0] if error.args else str(error)
+        print(f"repro-lint: error: {message}")
+        return 2
+    if isinstance(result, tuple):
+        output, code = result
+    else:
+        output, code = result, 0
     print(output)
-    return 0
+    return code
 
 
 if __name__ == "__main__":

@@ -28,9 +28,7 @@ from typing import Optional
 import numpy as np
 
 from repro.devices.transistor import TechnologyParameters
-from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_in_range, check_integer, check_positive
-
 
 @dataclass
 class RegulatedCurrentMirror:

@@ -28,12 +28,11 @@ exact integer dot products, and is used as the golden reference in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.cmos.technology import CmosEnergyModel
-from repro.devices.transistor import TechnologyParameters
 from repro.utils.validation import check_integer, check_positive
 
 #: Datapath overhead multiplier (operand registers, muxes, control, clock

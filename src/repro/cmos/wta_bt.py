@@ -33,7 +33,6 @@ degradation under process variation can be simulated directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

@@ -26,8 +26,6 @@ from repro.crossbar.array import ResistiveCrossbar
 from repro.crossbar.batched import BatchCrossbarSolution
 from repro.crossbar.programming import TemplateProgrammer
 from repro.crossbar.solver import CrossbarSolution, CrossbarSolver
-from repro.devices.dac import DtcsDac
-from repro.devices.dwn import DwnConfig
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_integer, check_positive, check_shape
 

@@ -12,7 +12,7 @@ at a time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
 from repro.crossbar.parasitics import WireParasitics

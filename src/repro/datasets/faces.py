@@ -23,7 +23,7 @@ geometry slightly (pose), scales the illumination, and adds sensor noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy import ndimage

@@ -29,7 +29,7 @@ cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -38,7 +38,7 @@ from repro.devices.dwm import DomainWallMagnet
 from repro.devices.latch import DynamicCmosLatch
 from repro.devices.mtj import MagneticTunnelJunction
 from repro.utils.rng import RandomState, ensure_rng
-from repro.utils.validation import check_in_range, check_positive
+from repro.utils.validation import check_positive
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,6 @@ threshold model cannot express.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_in_range, check_positive
 

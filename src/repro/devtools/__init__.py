@@ -1,0 +1,15 @@
+"""Developer tooling for the repro codebase.
+
+:mod:`repro.devtools.lint` is a repo-specific static-analysis framework
+whose checkers codify invariants the test suite can only catch by luck —
+seeded-recall purity, wire-protocol pickle-freedom, event-loop blocking
+discipline, lock hygiene and test port allocation.  ``python -m repro
+lint`` runs it; ``src/repro/devtools/README.md`` documents every rule.
+
+Nothing in this package is imported by the runtime serving or engine
+code: the tools observe the tree, they are not part of it.
+"""
+
+from repro.devtools.lint import run_lint
+
+__all__ = ["run_lint"]

@@ -1,0 +1,31 @@
+"""Repo-invariant static analysis (``python -m repro lint``).
+
+A plugin-style AST lint framework scoped to this repository: each
+checker codifies one invariant the codebase's correctness story depends
+on (see ``src/repro/devtools/README.md`` for the catalogue).  The
+framework provides per-file AST walks with project-scoped import and
+call-graph resolution, structured ``file:line`` findings with rule ids,
+inline ``# repro-lint: disable=RULE`` suppressions and a committed
+baseline file, so new rules can land without blocking on pre-existing
+debt.
+"""
+
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.callgraph import CallGraph
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.project import Project
+from repro.devtools.lint.registry import Checker, all_rules, register
+from repro.devtools.lint.runner import LintReport, main, run_lint
+
+__all__ = [
+    "Baseline",
+    "CallGraph",
+    "Checker",
+    "Finding",
+    "LintReport",
+    "Project",
+    "all_rules",
+    "main",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,295 @@
+"""Project-scoped call-graph construction for reachability checkers.
+
+The graph is deliberately conservative (over-approximate): an edge means
+"this call *may* reach that function".  Calls are resolved four ways, in
+order of confidence:
+
+* **module-local names** — ``helper()`` resolves to a function defined in
+  the same module;
+* **imports** — ``other.helper()`` / ``from m import helper`` resolve
+  through the module's import table into any module of the project;
+* **``self`` methods** — ``self.step()`` resolves within the enclosing
+  class, then through project-defined base classes by name;
+* **class-hierarchy approximation** — ``obj.step()`` on an object of
+  unknown type resolves to *every* project method named ``step``.
+
+Unresolvable calls (stdlib, numpy, dynamic dispatch out of the project)
+simply produce no edge, so reachability never silently widens beyond the
+project's own code.  Constructor calls add an edge to ``__init__``.
+
+This over-approximation is the right polarity for invariant checking: a
+rule like RNG001 ("no global RNG reachable from the seeded recall path")
+wants false *positives* on exotic dispatch, never false negatives — a
+finding can always be suppressed or baselined with a rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.devtools.lint.project import Project, SourceFile
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str  # "pkg.mod.Class.meth" or "pkg.mod.func"
+    name: str
+    node: ast.AST
+    source: SourceFile
+    cls: Optional[str] = None  # enclosing class simple name
+    bases: Tuple[str, ...] = ()  # enclosing class base-name spellings
+
+
+@dataclass
+class ModuleImports:
+    """One module's import table: local name -> dotted target."""
+
+    #: ``import a.b as c`` => {"c": "a.b"}; ``import a.b`` => {"a": "a"}
+    modules: Dict[str, str] = field(default_factory=dict)
+    #: ``from a.b import x as y`` => {"y": "a.b.x"}
+    names: Dict[str, str] = field(default_factory=dict)
+
+
+def module_imports(source: SourceFile) -> ModuleImports:
+    table = ModuleImports()
+    if source.tree is None:
+        return table
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table.modules[alias.asname] = alias.name
+                else:
+                    table.modules[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports are not used in this tree
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table.names[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return table
+
+
+class CallGraph:
+    """Functions, classes and may-call edges for one :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.by_name: Dict[str, List[str]] = {}
+        self.by_method: Dict[str, List[str]] = {}
+        #: class simple name -> [(module, class qualname, base spellings)]
+        self.classes: Dict[str, List[Tuple[str, str, Tuple[str, ...]]]] = {}
+        self.imports: Dict[str, ModuleImports] = {}
+        self.edges: Dict[str, Set[str]] = {}
+        self._collect()
+        self._link()
+
+    # ------------------------------------------------------------------ #
+    # Symbol collection
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> None:
+        for source in self.project.iter_files():
+            if source.tree is None or source.module is None:
+                continue
+            self.imports[source.module] = module_imports(source)
+            self._collect_scope(source, source.tree.body, source.module, None, ())
+
+    def _collect_scope(
+        self,
+        source: SourceFile,
+        body: Iterable[ast.stmt],
+        prefix: str,
+        cls: Optional[str],
+        bases: Tuple[str, ...],
+    ) -> None:
+        for node in body:
+            if isinstance(node, FunctionNode):
+                qualname = f"{prefix}.{node.name}"
+                info = FunctionInfo(
+                    qualname=qualname,
+                    name=node.name,
+                    node=node,
+                    source=source,
+                    cls=cls,
+                    bases=bases,
+                )
+                self.functions[qualname] = info
+                self.by_name.setdefault(node.name, []).append(qualname)
+                if cls is not None:
+                    self.by_method.setdefault(node.name, []).append(qualname)
+                # Nested defs are reachable only through their parent;
+                # collect them so their bodies are scanned, keyed under
+                # the parent's namespace.
+                self._collect_scope(
+                    source, node.body, qualname, cls if cls else None, bases
+                )
+            elif isinstance(node, ast.ClassDef):
+                class_qualname = f"{prefix}.{node.name}"
+                base_names = tuple(
+                    ast.unparse(base) for base in node.bases
+                )
+                self.classes.setdefault(node.name, []).append(
+                    (prefix, class_qualname, base_names)
+                )
+                self._collect_scope(
+                    source, node.body, class_qualname, node.name, base_names
+                )
+
+    # ------------------------------------------------------------------ #
+    # Edge resolution
+    # ------------------------------------------------------------------ #
+    def _link(self) -> None:
+        for qualname, info in self.functions.items():
+            targets: Set[str] = set()
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    targets.update(self._resolve_call(node, info))
+            targets.discard(qualname)
+            self.edges[qualname] = targets
+
+    def _resolve_call(self, call: ast.Call, caller: FunctionInfo) -> Set[str]:
+        func = call.func
+        module = caller.source.module or ""
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, module)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func, caller)
+        return set()
+
+    def _resolve_name(self, name: str, module: str) -> Set[str]:
+        # Module-local function?
+        local = f"{module}.{name}"
+        if local in self.functions:
+            return {local}
+        # Module-local class? -> constructor
+        for owner, class_qualname, _bases in self.classes.get(name, ()):
+            if owner == module:
+                return self._constructor(class_qualname, name)
+        # Imported name?
+        table = self.imports.get(module)
+        if table is not None and name in table.names:
+            return self._resolve_dotted(table.names[name])
+        return set()
+
+    def _resolve_dotted(self, dotted: str) -> Set[str]:
+        """Resolve a fully-dotted function/class reference."""
+        if dotted in self.functions:
+            return {dotted}
+        head, _sep, tail = dotted.rpartition(".")
+        if head:
+            for owner, class_qualname, _bases in self.classes.get(tail, ()):
+                if class_qualname == dotted:
+                    return self._constructor(class_qualname, tail)
+            # ``from pkg import mod`` followed by ``mod.func`` resolves
+            # through _resolve_attribute; nothing further to do here.
+        return set()
+
+    def _constructor(self, class_qualname: str, class_name: str) -> Set[str]:
+        init = f"{class_qualname}.__init__"
+        if init in self.functions:
+            return {init}
+        return set()
+
+    def _resolve_attribute(
+        self, func: ast.Attribute, caller: FunctionInfo
+    ) -> Set[str]:
+        module = caller.source.module or ""
+        attr = func.attr
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id == "self" and caller.cls is not None:
+                return self._resolve_self(attr, caller)
+            if base.id == "cls" and caller.cls is not None:
+                return self._resolve_self(attr, caller)
+            table = self.imports.get(module)
+            if table is not None:
+                target = table.modules.get(base.id)
+                if target is not None:
+                    resolved = self._resolve_dotted(f"{target}.{attr}")
+                    if resolved:
+                        return resolved
+                target = table.names.get(base.id)
+                if target is not None:
+                    # ``from pkg import mod`` -> mod.func(), or
+                    # ``from pkg import Class`` -> Class.static()
+                    resolved = self._resolve_dotted(f"{target}.{attr}")
+                    if resolved:
+                        return resolved
+        elif isinstance(base, ast.Attribute):
+            # Dotted module path: pkg.mod.func()
+            spelled = ast.unparse(base)
+            table = self.imports.get(module)
+            if table is not None:
+                head = spelled.split(".")[0]
+                if head in table.modules:
+                    real = table.modules[head] + spelled[len(head):]
+                    resolved = self._resolve_dotted(f"{real}.{attr}")
+                    if resolved:
+                        return resolved
+        # Unknown receiver: class-hierarchy approximation by method name.
+        return set(self.by_method.get(attr, ()))
+
+    def _resolve_self(self, attr: str, caller: FunctionInfo) -> Set[str]:
+        module = caller.source.module or ""
+        own = f"{module}.{caller.cls}.{attr}"
+        if own in self.functions:
+            return {own}
+        # Walk project-defined base classes by spelled name.
+        pending = deque(caller.bases)
+        seen: Set[str] = set()
+        while pending:
+            spelling = pending.popleft()
+            base_name = spelling.split(".")[-1].split("[")[0]
+            if base_name in seen:
+                continue
+            seen.add(base_name)
+            for _owner, class_qualname, bases in self.classes.get(base_name, ()):
+                candidate = f"{class_qualname}.{attr}"
+                if candidate in self.functions:
+                    return {candidate}
+                pending.extend(bases)
+        # Fall back to the hierarchy approximation: ``self`` may be a
+        # subclass defined elsewhere overriding ``attr``.
+        return set(self.by_method.get(attr, ()))
+
+    # ------------------------------------------------------------------ #
+    # Reachability
+    # ------------------------------------------------------------------ #
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Every function reachable from ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        pending = deque(roots)
+        while pending:
+            qualname = pending.popleft()
+            if qualname in seen or qualname not in self.functions:
+                continue
+            seen.add(qualname)
+            pending.extend(self.edges.get(qualname, ()))
+            # A function's nested defs execute within it when called;
+            # treat lexical children as reachable too.
+            prefix = qualname + "."
+            for child in self.functions:
+                if child.startswith(prefix) and child not in seen:
+                    # Only function children (classes under functions are
+                    # not in self.functions keys unless methods).
+                    pending.append(child)
+        return seen
+
+    def roots_named(self, *names: str) -> List[str]:
+        wanted = set(names)
+        return sorted(
+            qualname
+            for name in wanted
+            for qualname in self.by_name.get(name, ())
+        )

@@ -1,0 +1,11 @@
+"""Checker plugins; importing this package registers every rule."""
+
+from repro.devtools.lint.checkers import (  # noqa: F401  (registration imports)
+    aio,
+    locks,
+    rng,
+    testports,
+    wire,
+)
+
+__all__ = ["aio", "locks", "rng", "testports", "wire"]

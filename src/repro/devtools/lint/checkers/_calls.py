@@ -1,0 +1,49 @@
+"""Shared helper: resolve a call expression to a dotted external name.
+
+Checkers that ban calls into specific external modules (``numpy.random``,
+``time.sleep``, ``subprocess``…) all need the same resolution: take the
+spelled call target, rewrite its head through the module's import table
+and return the real dotted path — so ``np.random.normal``, ``from numpy
+import random; random.normal`` and ``from numpy.random import normal``
+all resolve to ``numpy.random.normal``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.devtools.lint.callgraph import ModuleImports
+
+
+def dotted_call_target(
+    call: ast.Call, imports: ModuleImports
+) -> Optional[str]:
+    """The fully-resolved dotted name a call targets, or ``None``.
+
+    Only resolves plain ``Name`` / dotted ``Attribute`` spellings; calls
+    on computed receivers (``x().y``, subscripted values) return ``None``
+    — they cannot target a bare module function.
+    """
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in imports.names:
+            return imports.names[func.id]
+        if func.id in imports.modules:
+            return imports.modules[func.id]
+        return func.id
+    parts = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    head = parts[0]
+    if head in imports.modules:
+        parts[0] = imports.modules[head]
+    elif head in imports.names:
+        parts[0] = imports.names[head]
+    return ".".join(parts)

@@ -1,0 +1,173 @@
+"""LOCK001 — locks are held via ``with``, or acquire/try/finally-release.
+
+The serving and backend layers are thread-rich (micro-batcher, sharded
+pools, supervisor threads, shared-memory checkouts); a lock acquired
+without a guaranteed release deadlocks the whole dispatch path the first
+time an exception lands between ``acquire()`` and ``release()`` — and
+does so only under the load/fault timing that raised the exception,
+which is exactly when it is hardest to debug.
+
+Under any ``backends/`` or ``serving/`` directory, every call to
+``*.acquire()`` must appear in one of the two release-safe shapes:
+
+* the acquire statement is immediately followed by a ``try`` whose
+  ``finally`` releases the same receiver::
+
+      lock.acquire()
+      try: ...
+      finally: lock.release()
+
+* the acquire is the first statement *inside* such a ``try``;
+
+* the guarded non-blocking shape — ``if not lock.acquire(...):`` whose
+  body leaves the scope (``return``/``raise``/``continue``/``break``),
+  immediately followed by such a ``try``::
+
+      if not lock.acquire(blocking=False):
+          return
+      try: ...
+      finally: lock.release()
+
+The ``finally`` may release conditionally (``if acquired:
+lock.release()``) — the timeout-acquire idiom.  Everything else — a
+bare ``acquire()``, a release that lives in an ``except`` handler — is
+flagged.  (``with lock:`` never calls ``acquire()`` in source and is
+always fine.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.project import Project, SourceFile
+from repro.devtools.lint.registry import Checker, register
+
+
+def _acquire_receiver(statement: ast.stmt) -> Optional[ast.Call]:
+    """The ``X.acquire(...)`` call of a statement, if it is one."""
+    value = None
+    if isinstance(statement, ast.Expr):
+        value = statement.value
+    elif isinstance(statement, ast.Assign):
+        value = statement.value
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "acquire"
+    ):
+        return value
+    return None
+
+
+def _guarded_acquire(statement: ast.stmt) -> Optional[ast.Call]:
+    """The acquire call of ``if not X.acquire(...): <leave scope>``."""
+    if not (
+        isinstance(statement, ast.If)
+        and isinstance(statement.test, ast.UnaryOp)
+        and isinstance(statement.test.op, ast.Not)
+        and isinstance(statement.test.operand, ast.Call)
+        and isinstance(statement.test.operand.func, ast.Attribute)
+        and statement.test.operand.func.attr == "acquire"
+        and statement.body
+        and isinstance(
+            statement.body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+        )
+    ):
+        return None
+    return statement.test.operand
+
+
+def _statement_releases(statements: List[ast.stmt], receiver: str) -> bool:
+    for statement in statements:
+        if (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Call)
+            and isinstance(statement.value.func, ast.Attribute)
+            and statement.value.func.attr == "release"
+            and ast.unparse(statement.value.func.value) == receiver
+        ):
+            return True
+        if isinstance(statement, ast.If) and (
+            _statement_releases(statement.body, receiver)
+            or _statement_releases(statement.orelse, receiver)
+        ):
+            return True
+    return False
+
+
+def _releases(try_node: ast.Try, receiver: str) -> bool:
+    return _statement_releases(try_node.finalbody, receiver)
+
+
+@register
+class LockDisciplineChecker(Checker):
+    rule = "LOCK001"
+    title = (
+        "threading locks acquired via `with`, or acquire immediately "
+        "guarded by try/finally release"
+    )
+    invariant = (
+        "no code path in serving/ or backends/ can exit between acquire() "
+        "and release() without releasing — an exception between them "
+        "deadlocks the dispatch path under exactly the fault timing the "
+        "chaos tests inject"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for source in project.files_matching("backends", "serving"):
+            if source.tree is None:
+                continue
+            yield from self._scan(project, source)
+
+    def _scan(self, project: Project, source: SourceFile) -> Iterator[Finding]:
+        safe_calls = set()
+        # First pass: mark acquire calls in a release-safe shape.
+        for node in ast.walk(source.tree):
+            for body in self._statement_lists(node):
+                for index, statement in enumerate(body):
+                    call = _acquire_receiver(statement) or _guarded_acquire(
+                        statement
+                    )
+                    if call is None:
+                        continue
+                    receiver = ast.unparse(call.func.value)
+                    follower = body[index + 1] if index + 1 < len(body) else None
+                    if isinstance(follower, ast.Try) and _releases(
+                        follower, receiver
+                    ):
+                        safe_calls.add(id(call))
+            if isinstance(node, ast.Try) and node.body:
+                call = _acquire_receiver(node.body[0])
+                if call is not None and _releases(
+                    node, ast.unparse(call.func.value)
+                ):
+                    safe_calls.add(id(call))
+        # Second pass: every other acquire call is a finding.
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+                and id(node) not in safe_calls
+            ):
+                receiver = ast.unparse(node.func.value)
+                yield self.finding(
+                    project,
+                    source.rel,
+                    node.lineno,
+                    f"{receiver}.acquire() without a guaranteed release — "
+                    "hold the lock via `with`, or follow the acquire "
+                    "immediately with try/finally releasing it",
+                )
+
+    @staticmethod
+    def _statement_lists(node: ast.AST) -> List[List[ast.stmt]]:
+        lists = []
+        for _field, value in ast.iter_fields(node):
+            if isinstance(value, list) and value and isinstance(
+                value[0], ast.stmt
+            ):
+                lists.append(value)
+        return lists

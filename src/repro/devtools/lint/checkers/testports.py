@@ -1,0 +1,108 @@
+"""TEST001 — tests bind port 0 (or the ``free_port`` fixture), never a
+hard-coded port.
+
+A test that binds a literal port races every other test (and every CI
+runner sharing the host) for that number; the failure is an
+``EADDRINUSE`` that reproduces only under parallel load — the canonical
+flaky test.  The serving suite's contract since PR 5 is: servers bind
+port 0 and read the kernel-assigned port back, or take the shared
+``free_port`` fixture.
+
+In every test module (``test_*.py`` / ``*_test.py`` / ``conftest.py``)
+this flags:
+
+* ``sock.bind((host, PORT))`` with a non-zero literal port;
+* any call carrying a ``port=`` / ``binary_port=`` / ``listen_port=``
+  keyword with a non-zero integer literal;
+* string literals of the form ``"host:PORT"`` (``localhost``, dotted
+  IPv4) with a non-zero port — the CLI's ``--listen`` spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.project import Project, SourceFile
+from repro.devtools.lint.registry import Checker, register
+
+PORT_KEYWORDS = {"port", "binary_port", "listen_port", "http_port"}
+
+_HOST_PORT_RE = re.compile(
+    r"^(localhost|\d{1,3}(?:\.\d{1,3}){3}|\[::1?\]):(\d{1,5})$"
+)
+
+_TEST_FILE_RE = re.compile(r"(^test_.*\.py$|.*_test\.py$|^conftest\.py$)")
+
+
+@register
+class TestPortChecker(Checker):
+    rule = "TEST001"
+    title = "test files bind port 0 / use the free_port fixture, never a literal port"
+    invariant = (
+        "no test hard-codes a TCP port: servers bind port 0 and read the "
+        "assigned port back (or use the shared free_port fixture), so the "
+        "suite never races other tests or CI runners for a port number"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for source in project.iter_files():
+            name = source.rel.rsplit("/", 1)[-1]
+            if source.tree is None or not _TEST_FILE_RE.match(name):
+                continue
+            yield from self._scan(project, source)
+
+    def _scan(self, project: Project, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._scan_call(project, source, node)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                match = _HOST_PORT_RE.match(node.value)
+                if match and int(match.group(2)) != 0:
+                    yield self.finding(
+                        project,
+                        source.rel,
+                        node.lineno,
+                        f"hard-coded endpoint {node.value!r} in a test — "
+                        "bind port 0 and read the assigned port back",
+                    )
+
+    def _scan_call(
+        self, project: Project, source: SourceFile, call: ast.Call
+    ) -> Iterator[Finding]:
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "bind"
+            and call.args
+            and isinstance(call.args[0], ast.Tuple)
+            and len(call.args[0].elts) == 2
+        ):
+            port = call.args[0].elts[1]
+            if (
+                isinstance(port, ast.Constant)
+                and isinstance(port.value, int)
+                and port.value != 0
+            ):
+                yield self.finding(
+                    project,
+                    source.rel,
+                    call.lineno,
+                    f"socket bound to literal port {port.value} in a test — "
+                    "bind port 0 (the kernel assigns a free one)",
+                )
+        for keyword in call.keywords:
+            if keyword.arg in PORT_KEYWORDS and (
+                isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, int)
+                and not isinstance(keyword.value.value, bool)
+                and keyword.value.value != 0
+            ):
+                yield self.finding(
+                    project,
+                    source.rel,
+                    call.lineno,
+                    f"{keyword.arg}={keyword.value.value} hard-codes a port "
+                    "in a test — pass 0 or the free_port fixture",
+                )

@@ -1,0 +1,45 @@
+"""Structured lint findings and their baseline fingerprints."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``snippet`` is the stripped source line the finding anchors to; the
+    baseline matches on ``(rule, path, snippet)`` rather than the line
+    number, so unrelated edits that shift a kept violation up or down do
+    not resurrect it.
+    """
+
+    rule: str
+    path: str  # project-root-relative, POSIX separators
+    line: int
+    message: str
+    snippet: str = ""
+    symbol: str = field(default="", compare=False)  # enclosing def/class, if any
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256(
+            f"{self.rule}::{self.path}::{self.snippet}".encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,219 @@
+"""The parsed view of a source tree that checkers run against.
+
+A :class:`Project` owns every ``.py`` file under its root (parsed once,
+shared by all checkers), the mapping from files to dotted module names,
+and each module's import table — the raw material for the call-graph
+resolution in :mod:`repro.devtools.lint.callgraph`.
+
+Paths are stored root-relative with POSIX separators so findings and
+baseline entries are stable across checkouts and platforms.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Directories never walked into, wherever they appear.
+SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    ".hypothesis",
+    ".mypy_cache",
+    ".ruff_cache",
+    "node_modules",
+    ".venv",
+    "venv",
+}
+
+#: Root-relative path prefixes excluded from a default repo lint: the
+#: checker test fixtures are known-bad code *on purpose*.
+DEFAULT_EXCLUDES = ("tests/devtools/fixtures",)
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def _parse_rule_list(raw: str) -> Tuple[str, ...]:
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+@dataclass
+class SourceFile:
+    """One parsed python file."""
+
+    path: Path  # absolute
+    rel: str  # root-relative, POSIX separators
+    text: str
+    tree: Optional[ast.Module]  # None when the file does not parse
+    syntax_error: Optional[str] = None
+    module: Optional[str] = None  # dotted module name when importable
+    lines: List[str] = field(default_factory=list)
+    #: line number -> rules suppressed on that line ("all" = every rule)
+    suppressed: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: rules suppressed for the whole file
+    suppressed_file: Tuple[str, ...] = ()
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        for suppressed in (self.suppressed_file, *
+                           (self.suppressed.get(candidate, ())
+                            for candidate in (line, line - 1))):
+            if "all" in suppressed or rule in suppressed:
+                return True
+        return False
+
+
+def _scan_suppressions(
+    lines: Sequence[str],
+) -> Tuple[Dict[int, Tuple[str, ...]], Tuple[str, ...]]:
+    per_line: Dict[int, Tuple[str, ...]] = {}
+    whole_file: Tuple[str, ...] = ()
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS_FILE_RE.search(line)
+        if match:
+            whole_file = whole_file + _parse_rule_list(match.group(1))
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            per_line[number] = _parse_rule_list(match.group(1))
+    return per_line, whole_file
+
+
+def _module_name(rel: str) -> Optional[str]:
+    """Dotted module name for a root-relative path, or ``None``.
+
+    ``src/<pkg>/...`` layouts are resolved relative to ``src``; anything
+    else (tests, benchmarks, fixture trees linted as their own project
+    root) is resolved relative to the project root, which matches how
+    those files are imported under pytest's rootdir-on-sys.path rule.
+    """
+    parts = Path(rel).parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    if any(not part.isidentifier() for part in parts[:-1]):
+        return None
+    stem = parts[-1][: -len(".py")]
+    if stem != "__init__" and not stem.isidentifier():
+        return None
+    names = list(parts[:-1]) + ([] if stem == "__init__" else [stem])
+    if not names:
+        return None
+    return ".".join(names)
+
+
+class Project:
+    """Every parsed source file under one root, indexed for checkers."""
+
+    def __init__(
+        self,
+        root: Path,
+        paths: Optional[Sequence[str]] = None,
+        excludes: Sequence[str] = DEFAULT_EXCLUDES,
+    ) -> None:
+        self.root = Path(root).resolve()
+        self.excludes = tuple(excludes)
+        self.files: Dict[str, SourceFile] = {}
+        self.modules: Dict[str, SourceFile] = {}
+        for path in self._discover(paths):
+            self._load(path)
+
+    # ------------------------------------------------------------------ #
+    # Discovery
+    # ------------------------------------------------------------------ #
+    def _discover(self, paths: Optional[Sequence[str]]) -> List[Path]:
+        targets = [self.root / p for p in paths] if paths else [self.root]
+        seen = set()
+        found: List[Path] = []
+        for target in targets:
+            if target.is_file() and target.suffix == ".py":
+                candidates: Iterable[Path] = [target]
+            elif target.is_dir():
+                candidates = sorted(target.rglob("*.py"))
+            else:
+                raise FileNotFoundError(f"lint target {target} does not exist")
+            # A target the caller named explicitly is linted even when it
+            # sits under an excluded prefix — excludes only trim walks.
+            requested = paths is not None and self._excluded(
+                self._rel(target.resolve())
+            )
+            for candidate in candidates:
+                resolved = candidate.resolve()
+                if resolved in seen:
+                    continue
+                if SKIP_DIRS.intersection(resolved.parts):
+                    continue
+                if not requested and self._excluded(self._rel(resolved)):
+                    continue
+                seen.add(resolved)
+                found.append(resolved)
+        return found
+
+    def _excluded(self, rel: str) -> bool:
+        return any(
+            rel == exc or rel.startswith(exc + "/") for exc in self.excludes
+        )
+
+    def _rel(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _load(self, path: Path) -> None:
+        rel = self._rel(path)
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        tree: Optional[ast.Module] = None
+        syntax_error: Optional[str] = None
+        try:
+            tree = ast.parse(text, filename=rel)
+        except SyntaxError as error:
+            syntax_error = f"line {error.lineno}: {error.msg}"
+        per_line, whole_file = _scan_suppressions(lines)
+        source = SourceFile(
+            path=path,
+            rel=rel,
+            text=text,
+            tree=tree,
+            syntax_error=syntax_error,
+            module=_module_name(rel),
+            lines=lines,
+            suppressed=per_line,
+            suppressed_file=whole_file,
+        )
+        self.files[rel] = source
+        if source.module is not None and tree is not None:
+            # First definition wins (src/ layout before stray duplicates).
+            self.modules.setdefault(source.module, source)
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def iter_files(self) -> List[SourceFile]:
+        return list(self.files.values())
+
+    def file_for_module(self, module: str) -> Optional[SourceFile]:
+        found = self.modules.get(module)
+        if found is not None:
+            return found
+        return self.modules.get(module + ".__init__")
+
+    def files_matching(self, *segments: str) -> List[SourceFile]:
+        """Files with any of ``segments`` as a path component."""
+        wanted = set(segments)
+        return [
+            source
+            for source in self.files.values()
+            if wanted.intersection(Path(source.rel).parts)
+        ]

@@ -1,0 +1,83 @@
+"""Checker plugin registry.
+
+A checker is a class with a unique ``rule`` id; registering it makes the
+rule runnable by id from the CLI and documents it in ``--list-rules``.
+Checkers receive the whole parsed :class:`~repro.devtools.lint.project.
+Project` (and build/reuse a call graph when they need one) and yield
+:class:`~repro.devtools.lint.findings.Finding` objects; suppression and
+baseline filtering happen in the runner, never inside a checker.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, List, Type
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.project import Project
+
+
+class Checker(abc.ABC):
+    """Base class for one lint rule."""
+
+    #: Unique rule id, e.g. ``"RNG001"``.
+    rule: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    title: str = ""
+    #: The repo invariant the rule encodes (for docs and messages).
+    invariant: str = ""
+
+    @abc.abstractmethod
+    def run(self, project: Project) -> Iterator[Finding]:
+        """Yield every violation found in ``project``."""
+
+    def finding(
+        self,
+        project: Project,
+        rel: str,
+        line: int,
+        message: str,
+        symbol: str = "",
+    ) -> Finding:
+        source = project.files.get(rel)
+        snippet = source.line_text(line) if source is not None else ""
+        return Finding(
+            rule=self.rule,
+            path=rel,
+            line=line,
+            message=message,
+            snippet=snippet,
+            symbol=symbol,
+        )
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(checker: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not checker.rule:
+        raise ValueError(f"{checker.__name__} must define a rule id")
+    existing = _REGISTRY.get(checker.rule)
+    if existing is not None and existing is not checker:
+        raise ValueError(f"rule {checker.rule} is already registered")
+    _REGISTRY[checker.rule] = checker
+    return checker
+
+
+def all_rules() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def checker_for(rule: str) -> Type[Checker]:
+    try:
+        return _REGISTRY[rule]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {rule!r}; known rules: {', '.join(all_rules())}"
+        ) from None
+
+
+def build_checkers(rules: List[str] | None = None) -> List[Checker]:
+    selected = rules if rules is not None else all_rules()
+    return [checker_for(rule)() for rule in selected]

@@ -1,0 +1,226 @@
+"""Lint orchestration: parse once, run checkers, filter, format.
+
+:func:`run_lint` is the library entry point (used by the test suite and
+the CLI); :func:`main` adds argument handling for ``python -m repro
+lint``.  Exit semantics: findings are always *reported*; the process
+exit code is non-zero only under ``--fail-on-findings`` (what CI runs)
+or on a usage/configuration error, so a local run never aborts a shell
+pipeline mid-investigation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools.lint import checkers as _checkers  # noqa: F401  (registers rules)
+from repro.devtools.lint.baseline import DEFAULT_BASELINE, Baseline
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.project import DEFAULT_EXCLUDES, Project
+from repro.devtools.lint.registry import all_rules, build_checkers, checker_for
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)  # actionable
+    suppressed: int = 0  # silenced by inline directives
+    baselined: int = 0  # silenced by the baseline file
+    files: int = 0
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict:
+        return {
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "files": self.files,
+            "rules": self.rules,
+        }
+
+
+def run_lint(
+    root: Path | str = ".",
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+) -> LintReport:
+    """Lint ``paths`` (default: the whole tree) under ``root``.
+
+    Returns a :class:`LintReport`; inline-suppressed and baselined
+    findings are counted but not listed.  Files that fail to parse
+    produce a ``SYNTAX`` finding rather than being silently skipped —
+    a file the linter cannot read is a file whose invariants nobody is
+    checking.
+    """
+    project = Project(Path(root), paths=paths, excludes=excludes)
+    report = LintReport(files=len(project.files))
+    report.rules = list(rules) if rules is not None else all_rules()
+    for source in project.iter_files():
+        if source.syntax_error is not None:
+            report.findings.append(
+                Finding(
+                    rule="SYNTAX",
+                    path=source.rel,
+                    line=1,
+                    message=f"file does not parse: {source.syntax_error}",
+                    snippet="",
+                )
+            )
+    for checker in build_checkers(list(report.rules)):
+        for finding in checker.run(project):
+            source = project.files.get(finding.path)
+            if source is not None and source.is_suppressed(
+                finding.rule, finding.line
+            ):
+                report.suppressed += 1
+                continue
+            if baseline is not None and baseline.matches(finding):
+                report.baselined += 1
+                continue
+            report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def format_text(report: LintReport) -> str:
+    lines = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: {finding.rule}: {finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files} file(s)"
+        f" [{report.suppressed} suppressed, {report.baselined} baselined]"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    return json.dumps(report.to_json(), indent=2)
+
+
+def list_rules_text() -> str:
+    lines = []
+    for rule in all_rules():
+        checker = checker_for(rule)
+        lines.append(f"{rule}: {checker.title}")
+        if checker.invariant:
+            lines.append(f"    invariant: {checker.invariant}")
+    return "\n".join(lines)
+
+
+def build_arg_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.ArgumentParser:
+    if parser is None:
+        parser = argparse.ArgumentParser(prog="repro lint")
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the whole repository)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root findings and the baseline are relative to",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="findings output format",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline file of accepted findings (relative to --root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding",
+    )
+    parser.add_argument(
+        "--fail-on-findings",
+        action="store_true",
+        help="exit non-zero when any unsuppressed finding remains (CI mode)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def execute(arguments: argparse.Namespace) -> tuple:
+    """Run lint for parsed CLI arguments; returns ``(output, exit_code)``."""
+    if arguments.list_rules:
+        return list_rules_text(), 0
+    root = Path(arguments.root).resolve()
+    rules = (
+        [rule.strip() for rule in arguments.rules.split(",") if rule.strip()]
+        if arguments.rules
+        else None
+    )
+    if rules:
+        for rule in rules:
+            checker_for(rule)  # raises KeyError with the known-rule list
+    baseline_path = root / arguments.baseline
+    baseline = None
+    if not arguments.no_baseline and not arguments.update_baseline:
+        baseline = Baseline.load(baseline_path)
+    report = run_lint(
+        root=root,
+        paths=arguments.paths or None,
+        rules=rules,
+        baseline=baseline,
+    )
+    if arguments.update_baseline:
+        Baseline.write(baseline_path, report.findings)
+        return (
+            f"baseline {baseline_path} updated with "
+            f"{len(report.findings)} finding(s)",
+            0,
+        )
+    output = (
+        format_json(report)
+        if arguments.output_format == "json"
+        else format_text(report)
+    )
+    code = 1 if (arguments.fail_on_findings and not report.clean) else 0
+    return output, code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_arg_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        output, code = execute(arguments)
+    except (KeyError, FileNotFoundError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"repro-lint: error: {message}")
+        return 2
+    print(output)
+    return code

@@ -38,7 +38,7 @@ import concurrent.futures
 import json
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -159,7 +159,9 @@ def row_error_to_json(index: int, error: BaseException) -> dict:
     }
 
 
-def integral_array(name: str, values: object, dtype=np.int64) -> np.ndarray:
+def integral_array(
+    name: str, values: object, dtype: type = np.int64
+) -> np.ndarray:
     """Parse a JSON number (array) as integers, rejecting non-integral input.
 
     ``np.asarray(..., dtype=np.int64)`` would silently truncate ``1.7``
@@ -365,7 +367,9 @@ class StreamLineEncoder:
         self.ok = 0
         self.failed = 0
 
-    def line(self, index: int, outcome) -> bytes:
+    def line(
+        self, index: int, outcome: Union[RecognitionResult, BaseException]
+    ) -> bytes:
         if isinstance(outcome, BaseException):
             payload = row_error_to_json(index, outcome)
             self.failed += 1

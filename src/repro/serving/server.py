@@ -59,12 +59,9 @@ from typing import Optional, Tuple
 from repro.serving import protocol
 from repro.serving.protocol import (
     BODY_READ_TIMEOUT,
-    DEADLINE_WAIT_SLACK,
     DEFAULT_REQUEST_TIMEOUT,
     IDLE_CONNECTION_TIMEOUT,
-    MAX_BODY_BYTES,
     MAX_REQUEST_TIMEOUT,
-    LengthRequiredError,
     SlowBodyError,
     StreamLineEncoder,
     classify_error,

@@ -49,7 +49,9 @@ import numpy as np
 from repro.core.amm import AssociativeMemoryModule, RecognitionResult
 from repro.serving.errors import (
     BackpressureError,
-    DeadlineExceededError,
+    # Explicit re-export: callers historically import the deadline error
+    # from the service module (see tests/serving/test_workers.py).
+    DeadlineExceededError as DeadlineExceededError,
     QuotaExceededError,
     ServiceClosedError,
 )

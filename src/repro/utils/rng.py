@@ -14,7 +14,7 @@ constructors terse::
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,8 +1,5 @@
 """Tests for the matching-accuracy analyses (Fig. 3)."""
 
-import numpy as np
-import pytest
-
 from repro.analysis.accuracy import (
     bit_width_sweep,
     downsizing_sweep,

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.analysis.power import Table1Row, build_table1, table1_by_design, threshold_power_sweep
-from repro.core.config import default_parameters
+from repro.analysis.power import build_table1, table1_by_design, threshold_power_sweep
 
 
 @pytest.fixture(scope="module")

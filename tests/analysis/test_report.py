@@ -1,7 +1,5 @@
 """Tests for the plain-text report formatters."""
 
-import pytest
-
 from repro.analysis.accuracy import AccuracyPoint
 from repro.analysis.margins import MarginPoint
 from repro.analysis.power import build_table1
@@ -16,7 +14,6 @@ from repro.analysis.report import (
 )
 from repro.core.config import default_parameters
 from repro.core.power import SpinAmmPowerModel
-
 
 class TestFormatSi:
     def test_microwatts(self):

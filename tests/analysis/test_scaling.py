@@ -1,6 +1,5 @@
 """Tests for the array-size scaling analyses."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.scaling import (
@@ -10,7 +9,6 @@ from repro.analysis.scaling import (
     template_count_sweep,
 )
 from repro.core.config import DesignParameters
-
 
 class TestTemplateCountSweep:
     def test_sweep_length_and_fields(self):

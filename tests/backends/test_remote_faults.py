@@ -22,14 +22,12 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.backends import RemoteBackend, WorkerCrashedError, WorkerServer
 from tests.backends.chaos import ChaosProxy
 from tests.backends.test_equivalence import assert_results_equal
 from tests.backends.test_remote import wait_until
-
 
 @pytest.fixture()
 def chaos_setup(backend_amm):

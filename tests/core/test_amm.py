@@ -49,14 +49,12 @@ class TestConstruction:
     def test_calibration_places_peak_near_full_scale(self, small_amm, small_template_codes):
         # Driving with the strongest stored template must produce a peak
         # column current close to (but not exceeding much) the WTA range.
-        best_column = 0
         best_current = 0.0
         for column in range(small_template_codes.shape[1]):
             solution = small_amm.column_solution(small_template_codes[:, column])
             peak = solution.column_currents.max()
             if peak > best_current:
                 best_current = peak
-                best_column = column
         full_scale = small_amm.parameters.wta_full_scale_current
         assert 0.7 * full_scale < best_current < 1.1 * full_scale
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import DesignParameters
 from repro.core.pipeline import FaceRecognitionPipeline, build_default_amm, build_pipeline
 from repro.datasets.features import FeatureExtractor
 

@@ -1,11 +1,9 @@
 """Tests for the spin-CMOS AMM power model (Fig. 13a, Table 1 column 1)."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import default_parameters
-from repro.core.power import PowerBreakdown, SpinAmmPowerModel
-
+from repro.core.power import SpinAmmPowerModel
 
 @pytest.fixture(scope="module")
 def model():

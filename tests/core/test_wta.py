@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.wta import SpinCmosWta, WtaResult
+from repro.core.wta import SpinCmosWta
 from repro.devices.dwn import DwnConfig
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.crossbar.array import ResistiveCrossbar
-from repro.crossbar.parasitics import WireParasitics
 from repro.crossbar.programming import TemplateProgrammer
 from repro.devices.memristor import MemristorModel
 

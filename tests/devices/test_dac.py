@@ -135,7 +135,6 @@ class TestSizing:
         device = dac.unit_device()
         assert device.width_nm >= device.technology.min_width_nm
         # Deep-triode conductance of the sized device matches the request.
-        overdrive = device.technology.supply_voltage - device.technology.threshold_voltage
         assert device.triode_conductance(device.technology.supply_voltage) == pytest.approx(
             12.5e-6, rel=0.05
         )

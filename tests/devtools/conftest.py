@@ -1,0 +1,8 @@
+"""Keep the lint fixture tree out of pytest collection.
+
+``fixtures/`` holds deliberately-broken modules (some named
+``test_*.py`` so TEST001 scopes onto them); they are lint fodder, never
+importable test code.
+"""
+
+collect_ignore_glob = ["*fixtures*"]

@@ -1,0 +1,13 @@
+"""Known-bad fixture for AIO001: blocking calls inside coroutine bodies.
+Never executed — lint fodder only."""
+
+import time
+
+
+async def drain(future):
+    time.sleep(0.05)
+    return future.result()
+
+
+async def fetch(sock):
+    return sock.recv(1024)

@@ -1,0 +1,20 @@
+"""Known-bad fixture for LOCK001: acquire without a guaranteed release.
+Never executed — lint fodder only."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def checkout(block):
+    _lock.acquire()
+    block()
+    _lock.release()
+
+
+def held_safely(block):
+    _lock.acquire()
+    try:
+        block()
+    finally:
+        _lock.release()

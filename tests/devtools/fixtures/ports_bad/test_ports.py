@@ -1,0 +1,22 @@
+"""Known-bad fixture for TEST001: hard-coded ports in a test module.
+Never collected by pytest (see tests/devtools/conftest.py) — lint fodder."""
+
+import socket
+
+
+def test_hardcoded_bind():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 8123))
+
+
+def test_hardcoded_keyword(start_server):
+    start_server(port=9000)
+
+
+def test_hardcoded_endpoint(client):
+    client.get("127.0.0.1:8124")
+
+
+def test_port_zero_is_fine():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))

@@ -1,0 +1,24 @@
+"""Known-bad fixture for RNG001: global-stream draws reachable from the
+seeded recall root. Never executed — lint fodder only."""
+
+import numpy as np
+
+
+def _noise(scale):
+    # Global numpy stream — breaks (module, codes, seed) purity.
+    return np.random.normal(0.0, scale)
+
+
+def _fresh_rng():
+    # Unseeded default_rng() is fresh OS entropy.
+    return np.random.default_rng()
+
+
+def _seeded_rng(seed):
+    # Explicitly seeded — allowed.
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed))
+
+
+def recognise_batch_seeded(codes, seeds):
+    rng = _seeded_rng(int(seeds[0]))
+    return [rng.normal() + _noise(1.0) + _fresh_rng().normal() for _ in codes]

@@ -1,0 +1,18 @@
+"""Fixture: the same violations as the *_bad packages, silenced by
+inline suppression directives. Never executed — lint fodder only."""
+
+import pickle  # repro-lint: disable=WIRE001
+import threading
+
+_lock = threading.Lock()
+
+
+def hold(block):
+    # repro-lint: disable=LOCK001
+    _lock.acquire()
+    block()
+    _lock.release()
+
+
+def encode(obj):
+    return pickle.dumps(obj)

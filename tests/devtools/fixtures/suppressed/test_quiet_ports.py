@@ -1,0 +1,13 @@
+# repro-lint: disable-file=TEST001
+"""Fixture: a whole-file suppression. Never collected — lint fodder."""
+
+import socket
+
+
+def test_fixed_port_one():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 8125))
+
+
+def test_fixed_port_two(start_server):
+    start_server(port=9001)

@@ -1,0 +1,191 @@
+"""Framework-level tests: project loading, suppressions, baseline,
+output formats and CLI exit semantics of ``python -m repro lint``."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.devtools.lint import all_rules, run_lint
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.project import Project
+from repro.devtools.lint.runner import format_json, format_text, main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+ALL_RULES = ("RNG001", "WIRE001", "AIO001", "LOCK001", "TEST001")
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert set(ALL_RULES) <= set(all_rules())
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        code = lint_main(["--root", str(FIXTURES / "lock_bad"), "--rules", "NOPE999"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "NOPE999" in out and "LOCK001" in out  # names the known rules
+
+
+class TestProject:
+    def test_discovers_only_python_under_root(self):
+        project = Project(FIXTURES / "lock_bad")
+        assert set(project.files) == {"backends/pool.py"}
+
+    def test_syntax_error_becomes_a_finding(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def half(:\n", encoding="utf-8")
+        report = run_lint(root=tmp_path)
+        assert [f.rule for f in report.findings] == ["SYNTAX"]
+        assert report.findings[0].path == "broken.py"
+
+    def test_explicit_path_overrides_default_excludes(self):
+        # The default walk skips the fixtures tree, but naming a path
+        # under it explicitly must still lint it.
+        project = Project(
+            REPO_ROOT, paths=["tests/devtools/fixtures/lock_bad"]
+        )
+        assert "tests/devtools/fixtures/lock_bad/backends/pool.py" in project.files
+
+    def test_inline_suppressions_parsed(self):
+        project = Project(FIXTURES / "suppressed")
+        quiet = project.files["backends/quiet.py"]
+        pickle_line = next(
+            i for i, line in enumerate(quiet.lines, 1) if "import pickle" in line
+        )
+        assert quiet.is_suppressed("WIRE001", pickle_line)
+        assert not quiet.is_suppressed("LOCK001", pickle_line)
+        ports = project.files["test_quiet_ports.py"]
+        assert ports.is_suppressed("TEST001", 9)  # file-level: any line
+
+
+class TestBaseline:
+    def _finding(self):
+        return Finding(
+            rule="TEST001",
+            path="test_x.py",
+            line=12,
+            message="hard-coded port",
+            snippet='sock.bind(("127.0.0.1", 8123))',
+        )
+
+    def test_round_trip_matches_on_snippet_not_line(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, [self._finding()])
+        loaded = Baseline.load(path)
+        moved = Finding(
+            rule="TEST001",
+            path="test_x.py",
+            line=99,  # surrounding edits moved it
+            message="hard-coded port",
+            snippet='sock.bind(("127.0.0.1", 8123))',
+        )
+        assert loaded.matches(moved)
+
+    def test_notes_survive_regeneration(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, [self._finding()])
+        payload = json.loads(path.read_text())
+        payload["findings"][0]["note"] = "kept on purpose"
+        path.write_text(json.dumps(payload))
+        Baseline.write(path, [self._finding()])  # regenerate
+        assert json.loads(path.read_text())["findings"][0]["note"] == "kept on purpose"
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_baselined_findings_counted_not_listed(self, tmp_path):
+        root = FIXTURES / "ports_bad"
+        report = run_lint(root=root, rules=["TEST001"])
+        assert report.findings
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, report.findings)
+        silenced = run_lint(root=root, rules=["TEST001"], baseline=Baseline.load(path))
+        assert silenced.clean
+        assert silenced.baselined == len(report.findings)
+
+
+class TestFormats:
+    def test_text_format_has_location_rule_and_summary(self):
+        report = run_lint(root=FIXTURES / "lock_bad", rules=["LOCK001"])
+        text = format_text(report)
+        assert "backends/pool.py" in text
+        assert "LOCK001" in text
+        assert "finding(s)" in text
+
+    def test_json_format_is_machine_readable(self):
+        report = run_lint(root=FIXTURES / "lock_bad", rules=["LOCK001"])
+        payload = json.loads(format_json(report))
+        assert payload["files"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "LOCK001"
+        assert finding["path"] == "backends/pool.py"
+        assert isinstance(finding["line"], int)
+
+
+class TestCliExitCodes:
+    def test_findings_without_fail_flag_exit_zero(self, capsys):
+        code = lint_main(["--root", str(FIXTURES / "lock_bad"), "--no-baseline"])
+        assert code == 0
+        assert "LOCK001" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "fixture", ["rng_bad", "wire_bad", "aio_bad", "lock_bad", "ports_bad"]
+    )
+    def test_fail_on_findings_exits_nonzero_on_each_violation_fixture(
+        self, fixture, capsys
+    ):
+        code = lint_main(
+            ["--root", str(FIXTURES / fixture), "--no-baseline", "--fail-on-findings"]
+        )
+        assert code == 1, capsys.readouterr().out
+
+    def test_repro_cli_lint_subcommand(self, capsys):
+        code = cli_main(
+            ["lint", "--root", str(FIXTURES / "suppressed"), "--no-baseline"]
+        )
+        assert code == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        code = lint_main(["--list-rules"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule in out
+
+    def test_update_baseline_writes_file(self, capsys):
+        # --baseline is resolved relative to --root.
+        written = FIXTURES / "lock_bad" / "tmp-baseline.json"
+        try:
+            code = lint_main(
+                [
+                    "--root", str(FIXTURES / "lock_bad"),
+                    "--baseline", "tmp-baseline.json",
+                    "--update-baseline",
+                ]
+            )
+            assert code == 0
+            payload = json.loads(written.read_text())
+            assert payload["findings"], "baseline should hold the LOCK001 finding"
+        finally:
+            written.unlink(missing_ok=True)
+
+
+class TestRepoIsClean:
+    def test_repo_lints_clean_under_committed_baseline(self):
+        baseline = Baseline.load(REPO_ROOT / ".repro-lint-baseline.json")
+        report = run_lint(root=REPO_ROOT, baseline=baseline)
+        assert report.clean, format_text(report)
+
+    def test_committed_baseline_entries_all_carry_notes(self):
+        payload = json.loads(
+            (REPO_ROOT / ".repro-lint-baseline.json").read_text()
+        )
+        for entry in payload["findings"]:
+            assert entry["note"].strip(), f"baseline entry without a note: {entry}"

@@ -13,7 +13,6 @@ never hangs and never wedges the listener for the next client.
 from __future__ import annotations
 
 import socket
-import threading
 
 import numpy as np
 import pytest
@@ -30,7 +29,6 @@ from repro.serving import (
 )
 from tests.backends.chaos import ChaosProxy
 from tests.serving.test_regressions import wait_for
-
 
 def make_service(serving_amm, **overrides):
     settings = dict(max_batch_size=8, max_wait=1e-3, workers=2)

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import threading
 
-import numpy as np
 import pytest
 
 from repro.backends.threaded import ThreadedBackend

@@ -10,9 +10,7 @@ with priorities enabled, which the cross-backend matrix here pins.
 
 from __future__ import annotations
 
-import time
 
-import numpy as np
 import pytest
 
 from repro.serving import (
@@ -25,7 +23,6 @@ from repro.serving import (
     stop_server,
 )
 from tests.serving.test_regressions import wait_for
-
 
 class TestValidation:
     def test_priority_out_of_range_rejected(self, serving_amm, request_codes):

@@ -127,7 +127,7 @@ class TestErrorMapping:
         assert excinfo.value.status == 400
 
     def test_oversized_body_400_and_connection_close(self, running_server):
-        import repro.serving.server as server_module
+        from repro.serving.protocol import MAX_BODY_BYTES
 
         connection = http.client.HTTPConnection(
             "127.0.0.1", running_server.port, timeout=10.0
@@ -137,7 +137,7 @@ class TestErrorMapping:
             # must reject on the declared length, before reading.
             connection.putrequest("POST", "/recognise")
             connection.putheader("Content-Type", "application/json")
-            connection.putheader("Content-Length", str(server_module.MAX_BODY_BYTES + 1))
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
             connection.endheaders()
             connection.send(b"{}")
             response = connection.getresponse()

@@ -1,11 +1,9 @@
 """Tests of the package-level public API and the command-line interface."""
 
-import numpy as np
 import pytest
 
 import repro
 from repro.cli import build_parser, main
-
 
 class TestPublicApi:
     def test_version_string(self):

@@ -1,10 +1,8 @@
 """Tests for repro.utils.units."""
 
-import numpy as np
 import pytest
 
 from repro.utils import units
-
 
 def test_si_prefixes_scale_correctly():
     assert units.kilo(2.0) == pytest.approx(2000.0)
