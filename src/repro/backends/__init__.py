@@ -29,6 +29,20 @@ compute; this package owns *where and how* it executes:
     reconnect with backoff) and in-flight shards retry onto surviving
     replicas, so recall scales across machines and survives worker loss.
 
+``fleet``
+    :class:`~repro.backends.fleet.FleetSupervisor` — the ``remote``
+    backend grown into a control plane: spawns and/or adopts worker
+    agents, weights shard routing by measured per-replica EWMA latency
+    (slow replicas get proportionally fewer rows, never declared dead),
+    admits workers *joining a running service*, drains replicas out of
+    routing without disconnecting them, and performs rolling
+    ``EngineSpec`` updates verified by a canary recall — zero-downtime
+    reprogramming.  Admin verbs (``status``/``join``/``drain``/
+    ``respec``) are served on a control socket
+    (:class:`~repro.backends.fleet.FleetControlServer`, spoken to by
+    :class:`~repro.backends.fleet.FleetAdminClient` and
+    ``python -m repro admin``).
+
 ``auto``
     :class:`~repro.backends.auto.AutoBackend` — a router, not an
     executor: it prepares the candidates above, calibrates a measured
@@ -56,6 +70,12 @@ from repro.backends.base import (
     RecallBackend,
     WorkerCrashedError,
     contiguous_shards,
+)
+from repro.backends.fleet import (
+    FleetAdminClient,
+    FleetControlServer,
+    FleetSupervisor,
+    weighted_shards,
 )
 from repro.backends.process import ProcessPoolBackend
 from repro.backends.registry import (
@@ -93,6 +113,9 @@ __all__ = [
     "DEFAULT_BACKEND",
     "EVENT_KEYS",
     "EngineSpec",
+    "FleetAdminClient",
+    "FleetControlServer",
+    "FleetSupervisor",
     "ProcessPoolBackend",
     "RecallBackend",
     "RemoteBackend",
@@ -109,4 +132,5 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "spawn_local_worker",
+    "weighted_shards",
 ]

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Union
 
 from repro.backends.auto import AutoBackend
 from repro.backends.base import RecallBackend
+from repro.backends.fleet import FleetSupervisor
 from repro.backends.process import ProcessPoolBackend
 from repro.backends.remote import RemoteBackend
 from repro.backends.serial import SerialBackend
@@ -111,4 +112,5 @@ register_backend("serial", SerialBackend)
 register_backend("threads", ThreadedBackend)
 register_backend("processes", ProcessPoolBackend)
 register_backend("remote", RemoteBackend)
+register_backend("fleet", FleetSupervisor)
 register_backend("auto", AutoBackend)

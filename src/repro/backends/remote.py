@@ -124,6 +124,7 @@ class WorkerServer:
         self._accept_thread: Optional[threading.Thread] = None
         self._conn_lock = threading.Lock()
         self._connections: List[socket.socket] = []
+        self._conn_threads: List[threading.Thread] = []
         #: Recall/solve commands served since start (observability).
         self.commands_served = 0
 
@@ -159,12 +160,23 @@ class WorkerServer:
                     conn.close()
                     return
                 self._connections.append(conn)
-            threading.Thread(
-                target=self._serve_connection,
-                args=(conn,),
-                name="repro-worker-conn",
-                daemon=True,
-            ).start()
+                # Track handler threads so close() can join them —
+                # otherwise a handler can outlive the server and leak
+                # past the owner's close() (pinned by
+                # tests/backends/test_thread_hygiene.py).  Finished
+                # handlers are pruned here rather than on their own
+                # thread so the list cannot grow without bound.
+                self._conn_threads = [
+                    thread for thread in self._conn_threads if thread.is_alive()
+                ]
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name="repro-worker-conn",
+                    daemon=True,
+                )
+                self._conn_threads.append(thread)
+            thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
         engine = None
@@ -279,6 +291,7 @@ class WorkerServer:
             pass
         with self._conn_lock:
             connections, self._connections = self._connections, []
+            threads, self._conn_threads = self._conn_threads, []
         for conn in connections:
             try:
                 conn.shutdown(socket.SHUT_RDWR)
@@ -287,6 +300,10 @@ class WorkerServer:
             conn.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
+        # Handler threads see their socket die above and exit; joining
+        # them keeps worker shutdown hygienic (no thread outlives close).
+        for thread in threads:
+            thread.join(timeout=5.0)
 
     def __enter__(self) -> "WorkerServer":
         return self.start()
@@ -662,7 +679,12 @@ class RemoteBackend(RecallBackend):
         for link in self._links:
             link.close()
         if self._supervisor is not None:
-            self._supervisor.join(timeout=5.0)
+            # The supervisor may be blocked inside a reconnect dial
+            # (``socket.create_connection`` honours ``connect_timeout``,
+            # and closing links cannot interrupt it), so the join budget
+            # must cover it — a flat 5 s used to leak the thread past
+            # close() whenever connect_timeout was raised above it.
+            self._supervisor.join(timeout=max(5.0, self.connect_timeout + 1.0))
         # A reconnect may have raced the first sweep and resurrected a
         # socket; the second sweep (idempotent) catches it.
         for link in self._links:

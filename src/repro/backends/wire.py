@@ -95,6 +95,18 @@ BYE = 11
 RECOGNISE = 12
 ROWS = 13
 DONE = 14
+# Fleet control plane (repro.backends.fleet): an admin client (or a
+# worker announcing itself) speaks these against the control socket of
+# a serving process.  JOIN admits (or readmits) a worker address into
+# the replica set, DRAIN excludes one from routing after its in-flight
+# shard completes, RESPEC triggers a rolling EngineSpec push across the
+# fleet, STATUS asks for the supervisor's replica/health snapshot.
+# Additive kinds again — framing, handshake and data schemas are
+# unchanged, so PR 5 workers still interoperate.
+JOIN = 15
+DRAIN = 16
+RESPEC = 17
+STATUS = 18
 
 #: Size of the fixed-length frame prefix every frame starts with.
 PREFIX_SIZE = _FRAME_HEADER.size

@@ -19,7 +19,12 @@ without writing any code:
 * ``worker`` — run a remote recall worker agent
   (``python -m repro worker --listen HOST:PORT``) that backends created
   with ``--backend remote --workers host:port,...`` dispatch shards to
-  over the pickle-free wire protocol;
+  over the pickle-free wire protocol; ``--announce CONTROL`` makes the
+  agent JOIN a running fleet (scale-out under load) as soon as it is
+  listening;
+* ``admin`` — fleet control verbs (``status`` / ``join`` / ``drain`` /
+  ``respec``) against the control socket of a serving process booted
+  with ``--backend fleet --control HOST:PORT``;
 * ``serve`` — boot the micro-batching recognition service
   (:mod:`repro.serving`) behind its JSON HTTP API (``POST /recognise``
   with request priorities and streaming mode, ``GET /healthz``,
@@ -180,8 +185,8 @@ def _resolve_workers(arguments: argparse.Namespace) -> tuple:
     """Interpret ``--workers`` as a count or a remote address list.
 
     ``--workers 4`` means four execution units; ``--workers
-    host:7070,host:7071`` (only meaningful with ``--backend remote``)
-    names the worker agents and implies their count.  Returns
+    host:7070,host:7071`` (only meaningful with ``--backend remote`` or
+    ``fleet``) names the worker agents and implies their count.  Returns
     ``(worker_count, backend_options)``.
     """
     value = arguments.workers
@@ -195,10 +200,10 @@ def _resolve_workers(arguments: argparse.Namespace) -> tuple:
             raise SystemExit(
                 f"--workers must be an integer or a host:port list, got {text!r}"
             ) from None
-    if getattr(arguments, "backend", None) not in ("remote", "auto"):
+    if getattr(arguments, "backend", None) not in ("remote", "fleet", "auto"):
         raise SystemExit(
             "--workers with host:port addresses requires --backend remote "
-            "(or auto, which then includes a remote candidate)"
+            "or fleet (or auto, which then includes a remote candidate)"
         )
     from repro.backends import parse_worker_addresses
 
@@ -227,12 +232,70 @@ def _command_worker(arguments: argparse.Namespace) -> str:
     bound_host, bound_port = server.address
     print(f"repro worker listening on {bound_host}:{bound_port}", flush=True)
     try:
+        server.start()
+        if arguments.announce:
+            # Scale-out under load: tell a running fleet supervisor this
+            # agent exists; the supervisor dials back, pushes the current
+            # spec and starts routing shards here.
+            from repro.backends.fleet import FleetAdminClient
+
+            with FleetAdminClient(arguments.announce) as admin:
+                admin.join(f"{bound_host}:{bound_port}")
+            print(
+                f"repro worker joined fleet via {arguments.announce}", flush=True
+            )
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.close()
     return "worker stopped"
+
+
+def _command_admin(arguments: argparse.Namespace) -> str:
+    from repro.backends.fleet import FleetAdminClient
+
+    def replica_rows(entries: list) -> str:
+        rows = [
+            [
+                entry["address"],
+                entry["state"],
+                entry["origin"],
+                "-" if entry.get("ewma_row_ms") is None else f"{entry['ewma_row_ms']:.3f}",
+                "-" if entry.get("weight") is None else f"{entry['weight']:.3f}",
+                str(entry["shards_served"]),
+                str(entry["rows_served"]),
+            ]
+            for entry in entries
+        ]
+        return format_table(
+            ["Replica", "State", "Origin", "ms/row", "Weight", "Shards", "Rows"],
+            rows,
+        )
+
+    with FleetAdminClient(arguments.control) as admin:
+        if arguments.verb == "status":
+            fleet = admin.status()
+            counters = fleet["counters"]
+            lines = [replica_rows(fleet["replicas"])]
+            lines.append(
+                f"routable {fleet['routable']}, "
+                f"spec version {fleet['spec_version']}, "
+                f"chunk {fleet['chunk_size']}, "
+                + ", ".join(f"{key} {value}" for key, value in counters.items())
+            )
+            return "\n".join(lines)
+        if arguments.verb in ("join", "drain"):
+            if not arguments.address:
+                raise SystemExit(f"admin {arguments.verb} needs a worker host:port")
+            if arguments.verb == "join":
+                replica = admin.join(arguments.address)
+            else:
+                replica = admin.drain(arguments.address, timeout=arguments.timeout)
+            return replica_rows([dict(replica, weight=None)])
+        report = admin.respec(timeout=arguments.timeout)
+        rows = [[entry["address"], entry["outcome"]] for entry in report]
+        return format_table(["Replica", "Outcome"], rows)
 
 
 def _build_quota(arguments: argparse.Namespace):
@@ -261,6 +324,11 @@ def _build_service(arguments: argparse.Namespace):
     from repro.serving import RecognitionService
 
     workers, backend_options = _resolve_workers(arguments)
+    control = getattr(arguments, "control", None)
+    if control is not None:
+        if arguments.backend != "fleet":
+            raise SystemExit("--control requires --backend fleet")
+        backend_options["control"] = control
     dataset = load_default_dataset(subjects=arguments.subjects, seed=arguments.seed)
     pipeline = build_pipeline(dataset, seed=arguments.seed)
     service = RecognitionService(
@@ -304,6 +372,13 @@ def _command_serve(arguments: argparse.Namespace) -> str:
         server = start_server(service, host=arguments.host, port=arguments.port)
         extra = ""
         shutdown = lambda: stop_server(server)  # noqa: E731
+    control_address = getattr(service.pool.backend, "control_address", None)
+    if control_address is not None:
+        # Parsed by admin tooling the way workers' startup line is.
+        print(
+            f"repro fleet control on {control_address[0]}:{control_address[1]}",
+            flush=True,
+        )
     print(
         f"serving {service.amm.crossbar.rows}x{service.amm.crossbar.columns} "
         f"recognition on http://{arguments.host}:{server.port} "
@@ -472,7 +547,8 @@ def _add_backend_option(
         "(auto = cost-model routing over the others [default], "
         "serial = one engine, threads = sharded thread pool, "
         "processes = multi-process engine pool, remote = worker agents "
-        "named by --workers host:port,..."
+        "named by --workers host:port,..., fleet = supervised replica "
+        "set with health-weighted routing and a --control admin socket"
         + (", none = legacy batched path without a backend)" if allow_none else ")"),
     )
 
@@ -598,7 +674,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="host:port to listen on (port 0 = ephemeral; the bound "
         "address is printed on startup)",
     )
+    worker.add_argument(
+        "--announce",
+        default=None,
+        help="host:port of a fleet control socket to JOIN once listening "
+        "(scale-out: the supervisor dials back and starts routing here)",
+    )
     worker.set_defaults(handler=_command_worker)
+
+    admin = subparsers.add_parser(
+        "admin", help="fleet control verbs against a serving process"
+    )
+    admin.add_argument(
+        "verb",
+        choices=("status", "join", "drain", "respec"),
+        help="status = replica/health snapshot, join = admit (or readmit) "
+        "a worker, drain = take one out of routing, respec = rolling "
+        "spec re-push with canary verification",
+    )
+    admin.add_argument(
+        "address",
+        nargs="?",
+        default=None,
+        help="worker host:port (required for join/drain)",
+    )
+    admin.add_argument(
+        "--control",
+        required=True,
+        help="host:port of the fleet control socket "
+        "(printed by `repro serve --backend fleet --control HOST:PORT`)",
+    )
+    admin.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="drain budget in seconds (drain/respec verbs)",
+    )
+    admin.set_defaults(handler=_command_admin)
 
     serve = subparsers.add_parser(
         "serve", help="serve recognition over HTTP with micro-batched recall"
@@ -623,6 +735,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-binary",
         action="store_true",
         help="serve JSON only from the async front end (no binary endpoint)",
+    )
+    serve.add_argument(
+        "--control",
+        default=None,
+        help="host:port for the fleet control socket (requires --backend "
+        "fleet; port 0 = ephemeral, printed on startup)",
     )
     _add_serving_options(serve)
     serve.set_defaults(handler=_command_serve)

@@ -743,8 +743,18 @@ class RecognitionService:
         }
 
     def stats(self) -> dict:
-        """Metrics snapshot consumed by the HTTP ``/stats`` endpoint."""
-        return self.metrics.snapshot()
+        """Metrics snapshot consumed by the HTTP ``/stats`` endpoint.
+
+        When the pool's backend is fleet-supervised (exposes
+        ``fleet_stats``), its replica/health/control snapshot rides along
+        as a ``fleet`` section — both front ends serve it for free since
+        they delegate here (schema in ``src/repro/serving/README.md``).
+        """
+        stats = self.metrics.snapshot()
+        fleet_stats = getattr(self.pool.backend, "fleet_stats", None)
+        if callable(fleet_stats):
+            stats["fleet"] = fleet_stats()
+        return stats
 
     def close(self, timeout: Optional[float] = None) -> None:
         """Drain queued requests, stop the batcher and join the workers.

@@ -11,6 +11,14 @@ systems actually see:
 * ``partition()`` / ``heal()`` — a network partition: established
   connections stay open but no bytes flow, so only a timeout or a
   heartbeat can notice (TCP keeps the socket "connected");
+* ``pause()`` / ``resume()`` — a *half-open* worker: new dials are
+  SYN-accepted (the TCP connect succeeds immediately) but the
+  connection is never bridged to the upstream, so the very first
+  protocol byte — the HELLO reply — stalls.  This is the third
+  distinct liveness shape next to refused (dial fails fast) and
+  partitioned (an *established* pipe stalls): a dialler only finds out
+  via its io timeout, after a successful connect.  ``resume()``
+  bridges every stalled connection to the upstream, late but intact;
 * ``delay(seconds)`` — a slow worker / congested path: every forwarded
   chunk is held for ``seconds`` first, distinguishing *slow* from
   *dead*;
@@ -48,6 +56,8 @@ class ChaosProxy:
         self._listener = socket.create_server((host, 0), backlog=8)
         self._lock = threading.Lock()
         self._refusing = False
+        self._paused = False
+        self._stalled: List[socket.socket] = []
         self._partitioned = threading.Event()
         self._partitioned.set()  # set = flowing, cleared = partitioned
         self._delay = 0.0
@@ -87,6 +97,25 @@ class ChaosProxy:
         with self._lock:
             self._refusing = False
 
+    def pause(self) -> None:
+        """Accept new dials but never bridge them: a half-open worker.
+
+        The client's ``connect()`` succeeds (SYN-ACKed by the listener)
+        yet no handshake byte ever arrives — the shape of a wedged or
+        SYN-flooded host, distinct from ``refuse()`` (dial fails fast)
+        and ``partition()`` (an already-established pipe stalls).
+        """
+        with self._lock:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Bridge every stalled connection and accept normally again."""
+        with self._lock:
+            self._paused = False
+            stalled, self._stalled = self._stalled, []
+        for client in stalled:
+            self._bridge(client)
+
     def partition(self) -> None:
         """Stop forwarding in both directions while keeping sockets open."""
         self._partitioned.clear()
@@ -122,26 +151,37 @@ class ChaosProxy:
                 return
             with self._lock:
                 refusing = self._refusing or self._closed
+                paused = self._paused
+                if not refusing and paused:
+                    # Half-open: the dial already succeeded (we accepted),
+                    # but the connection is never bridged to the upstream
+                    # until resume() — the peer's next read just stalls.
+                    self._stalled.append(client)
+                    continue
             if refusing:
                 client.close()
                 continue
-            try:
-                upstream = socket.create_connection(self.upstream, timeout=5.0)
-            except OSError:
-                client.close()
-                continue
-            with self._lock:
-                self._pairs.append((client, upstream))
-            for source, sink, to_upstream in (
-                (client, upstream, True),
-                (upstream, client, False),
-            ):
-                threading.Thread(
-                    target=self._pump,
-                    args=(source, sink, to_upstream),
-                    name="chaos-proxy-pump",
-                    daemon=True,
-                ).start()
+            self._bridge(client)
+
+    def _bridge(self, client: socket.socket) -> None:
+        """Dial the upstream and start pumping both directions."""
+        try:
+            upstream = socket.create_connection(self.upstream, timeout=5.0)
+        except OSError:
+            client.close()
+            return
+        with self._lock:
+            self._pairs.append((client, upstream))
+        for source, sink, to_upstream in (
+            (client, upstream, True),
+            (upstream, client, False),
+        ):
+            threading.Thread(
+                target=self._pump,
+                args=(source, sink, to_upstream),
+                name="chaos-proxy-pump",
+                daemon=True,
+            ).start()
 
     def _pump(self, source: socket.socket, sink: socket.socket, to_upstream: bool) -> None:
         try:
@@ -220,6 +260,10 @@ class ChaosProxy:
             pass
         self._listener.close()
         self._drop_pairs()
+        with self._lock:
+            stalled, self._stalled = self._stalled, []
+        for client in stalled:
+            client.close()
         self._partitioned.set()
 
     def __enter__(self) -> "ChaosProxy":

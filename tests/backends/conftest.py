@@ -75,6 +75,34 @@ def worker_servers():
 
 
 @pytest.fixture()
+def fleet_backend(backend_amm, worker_servers):
+    """A two-replica fleet supervisor with its control socket bound.
+
+    Same chunk-pinning and test-speed supervision knobs as
+    ``remote_backend``; the control socket binds an ephemeral port
+    (never hard-coded) so admin-client tests can dial it.
+    """
+    from repro.backends import FleetSupervisor
+
+    engine = backend_amm.solver.batch_engine
+    engine.prepare(backend_amm.include_parasitics)
+    backend = FleetSupervisor(
+        backend_amm,
+        worker_addresses=[server.address for server in worker_servers],
+        min_shard_size=2,
+        chunk_size=engine.chunk_size,
+        heartbeat_interval=0.1,
+        backoff_base=0.02,
+        backoff_max=0.2,
+        connect_timeout=5.0,
+        io_timeout=20.0,
+        control=("127.0.0.1", 0),
+    ).prepare()
+    yield backend
+    backend.close()
+
+
+@pytest.fixture()
 def remote_backend(backend_amm, worker_servers):
     """A two-replica remote backend with test-speed supervision knobs.
 
